@@ -1,0 +1,361 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section at full workload scale:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN / BenchmarkFigureN logs the regenerated rows or
+// series (run with -v or read the -bench output). Results are cached in a
+// shared Runner, so the expensive A-E x width sweep is paid once and shared
+// by all experiment benchmarks. BenchmarkAblation* cover the design-choice
+// ablations called out in DESIGN.md, and the component micro-benchmarks at
+// the bottom measure the substrates in isolation.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/minic"
+	"repro/internal/stride"
+	"repro/internal/workloads"
+)
+
+var benchRunner = experiments.NewRunner(0)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = e.Run(benchRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("%s\n%s", rep.Title, rep.Text)
+}
+
+// Tables 1-6.
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// Figures 2-10.
+
+func BenchmarkFigure2(b *testing.B)  { benchExperiment(b, "figure2") }
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "figure3") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "figure4") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "figure5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "figure6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "figure7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "figure9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+
+// Ablations: the design choices the paper's collapsing model added over
+// prior interlock-collapsing work, each removed in isolation (width 8,
+// config D, harmonic-mean IPC over all six benchmarks).
+
+func benchAblation(b *testing.B, mutate func(*Config)) {
+	b.Helper()
+	cfg := ConfigD
+	mutate(&cfg)
+	var text string
+	for i := 0; i < b.N; i++ {
+		var hm float64
+		var n int
+		for _, w := range Workloads() {
+			tr, _, err := w.TraceCached(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := Run(tr.Reader(), cfg, Params{Width: 8})
+			hm += 1 / res.IPC()
+			n++
+		}
+		text = fmt.Sprintf("harmonic-mean IPC %.3f (config D variant, width 8)", float64(n)/hm)
+	}
+	b.Log(text)
+}
+
+func BenchmarkAblationFullModel(b *testing.B) {
+	benchAblation(b, func(cfg *Config) {})
+}
+
+func BenchmarkAblationPairsOnly(b *testing.B) {
+	benchAblation(b, func(cfg *Config) { cfg.PairsOnly = true })
+}
+
+func BenchmarkAblationConsecutiveOnly(b *testing.B) {
+	benchAblation(b, func(cfg *Config) { cfg.ConsecutiveOnly = true })
+}
+
+func BenchmarkAblationNoShiftCollapse(b *testing.B) {
+	benchAblation(b, func(cfg *Config) { cfg.NoShiftCollapse = true })
+}
+
+func BenchmarkAblationNoZeroDetect(b *testing.B) {
+	benchAblation(b, func(cfg *Config) { cfg.NoZeroDetect = true })
+}
+
+func BenchmarkAblationPerfectBranches(b *testing.B) {
+	benchAblation(b, func(cfg *Config) { cfg.PerfectBranches = true })
+}
+
+// BenchmarkExtensionValuePrediction measures configuration F — the paper's
+// future-work extension adding last-value load-value prediction to D — as
+// harmonic-mean IPC over the six benchmarks at width 8, next to D for
+// comparison.
+func BenchmarkExtensionValuePrediction(b *testing.B) {
+	var text string
+	for i := 0; i < b.N; i++ {
+		hm := func(cfg Config) float64 {
+			var inv float64
+			for _, w := range Workloads() {
+				tr, _, err := w.TraceCached(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				inv += 1 / Run(tr.Reader(), cfg, Params{Width: 8}).IPC()
+			}
+			return float64(len(Workloads())) / inv
+		}
+		text = fmt.Sprintf("harmonic-mean IPC: D %.3f, F (D + value prediction) %.3f", hm(ConfigD), hm(ConfigF))
+	}
+	b.Log(text)
+}
+
+// BenchmarkExtensionCompilerILP measures the compiler-side ILP lever the
+// paper's conclusion names ("determination of ways to use compilers to
+// increase ILP under this paradigm"): the same six workloads compiled with
+// and without the move-eliminating DirectAssign mode, simulated under
+// configuration D at width 8.
+func BenchmarkExtensionCompilerILP(b *testing.B) {
+	var text string
+	for i := 0; i < b.N; i++ {
+		measure := func(opts minic.Options) (cycles, instrs int64, collapsedPct float64) {
+			var collapsed int64
+			for _, w := range Workloads() {
+				asmText, err := minic.CompileWithOptions(w.Source(w.DefaultScale), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prog, err := Assemble(asmText)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, _, err := TraceProgram(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := Run(tr.Reader(), ConfigD, Params{Width: 8})
+				cycles += res.Cycles
+				collapsed += res.CollapsedInstrs
+				instrs += res.Instructions
+			}
+			return cycles, instrs, 100 * float64(collapsed) / float64(instrs)
+		}
+		baseCyc, baseN, basePct := measure(minic.Options{})
+		optCyc, optN, optPct := measure(minic.Options{DirectAssign: true})
+		text = fmt.Sprintf(
+			"plain codegen: %d instrs, %d cycles, %.1f%% collapsed; direct-assign: %d instrs, %d cycles, %.1f%% collapsed (%.1f%% faster)",
+			baseN, baseCyc, basePct, optN, optCyc, optPct,
+			100*(1-float64(optCyc)/float64(baseCyc)))
+	}
+	b.Log(text)
+}
+
+// Component micro-benchmarks.
+
+// BenchmarkSchedulerThroughput measures raw scheduler speed (instructions
+// per second) on the densest configuration.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	w, err := workloads.ByName("espresso")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := w.TraceCached(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(tr.Reader(), core.ConfigD, core.Params{Width: 8})
+	}
+	b.SetBytes(int64(tr.Len())) // bytes/sec reads as instructions/sec
+}
+
+// BenchmarkTraceGeneration measures the compile+assemble+emulate pipeline.
+func BenchmarkTraceGeneration(b *testing.B) {
+	w, err := workloads.ByName("ijpeg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := w.Run(40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStridePredictor measures predictor update+lookup throughput.
+func BenchmarkStridePredictor(b *testing.B) {
+	p := stride.NewPaper()
+	for i := 0; i < b.N; i++ {
+		pc := uint32(i) & 1023
+		p.Lookup(pc)
+		p.Update(pc, uint32(i*4))
+	}
+}
+
+// BenchmarkMcFarlingPredictor measures branch predictor throughput.
+func BenchmarkMcFarlingPredictor(b *testing.B) {
+	p := NewMcFarlingPredictor()
+	for i := 0; i < b.N; i++ {
+		pc := uint32(i) & 2047
+		taken := i&3 != 0
+		p.Predict(pc)
+		p.Update(pc, taken)
+	}
+}
+
+// BenchmarkMiniCCompile measures compiler throughput on the largest
+// benchmark source.
+func BenchmarkMiniCCompile(b *testing.B) {
+	w, err := workloads.ByName("go")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := w.Source(w.DefaultScale)
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileMiniC(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionRealMemory measures configuration D under the
+// realistic-memory extension (16 KiB 2-way L1, 20-cycle misses) against the
+// paper's perfect memory, harmonic-mean IPC at width 8.
+func BenchmarkExtensionRealMemory(b *testing.B) {
+	var text string
+	for i := 0; i < b.N; i++ {
+		hm := func(withCache bool) float64 {
+			var inv float64
+			for _, w := range Workloads() {
+				tr, _, err := w.TraceCached(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := Params{Width: 8}
+				if withCache {
+					p.Cache = NewCache(DefaultL1Cache())
+				}
+				inv += 1 / Run(tr.Reader(), ConfigD, p).IPC()
+			}
+			return float64(len(Workloads())) / inv
+		}
+		text = fmt.Sprintf("harmonic-mean IPC: D perfect memory %.3f, D + L1 cache %.3f",
+			hm(false), hm(true))
+	}
+	b.Log(text)
+}
+
+// BenchmarkDependenceGraphLimits reports the dataflow critical-path bounds
+// (the paper's Section 1 framing) for every benchmark.
+func BenchmarkDependenceGraphLimits(b *testing.B) {
+	var text string
+	for i := 0; i < b.N; i++ {
+		text = ""
+		for _, w := range Workloads() {
+			tr, _, err := w.TraceCached(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pure := AnalyzeLimits(tr.Reader(), LimitOptions{})
+			ctl := AnalyzeLimits(tr.Reader(), LimitOptions{RealBranches: true})
+			text += fmt.Sprintf("\n%-9s dataflow IPC %7.1f, with realistic branches %6.1f",
+				w.Name, pure.IPC(), ctl.IPC())
+		}
+	}
+	b.Log(text)
+}
+
+// BenchmarkExtensionConfidenceSweep explores the confidence-policy
+// variations the paper says it was investigating ("possible variations are
+// currently being explored to determine even more accurate confidence
+// measurements"): reward/penalty/threshold settings for the stride table,
+// measured as harmonic-mean IPC under configuration B at width 8 (isolating
+// speculation), with the predicted-incorrectly rate alongside.
+func BenchmarkExtensionConfidenceSweep(b *testing.B) {
+	policies := []struct {
+		name   string
+		policy stride.Policy
+	}{
+		{"paper +1/-2 thr2", stride.PaperPolicy()},
+		{"eager  +1/-1 thr1", stride.Policy{Reward: 1, Penalty: 1, Threshold: 1, Max: 3}},
+		{"eager  +2/-1 thr2", stride.Policy{Reward: 2, Penalty: 1, Threshold: 2, Max: 3}},
+		{"strict +1/-3 thr3", stride.Policy{Reward: 1, Penalty: 3, Threshold: 3, Max: 3}},
+		{"always thr0", stride.Policy{Reward: 1, Penalty: 1, Threshold: 0, Max: 3}},
+	}
+	var text string
+	for i := 0; i < b.N; i++ {
+		text = ""
+		for _, p := range policies {
+			var inv float64
+			var loads, wrong int64
+			for _, w := range Workloads() {
+				tr, _, err := w.TraceCached(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := Run(tr.Reader(), ConfigB, Params{
+					Width: 8,
+					Addr:  stride.NewWithPolicy(stride.DefaultLogEntries, p.policy),
+				})
+				inv += 1 / res.IPC()
+				loads += res.Loads
+				wrong += res.LoadPredIncorrect
+			}
+			text += fmt.Sprintf("\n%-18s HM-IPC %.3f  mispredicted loads %.2f%%",
+				p.name, float64(len(Workloads()))/inv, 100*float64(wrong)/float64(loads))
+		}
+	}
+	b.Log(text)
+}
+
+// BenchmarkAblationWindowSize sweeps the window multiplier (the paper fixes
+// the window at 2x the issue width) under configuration D at width 8.
+func BenchmarkAblationWindowSize(b *testing.B) {
+	var text string
+	for i := 0; i < b.N; i++ {
+		text = ""
+		for _, mult := range []int{1, 2, 4, 8} {
+			var inv float64
+			var collapsed, total int64
+			for _, w := range Workloads() {
+				tr, _, err := w.TraceCached(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := Run(tr.Reader(), ConfigD, Params{Width: 8, WindowSize: 8 * mult})
+				inv += 1 / res.IPC()
+				collapsed += res.CollapsedInstrs
+				total += res.Instructions
+			}
+			text += fmt.Sprintf("\nwindow %dx width: HM-IPC %.3f, %.1f%% collapsed",
+				mult, float64(len(Workloads()))/inv, 100*float64(collapsed)/float64(total))
+		}
+	}
+	b.Log(text)
+}

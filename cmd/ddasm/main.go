@@ -1,0 +1,36 @@
+// ddasm assembles SV8 assembly and prints the program listing.
+//
+//	ddasm prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ddasm prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("; %d instructions, %d data words, entry %d\n",
+		len(prog.Code), len(prog.Data), prog.Entry)
+	fmt.Print(prog.Disassemble())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddasm:", err)
+	os.Exit(1)
+}

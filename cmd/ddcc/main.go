@@ -1,0 +1,62 @@
+// ddcc compiles MiniC source to SV8 assembly.
+//
+//	ddcc prog.mc             # assembly on stdout
+//	ddcc -o prog.s prog.mc
+//	ddcc -run prog.mc        # compile, assemble and execute; print out() stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		output = flag.String("o", "", "write assembly to this file instead of stdout")
+		run    = flag.Bool("run", false, "compile, assemble and execute the program")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ddcc [-o out.s] [-run] prog.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	asmText, err := minic.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *run {
+		prog, err := asm.Assemble(asmText)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := vm.Exec(prog)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range out {
+			fmt.Println(v)
+		}
+		return
+	}
+	if *output != "" {
+		if err := os.WriteFile(*output, []byte(asmText), 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(asmText)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// ddrun executes a MiniC (.mc) or SV8 assembly (.s) program on the
+// emulator and reports its output and dynamic trace statistics.
+//
+//	ddrun prog.mc
+//	ddrun -mix prog.s     # also print the instruction-class mix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/minic"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		mixFlag  = flag.Bool("mix", false, "print the instruction-class mix of the dynamic trace")
+		maxSteps = flag.Int64("maxsteps", 1<<30, "execution step limit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ddrun [-mix] prog.{mc,s}")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	asmText := string(src)
+	if strings.HasSuffix(path, ".mc") {
+		asmText, err = minic.Compile(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		fatal(err)
+	}
+	buf, out, err := func() (*trace.Buffer, []int32, error) {
+		if *mixFlag {
+			return vm.Trace(prog, vm.WithMaxSteps(*maxSteps))
+		}
+		o, err := vm.Exec(prog, vm.WithMaxSteps(*maxSteps))
+		return nil, o, err
+	}()
+	if err != nil {
+		fatal(err)
+	}
+	for _, v := range out {
+		fmt.Println(v)
+	}
+	if buf != nil {
+		fmt.Fprintf(os.Stderr, "%d dynamic instructions\n", buf.Len())
+		mix := trace.CollectMix(buf.Reader())
+		fmt.Fprint(os.Stderr, mix.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,209 @@
+// ddsim drives the dependence speculation & collapsing limit simulator.
+//
+// Reproduce paper experiments (Tables 1-6, Figures 2-10):
+//
+//	ddsim -experiment figure3
+//	ddsim -experiment all -scale 200
+//
+// Or run one benchmark under one configuration and inspect the full
+// statistics:
+//
+//	ddsim -benchmark li -config D -width 16
+//
+// Configurations: A base, B +load-speculation, C +collapsing, D both,
+// E collapsing + ideal speculation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/collapse"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (table1..table6, figure2..figure10, 'perbench', or 'all')")
+		benchmark  = flag.String("benchmark", "", "run a single benchmark (compress, espresso, eqntott, li, go, ijpeg)")
+		traceFile  = flag.String("trace", "", "simulate a binary trace file (see ddtrace) instead of a benchmark")
+		config     = flag.String("config", "D", "machine configuration A..E")
+		width      = flag.Int("width", 8, "maximum issue width")
+		window     = flag.Int("window", 0, "window size (default 2x width)")
+		scale      = flag.Int("scale", 0, "workload scale (0 = per-benchmark default)")
+		widths     = flag.String("widths", "", "comma-separated issue widths for experiments (default 4,8,16,32,2048)")
+		listFlag   = flag.Bool("list", false, "list experiments and benchmarks")
+		csvFlag    = flag.Bool("csv", false, "emit experiment data as CSV instead of tables")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		list()
+		return
+	}
+	switch {
+	case *experiment != "":
+		if err := runExperiments(*experiment, *scale, *widths, *csvFlag); err != nil {
+			fatal(err)
+		}
+	case *traceFile != "":
+		if err := runTraceFile(*traceFile, *config, *width, *window); err != nil {
+			fatal(err)
+		}
+	case *benchmark != "":
+		if err := runSingle(*benchmark, *config, *width, *window, *scale); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddsim:", err)
+	os.Exit(1)
+}
+
+func list() {
+	fmt.Println("Experiments:")
+	for _, e := range experiments.Registry() {
+		fmt.Printf("  %-9s %s\n", e.ID, e.Title)
+	}
+	fmt.Println("\nBenchmarks:")
+	for _, w := range workloads.All() {
+		class := "non-pointer"
+		if w.PointerChasing {
+			class = "pointer-chasing"
+		}
+		fmt.Printf("  %-9s %-16s %s\n", w.Name, class, w.Description)
+	}
+}
+
+func runExperiments(id string, scale int, widthsArg string, csv bool) error {
+	r := experiments.NewRunner(scale)
+	if widthsArg != "" {
+		for _, part := range strings.Split(widthsArg, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || w <= 0 {
+				return fmt.Errorf("bad width %q", part)
+			}
+			r.Widths = append(r.Widths, w)
+		}
+	}
+	if id == "perbench" {
+		rep, err := experiments.PerBenchmarkReport(r, 8)
+		if err != nil {
+			return err
+		}
+		printReport(rep, csv)
+		return nil
+	}
+	entries := experiments.Registry()
+	if id != "all" {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		entries = []experiments.RegistryEntry{e}
+	}
+	for _, e := range entries {
+		rep, err := e.Run(r)
+		if err != nil {
+			return err
+		}
+		printReport(rep, csv)
+	}
+	return nil
+}
+
+func printReport(rep *experiments.Report, csv bool) {
+	if csv && rep.CSV != "" {
+		fmt.Printf("# %s: %s\n%s\n", rep.ID, rep.Title, rep.CSV)
+		return
+	}
+	fmt.Printf("== %s: %s ==\n%s\n", rep.ID, rep.Title, rep.Text)
+}
+
+// runTraceFile simulates a saved binary trace under one configuration.
+func runTraceFile(path, config string, width, window int) error {
+	cfg, err := core.ConfigByName(config)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	res := core.Run(r, cfg, core.Params{Width: width, WindowSize: window})
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("trace        %s\n", path)
+	printResult(cfg, res)
+	return nil
+}
+
+func runSingle(benchmark, config string, width, window, scale int) error {
+	w, err := workloads.ByName(benchmark)
+	if err != nil {
+		return err
+	}
+	cfg, err := core.ConfigByName(config)
+	if err != nil {
+		return err
+	}
+	buf, _, err := w.TraceCached(scale)
+	if err != nil {
+		return err
+	}
+	res := core.Run(buf.Reader(), cfg, core.Params{Width: width, WindowSize: window})
+
+	fmt.Printf("benchmark    %s (%s)\n", w.Name, w.Description)
+	printResult(cfg, res)
+	return nil
+}
+
+func printResult(cfg core.Config, res *core.Result) {
+	fmt.Printf("config       %s  width %d  window %d\n", cfg.Name, res.Width, res.Window)
+	fmt.Printf("instructions %d\n", res.Instructions)
+	fmt.Printf("cycles       %d\n", res.Cycles)
+	fmt.Printf("IPC          %.3f\n", res.IPC())
+	fmt.Printf("branches     %d conditional, %.2f%% predicted correctly\n",
+		res.CondBranches, res.BranchAccuracy())
+	if cfg.LoadSpec || cfg.IdealLoadSpec {
+		fmt.Printf("loads        %d: ready %.1f%%, predicted correctly %.1f%%, incorrectly %.1f%%, not predicted %.1f%%\n",
+			res.Loads, res.LoadPercent(res.LoadReady), res.LoadPercent(res.LoadPredCorrect),
+			res.LoadPercent(res.LoadPredIncorrect), res.LoadPercent(res.LoadNotPred))
+	}
+	if cfg.LoadValuePred {
+		fmt.Printf("value pred   correct %.1f%%, incorrect %.1f%%, not predicted %.1f%%\n",
+			res.LoadPercent(res.ValuePredCorrect), res.LoadPercent(res.ValuePredIncorrect),
+			res.LoadPercent(res.ValueNotPred))
+	}
+	if cfg.Collapse {
+		fmt.Printf("collapsing   %.1f%% of instructions, %d groups (3-1 %.1f%%, 4-1 %.1f%%, 0-op %.1f%%), mean distance %.2f\n",
+			res.CollapsedPercent(), res.TotalGroups(),
+			res.CategoryPercent(collapse.Cat31), res.CategoryPercent(collapse.Cat41),
+			res.CategoryPercent(collapse.Cat0Op), res.MeanDistance())
+		fmt.Println("top pairs:")
+		for _, sc := range core.TopSigs(res.PairSigs, 6) {
+			fmt.Printf("  %-14s %d\n", sc.Sig, sc.Count)
+		}
+		fmt.Println("top triples:")
+		for _, sc := range core.TopSigs(res.TripleSigs, 6) {
+			fmt.Printf("  %-20s %d\n", sc.Sig, sc.Count)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// ddtrace generates, inspects, and replays binary trace files — the
+// workflow the paper ran with qpt2: trace once, simulate many times.
+//
+//	ddtrace -benchmark compress -o compress.trace      # generate
+//	ddtrace -benchmark li -scale 500 -o li.trace       # bigger run
+//	ddtrace -program prog.mc -o prog.trace             # trace any MiniC program
+//	ddtrace -info compress.trace                       # header + mix
+//
+// Simulate a saved trace with ddsim -trace compress.trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/minic"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "", "workload to trace (compress, espresso, eqntott, li, go, ijpeg)")
+		program   = flag.String("program", "", "MiniC (.mc) or SV8 assembly (.s) file to trace instead")
+		scale     = flag.Int("scale", 0, "workload scale (0 = default)")
+		output    = flag.String("o", "", "output trace file")
+		info      = flag.String("info", "", "print a trace file's statistics instead of generating")
+	)
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		if err := printInfo(*info); err != nil {
+			fatal(err)
+		}
+	case (*benchmark != "" || *program != "") && *output != "":
+		if err := generate(*benchmark, *program, *scale, *output); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddtrace:", err)
+	os.Exit(1)
+}
+
+func generate(benchmark, program string, scale int, output string) error {
+	var src trace.Source
+	switch {
+	case benchmark != "":
+		w, err := workloads.ByName(benchmark)
+		if err != nil {
+			return err
+		}
+		buf, _, err := w.Run(scale)
+		if err != nil {
+			return err
+		}
+		src = buf.Reader()
+	default:
+		text, err := os.ReadFile(program)
+		if err != nil {
+			return err
+		}
+		asmText := string(text)
+		if strings.HasSuffix(program, ".mc") {
+			if asmText, err = minic.Compile(string(text)); err != nil {
+				return err
+			}
+		}
+		prog, err := asm.Assemble(asmText)
+		if err != nil {
+			return err
+		}
+		buf, _, err := vm.Trace(prog)
+		if err != nil {
+			return err
+		}
+		src = buf.Reader()
+	}
+
+	f, err := os.Create(output)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	var rec trace.Record
+	for src.Next(&rec) {
+		if err := w.Write(&rec); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", w.Count(), output)
+	return nil
+}
+
+func printInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	mix := trace.CollectMix(r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s:\n%s", path, mix.String())
+	return nil
+}

@@ -1,0 +1,63 @@
+// Criticalpath reproduces the paper's framing argument (Section 1): a
+// program's minimum execution time is the length of the critical path
+// through its dynamic dependence graph, and the two studied techniques
+// work by *restructuring* that graph. For each benchmark this example
+// computes the dataflow limit, shows how much of it control flow eats,
+// which instruction classes sit on the critical path (the ones collapsing
+// targets), and how close the simulated machines get at width 32 — with
+// perfect memory and with a realistic L1 cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/isa"
+)
+
+func main() {
+	fmt.Println("Dependence-graph limits vs. achieved IPC (width 32)")
+	fmt.Println()
+	fmt.Printf("%-9s %9s | %8s %8s | %7s %7s %7s | %s\n",
+		"bench", "instrs", "dataflow", "w/brmiss", "IPC(A)", "IPC(D)", "D+L1$", "critical-path classes")
+
+	for _, w := range repro.Workloads() {
+		tr, _, err := w.TraceCached(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pure := repro.AnalyzeLimits(tr.Reader(), repro.LimitOptions{})
+		ctl := repro.AnalyzeLimits(tr.Reader(), repro.LimitOptions{RealBranches: true})
+
+		base := repro.Run(tr.Reader(), repro.ConfigA, repro.Params{Width: 32})
+		full := repro.Run(tr.Reader(), repro.ConfigD, repro.Params{Width: 32})
+		cached := repro.Run(tr.Reader(), repro.ConfigD, repro.Params{
+			Width: 32, Cache: repro.NewCache(repro.DefaultL1Cache()),
+		})
+
+		// Which classes dominate the pure dataflow critical path?
+		mix := ""
+		for _, c := range []isa.Class{isa.ClassAr, isa.ClassLd, isa.ClassLg, isa.ClassSh, isa.ClassMv, isa.ClassBrc} {
+			if pct := pure.CritClassPercent(c); pct >= 10 {
+				mix += fmt.Sprintf("%v %.0f%% ", c, pct)
+			}
+		}
+
+		fmt.Printf("%-9s %9d | %8.1f %8.1f | %7.2f %7.2f %7.2f | %s\n",
+			w.Name, pure.Instructions, pure.IPC(), ctl.IPC(),
+			base.IPC(), full.IPC(), cached.IPC(), mix)
+	}
+
+	fmt.Println()
+	fmt.Println("dataflow  = IPC bound from true data dependences alone (infinite machine)")
+	fmt.Println("w/brmiss  = the same bound after realistic branch prediction is imposed")
+	fmt.Println("D+L1$     = config D with a 16KiB 2-way L1 cache, 20-cycle misses")
+	fmt.Println()
+	fmt.Println("The classes on the critical path are the ones the paper's mechanisms")
+	fmt.Println("attack: arithmetic/logic/shift chains collapse, load chains speculate.")
+	fmt.Println("Note that IPC(D) can exceed the w/brmiss bound: collapsing does not")
+	fmt.Println("just approach the dependence graph's limit, it restructures the graph —")
+	fmt.Println("the paper's Section 1 point that the critical path itself can shrink")
+	fmt.Println("\"possibly below the theoretical minimum\".")
+}

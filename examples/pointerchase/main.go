@@ -1,0 +1,105 @@
+// Pointerchase contrasts the two access patterns at the heart of the
+// paper's Section 5.2: a strided array walk, whose load addresses the
+// two-delta stride table learns almost perfectly, against a linked-list
+// walk over the same data, whose addresses depend on loaded values and
+// defeat stride prediction. The same computation, two memory layouts,
+// radically different speculation behaviour — reproducing the Table 3 vs
+// Table 4 contrast in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const arrayWalk = `
+var data[4096];
+
+func main() {
+	for (var i = 0; i < 4096; i = i + 1) { data[i] = i & 255; }
+	var sum = 0;
+	for (var pass = 0; pass < 8; pass = pass + 1) {
+		for (var i = 0; i < 4096; i = i + 1) {
+			sum = sum + data[i];
+		}
+	}
+	out(sum);
+}
+`
+
+// The linked version threads the same values through cons cells allocated
+// in shuffled order, so successor addresses are unpredictable.
+const listWalk = lcg + `
+func main() {
+	// Build an index permutation, then a linked list following it.
+	var perm[4096];
+	var nodes = alloc(8192);   // node i: [value, next]
+	for (var i = 0; i < 4096; i = i + 1) { perm[i] = i; }
+	for (var i = 4095; i > 0; i = i - 1) {
+		var j = rnd() & 4095;
+		while (j > i) { j = j - i; }
+		var t = perm[i]; perm[i] = perm[j]; perm[j] = t;
+	}
+	var head = 0 - 1;
+	var prev = 0 - 1;
+	for (var i = 0; i < 4096; i = i + 1) {
+		var n = nodes + perm[i] * 8;
+		n[0] = i & 255;
+		n[1] = 0 - 1;
+		if (prev != 0 - 1) { *(prev + 4) = n; } else { head = n; }
+		prev = n;
+	}
+	var sum = 0;
+	for (var pass = 0; pass < 8; pass = pass + 1) {
+		var p = head;
+		while (p != 0 - 1) {
+			sum = sum + p[0];
+			p = p[1];
+		}
+	}
+	out(sum);
+}
+`
+
+const lcg = `
+var __seed = 24036583;
+func rnd() {
+	__seed = __seed * 1103515245 + 12345;
+	return (__seed >> 16) & 32767;
+}
+`
+
+func main() {
+	fmt.Println("Stride speculation vs. memory layout (config B, width 8)")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %8s %8s | %7s %9s %9s %7s\n",
+		"layout", "instrs", "IPC(A)", "IPC(B)", "ready", "correct", "incorrect", "nopred")
+	for _, c := range []struct {
+		name string
+		src  string
+	}{{"array", arrayWalk}, {"linked-list", listWalk}} {
+		prog, err := repro.BuildMiniC(c.src)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		tr, _, err := repro.TraceProgram(prog)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		base := repro.Run(tr.Reader(), repro.ConfigA, repro.Params{Width: 8})
+		spec := repro.Run(tr.Reader(), repro.ConfigB, repro.Params{Width: 8})
+		fmt.Printf("%-12s %10d %8.3f %8.3f | %6.1f%% %8.1f%% %8.1f%% %6.1f%%\n",
+			c.name, tr.Len(), base.IPC(), spec.IPC(),
+			spec.LoadPercent(spec.LoadReady),
+			spec.LoadPercent(spec.LoadPredCorrect),
+			spec.LoadPercent(spec.LoadPredIncorrect),
+			spec.LoadPercent(spec.LoadNotPred))
+	}
+	fmt.Println()
+	fmt.Println("The array walk's loads stride through memory and are predicted;")
+	fmt.Println("the list walk's next-pointers defeat the stride table, so load")
+	fmt.Println("speculation alone buys pointer-chasing code almost nothing —")
+	fmt.Println("the paper's motivation for better-than-stride predictors.")
+}

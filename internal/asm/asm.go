@@ -1,0 +1,513 @@
+// Package asm implements a two-pass assembler for SV8 assembly text. The
+// MiniC compiler emits this syntax and the ddasm tool exposes it directly.
+//
+// Syntax overview (one statement per line, ';' or '#' starts a comment):
+//
+//	.data                     switch to the data segment
+//	name:  .word 1, 0x2, lbl  initialized words (labels assemble to values)
+//	buf:   .space 16          16 zero words
+//	.text                     switch to the code segment (default)
+//	main:                     code label
+//	       ldi  r8, 10        rd, imm
+//	       add  r9, r9, r8    rd, rs1, rs2|imm
+//	       mov  r1, r9        rd, rs1
+//	       cmp  r8, 0         rs1, rs2|imm
+//	       beq  done          conditional branch to label
+//	       ld   r10, [r9+4]   rd, [rs1 + rs2|imm]
+//	       st   r10, [r9+r8]  value, [rs1 + rs2|imm]
+//	       call fn            direct call (return address in ra)
+//	       jr   r8+0          indirect jump
+//	       out  r1            emit value
+//	       halt
+//
+// Registers: r0..r31 plus the aliases sp (r29), fp (r30), ra (r31).
+// Immediates: decimal, 0x hex, character literals ('a'), and label names
+// (code labels assemble to instruction indices, data labels to byte
+// addresses). Execution starts at the label "main" when present, else at
+// instruction 0.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// DataBase is the byte address where the data segment is placed.
+const DataBase uint32 = 0x1000
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type stmt struct {
+	line   int
+	label  string   // optional leading label
+	op     string   // mnemonic or directive, "" if label-only
+	fields []string // comma-separated operand fields
+}
+
+// Assemble translates SV8 assembly source into a Program.
+func Assemble(src string) (*isa.Program, error) {
+	stmts, err := scan(src)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &isa.Program{
+		Symbols:  make(map[string]int32),
+		DataSyms: make(map[string]uint32),
+		DataBase: DataBase,
+	}
+
+	// Pass 1: assign label values.
+	inData := false
+	pc := int32(0)
+	dataWords := 0
+	for _, s := range stmts {
+		if s.label != "" {
+			if _, dup := p.Symbols[s.label]; dup {
+				return nil, &Error{s.line, fmt.Sprintf("duplicate label %q", s.label)}
+			}
+			if _, dup := p.DataSyms[s.label]; dup {
+				return nil, &Error{s.line, fmt.Sprintf("duplicate label %q", s.label)}
+			}
+			if inData {
+				p.DataSyms[s.label] = DataBase + uint32(4*dataWords)
+			} else {
+				p.Symbols[s.label] = pc
+			}
+		}
+		switch s.op {
+		case "":
+		case ".data":
+			inData = true
+		case ".text":
+			inData = false
+		case ".word":
+			if !inData {
+				return nil, &Error{s.line, ".word outside .data"}
+			}
+			if len(s.fields) == 0 {
+				return nil, &Error{s.line, ".word needs at least one value"}
+			}
+			dataWords += len(s.fields)
+		case ".space":
+			if !inData {
+				return nil, &Error{s.line, ".space outside .data"}
+			}
+			if len(s.fields) != 1 {
+				return nil, &Error{s.line, ".space needs exactly one size"}
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(s.fields[0]))
+			if err != nil || n < 0 {
+				return nil, &Error{s.line, fmt.Sprintf("bad .space size %q", s.fields[0])}
+			}
+			dataWords += n
+		default:
+			if inData {
+				return nil, &Error{s.line, fmt.Sprintf("instruction %q inside .data", s.op)}
+			}
+			pc++
+		}
+	}
+
+	// Pass 2: encode.
+	a := &assembler{prog: p}
+	p.Data = make([]int32, 0, dataWords)
+	inData = false
+	for _, s := range stmts {
+		if s.op == "" {
+			continue
+		}
+		switch s.op {
+		case ".data":
+			inData = true
+		case ".text":
+			inData = false
+		case ".word":
+			for _, f := range s.fields {
+				v, err := a.value(f, s.line)
+				if err != nil {
+					return nil, err
+				}
+				p.Data = append(p.Data, v)
+			}
+		case ".space":
+			n, _ := strconv.Atoi(strings.TrimSpace(s.fields[0]))
+			p.Data = append(p.Data, make([]int32, n)...)
+		default:
+			in, err := a.encode(s)
+			if err != nil {
+				return nil, err
+			}
+			p.Code = append(p.Code, in)
+		}
+	}
+
+	if entry, ok := p.Symbols["main"]; ok {
+		p.Entry = entry
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and embedded
+// programs that are known-good.
+func MustAssemble(src string) *isa.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func scan(src string) ([]stmt, error) {
+	var stmts []stmt
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		s := stmt{line: lineNo + 1}
+		// Leading label(s).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:i])
+			if !isIdent(head) {
+				break
+			}
+			if s.label != "" {
+				// Two labels on one line: emit the first as label-only.
+				stmts = append(stmts, stmt{line: s.line, label: s.label})
+			}
+			s.label = head
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line != "" {
+			parts := strings.SplitN(line, " ", 2)
+			s.op = strings.ToLower(strings.TrimSpace(parts[0]))
+			if len(parts) == 2 {
+				for _, f := range splitOperands(parts[1]) {
+					s.fields = append(s.fields, strings.TrimSpace(f))
+				}
+			}
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// splitOperands splits on commas not inside character literals.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	inChar := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			inChar = !inChar
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 && !inChar {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == '.' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type assembler struct {
+	prog *isa.Program
+}
+
+func (a *assembler) value(field string, line int) (int32, error) {
+	f := strings.TrimSpace(field)
+	if f == "" {
+		return 0, &Error{line, "empty operand"}
+	}
+	if v, err := parseNumber(f); err == nil {
+		return v, nil
+	}
+	if pc, ok := a.prog.Symbols[f]; ok {
+		return pc, nil
+	}
+	if addr, ok := a.prog.DataSyms[f]; ok {
+		return int32(addr), nil
+	}
+	return 0, &Error{line, fmt.Sprintf("undefined symbol or bad number %q", f)}
+}
+
+func parseNumber(s string) (int32, error) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if body == `\n` {
+			return '\n', nil
+		}
+		if body == `\\` {
+			return '\\', nil
+		}
+		if len(body) == 1 {
+			return int32(body[0]), nil
+		}
+		return 0, fmt.Errorf("bad char literal %q", s)
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(uint32(v)), nil
+}
+
+func parseReg(s string) (uint8, bool) {
+	switch s {
+	case "sp":
+		return isa.SP, true
+	case "fp":
+		return isa.FP, true
+	case "ra":
+		return isa.RA, true
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+// regOrImm parses a register or immediate operand.
+func (a *assembler) regOrImm(f string, line int) (reg uint8, imm int32, hasImm bool, err error) {
+	if r, ok := parseReg(f); ok {
+		return r, 0, false, nil
+	}
+	v, verr := a.value(f, line)
+	if verr != nil {
+		return 0, 0, false, verr
+	}
+	return 0, v, true, nil
+}
+
+func (a *assembler) mustReg(f string, line int) (uint8, error) {
+	if r, ok := parseReg(f); ok {
+		return r, nil
+	}
+	return 0, &Error{line, fmt.Sprintf("expected register, got %q", f)}
+}
+
+// parseMem parses "[rs1+rs2]" or "[rs1+imm]" or "[rs1]" or "[imm]".
+func (a *assembler) parseMem(f string, line int) (rs1, rs2 uint8, imm int32, hasImm bool, err error) {
+	if len(f) < 2 || f[0] != '[' || f[len(f)-1] != ']' {
+		return 0, 0, 0, false, &Error{line, fmt.Sprintf("expected memory operand [..], got %q", f)}
+	}
+	body := strings.TrimSpace(f[1 : len(f)-1])
+	// Split on the top-level '+' (a leading '-' after '+' is part of the
+	// immediate; a '+' at position 0 is not a separator).
+	sep := -1
+	for i := 1; i < len(body); i++ {
+		if body[i] == '+' {
+			sep = i
+			break
+		}
+	}
+	if sep < 0 {
+		if r, ok := parseReg(body); ok {
+			return r, 0, 0, true, nil // [r] == [r+0]
+		}
+		v, verr := a.value(body, line)
+		if verr != nil {
+			return 0, 0, 0, false, verr
+		}
+		return isa.R0, 0, v, true, nil // [imm] == [r0+imm]
+	}
+	base := strings.TrimSpace(body[:sep])
+	off := strings.TrimSpace(body[sep+1:])
+	r1, ok := parseReg(base)
+	if !ok {
+		return 0, 0, 0, false, &Error{line, fmt.Sprintf("bad base register %q", base)}
+	}
+	if r2, ok := parseReg(off); ok {
+		return r1, r2, 0, false, nil
+	}
+	v, verr := a.value(off, line)
+	if verr != nil {
+		return 0, 0, 0, false, verr
+	}
+	return r1, 0, v, true, nil
+}
+
+func (a *assembler) target(f string, line int) (int32, error) {
+	if pc, ok := a.prog.Symbols[f]; ok {
+		return pc, nil
+	}
+	if v, err := parseNumber(f); err == nil {
+		return v, nil
+	}
+	return 0, &Error{line, fmt.Sprintf("undefined code label %q", f)}
+}
+
+func (a *assembler) encode(s stmt) (isa.Instr, error) {
+	op, ok := isa.OpByName(s.op)
+	if !ok {
+		return isa.Instr{}, &Error{s.line, fmt.Sprintf("unknown mnemonic %q", s.op)}
+	}
+	need := func(n int) error {
+		if len(s.fields) != n {
+			return &Error{s.line, fmt.Sprintf("%s: want %d operands, got %d", s.op, n, len(s.fields))}
+		}
+		return nil
+	}
+	in := isa.Instr{Op: op}
+	var err error
+	switch op {
+	case isa.Nop, isa.Halt, isa.Ret:
+		if err = need(0); err != nil {
+			return in, err
+		}
+
+	case isa.Mov:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.mustReg(s.fields[0], s.line); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = a.mustReg(s.fields[1], s.line); err != nil {
+			return in, err
+		}
+
+	case isa.Ldi:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.mustReg(s.fields[0], s.line); err != nil {
+			return in, err
+		}
+		if in.Imm, err = a.value(s.fields[1], s.line); err != nil {
+			return in, err
+		}
+		in.HasImm = true
+
+	case isa.Cmp:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = a.mustReg(s.fields[0], s.line); err != nil {
+			return in, err
+		}
+		if in.Rs2, in.Imm, in.HasImm, err = a.regOrImm(s.fields[1], s.line); err != nil {
+			return in, err
+		}
+
+	case isa.Ld:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.mustReg(s.fields[0], s.line); err != nil {
+			return in, err
+		}
+		if in.Rs1, in.Rs2, in.Imm, in.HasImm, err = a.parseMem(s.fields[1], s.line); err != nil {
+			return in, err
+		}
+
+	case isa.St:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.mustReg(s.fields[0], s.line); err != nil {
+			return in, err
+		}
+		if in.Rs1, in.Rs2, in.Imm, in.HasImm, err = a.parseMem(s.fields[1], s.line); err != nil {
+			return in, err
+		}
+
+	case isa.Beq, isa.Bne, isa.Blt, isa.Ble, isa.Bgt, isa.Bge, isa.Bltu, isa.Bgeu,
+		isa.Jmp, isa.Call:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		if in.Target, err = a.target(s.fields[0], s.line); err != nil {
+			return in, err
+		}
+
+	case isa.Jr:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		f := s.fields[0]
+		if i := strings.Index(f, "+"); i > 0 {
+			if in.Rs1, err = a.mustReg(strings.TrimSpace(f[:i]), s.line); err != nil {
+				return in, err
+			}
+			if in.Imm, err = a.value(strings.TrimSpace(f[i+1:]), s.line); err != nil {
+				return in, err
+			}
+		} else if in.Rs1, err = a.mustReg(f, s.line); err != nil {
+			return in, err
+		}
+		in.HasImm = true
+
+	case isa.Out:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.mustReg(s.fields[0], s.line); err != nil {
+			return in, err
+		}
+
+	default: // three-operand ALU: add, sub, and, or, xor, andn, orn, xnor, sll, srl, sra, mul, div, rem
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = a.mustReg(s.fields[0], s.line); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = a.mustReg(s.fields[1], s.line); err != nil {
+			return in, err
+		}
+		if in.Rs2, in.Imm, in.HasImm, err = a.regOrImm(s.fields[2], s.line); err != nil {
+			return in, err
+		}
+	}
+	return in, nil
+}

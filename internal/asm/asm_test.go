@@ -1,0 +1,452 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		; a trivial program
+		main:
+			ldi r8, 10
+			add r9, r9, r8
+			halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 3 {
+		t.Fatalf("got %d instructions, want 3", len(p.Code))
+	}
+	want := []isa.Instr{
+		{Op: isa.Ldi, Rd: 8, Imm: 10, HasImm: true},
+		{Op: isa.Add, Rd: 9, Rs1: 9, Rs2: 8},
+		{Op: isa.Halt},
+	}
+	for i, w := range want {
+		if p.Code[i] != w {
+			t.Errorf("instr %d = %v, want %v", i, p.Code[i], w)
+		}
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+}
+
+func TestAssembleBranchesAndLabels(t *testing.T) {
+	p, err := Assemble(`
+	main:
+		ldi r8, 3
+	loop:
+		sub r8, r8, 1
+		cmp r8, 0
+		bne loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bne := p.Code[3]
+	if bne.Op != isa.Bne || bne.Target != 1 {
+		t.Errorf("bne = %v, want target 1", bne)
+	}
+	if p.Symbols["loop"] != 1 {
+		t.Errorf("loop label = %d, want 1", p.Symbols["loop"])
+	}
+}
+
+func TestAssembleForwardReference(t *testing.T) {
+	p, err := Assemble(`
+	main:
+		jmp end
+		nop
+	end:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Target != 2 {
+		t.Errorf("forward jmp target = %d, want 2", p.Code[0].Target)
+	}
+}
+
+func TestAssembleData(t *testing.T) {
+	p, err := Assemble(`
+	.data
+	tbl:  .word 1, 2, 0x10, 'a'
+	buf:  .space 3
+	ptr:  .word tbl
+	.text
+	main:
+		ldi r8, tbl
+		ld  r9, [r8+4]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Data); got != 8 {
+		t.Fatalf("data words = %d, want 8", got)
+	}
+	want := []int32{1, 2, 16, 'a', 0, 0, 0, int32(DataBase)}
+	for i, w := range want {
+		if p.Data[i] != w {
+			t.Errorf("data[%d] = %d, want %d", i, p.Data[i], w)
+		}
+	}
+	if p.DataSyms["tbl"] != DataBase {
+		t.Errorf("tbl addr = %#x, want %#x", p.DataSyms["tbl"], DataBase)
+	}
+	if p.DataSyms["buf"] != DataBase+16 {
+		t.Errorf("buf addr = %#x, want %#x", p.DataSyms["buf"], DataBase+16)
+	}
+	if p.Code[0].Imm != int32(DataBase) {
+		t.Errorf("ldi tbl imm = %d, want %d", p.Code[0].Imm, DataBase)
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	p, err := Assemble(`
+	main:
+		ld r1, [r2+r3]
+		ld r1, [r2+8]
+		ld r1, [r2+-8]
+		ld r1, [r2]
+		ld r1, [0x1000]
+		st r1, [sp+4]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Instr{
+		{Op: isa.Ld, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.Ld, Rd: 1, Rs1: 2, Imm: 8, HasImm: true},
+		{Op: isa.Ld, Rd: 1, Rs1: 2, Imm: -8, HasImm: true},
+		{Op: isa.Ld, Rd: 1, Rs1: 2, Imm: 0, HasImm: true},
+		{Op: isa.Ld, Rd: 1, Rs1: 0, Imm: 0x1000, HasImm: true},
+		{Op: isa.St, Rd: 1, Rs1: isa.SP, Imm: 4, HasImm: true},
+	}
+	for i, w := range want {
+		if p.Code[i] != w {
+			t.Errorf("instr %d = %#v, want %#v", i, p.Code[i], w)
+		}
+	}
+}
+
+func TestAssembleCallRetJr(t *testing.T) {
+	p, err := Assemble(`
+	main:
+		call fn
+		halt
+	fn:
+		jr ra+0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.Call || p.Code[0].Target != 2 {
+		t.Errorf("call = %v", p.Code[0])
+	}
+	if p.Code[2].Op != isa.Jr || p.Code[2].Rs1 != isa.RA {
+		t.Errorf("jr = %v", p.Code[2])
+	}
+}
+
+func TestAssembleRegisterAliases(t *testing.T) {
+	p, err := Assemble(`
+	main:
+		add sp, sp, -16
+		mov fp, sp
+		st  ra, [fp+0]
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Rd != isa.SP || p.Code[1].Rd != isa.FP || p.Code[2].Rd != isa.RA {
+		t.Errorf("alias registers wrong: %v %v %v", p.Code[0], p.Code[1], p.Code[2])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string // substring of error
+	}{
+		{"unknown mnemonic", "main:\n\tfrob r1, r2\n", "unknown mnemonic"},
+		{"bad operand count", "main:\n\tadd r1, r2\n", "want 3 operands"},
+		{"undefined label", "main:\n\tjmp nowhere\n", "undefined code label"},
+		{"undefined symbol", "main:\n\tldi r1, missing\n\thalt\n", "undefined symbol"},
+		{"duplicate label", "a:\n\tnop\na:\n\thalt\n", "duplicate label"},
+		{"word outside data", "main:\n.word 3\n", ".word outside .data"},
+		{"instr in data", ".data\nx: add r1, r2, r3\n", "inside .data"},
+		{"bad register", "main:\n\tadd r99, r2, r3\n", "expected register"},
+		{"bad mem operand", "main:\n\tld r1, r2\n", "expected memory operand"},
+		{"bad space", ".data\nb: .space x\n", "bad .space"},
+	}
+	for _, tt := range tests {
+		_, err := Assemble(tt.src)
+		if err == nil {
+			t.Errorf("%s: Assemble succeeded, want error containing %q", tt.name, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: error %q does not contain %q", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestAssembleCharAndHexImmediates(t *testing.T) {
+	p, err := Assemble(`
+	main:
+		ldi r1, 'z'
+		ldi r2, 0xff
+		ldi r3, -1
+		ldi r4, '\n'
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{'z', 255, -1, '\n'}
+	for i, w := range want {
+		if p.Code[i].Imm != w {
+			t.Errorf("imm %d = %d, want %d", i, p.Code[i].Imm, w)
+		}
+	}
+}
+
+func TestAssembleEntryDefaultsToZero(t *testing.T) {
+	p, err := Assemble("start:\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+}
+
+func TestAssembleEntryIsMain(t *testing.T) {
+	p, err := Assemble(`
+	helper:
+		ret
+	main:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1 (main)", p.Entry)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad input")
+		}
+	}()
+	MustAssemble("main:\n\tbogus\n")
+}
+
+func TestRoundTripThroughDisassembly(t *testing.T) {
+	// Every instruction String() form should reassemble to the identical
+	// instruction (branch targets are numeric in disassembly).
+	src := `
+	main:
+		add r1, r2, r3
+		sub r4, r5, -7
+		and r6, r7, 0xf
+		sll r8, r9, 2
+		mov r10, r11
+		ldi r12, 1000
+		cmp r1, r2
+		beq 0
+		ld r1, [r2+4]
+		st r1, [r2+r3]
+		mul r1, r2, r3
+		div r1, r2, 2
+		out r1
+		halt
+	`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("main:\n")
+	for _, in := range p1.Code {
+		b.WriteString("\t" + in.String() + "\n")
+	}
+	p2, err := Assemble(b.String())
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, b.String())
+	}
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatalf("length mismatch %d vs %d", len(p1.Code), len(p2.Code))
+	}
+	for i := range p1.Code {
+		if p1.Code[i] != p2.Code[i] {
+			t.Errorf("instr %d: %#v != %#v", i, p1.Code[i], p2.Code[i])
+		}
+	}
+}
+
+func TestAssembleEveryMnemonic(t *testing.T) {
+	// Exercises the encoder for every opcode class and both operand forms.
+	src := `
+	.data
+	w: .word 9
+	.text
+	main:
+		nop
+		add  r1, r2, r3
+		add  r1, r2, 4
+		sub  r1, r2, r3
+		cmp  r1, r2
+		cmp  r1, -5
+		and  r1, r2, r3
+		or   r1, r2, 0x10
+		xor  r1, r2, r3
+		andn r1, r2, r3
+		orn  r1, r2, r3
+		xnor r1, r2, r3
+		sll  r1, r2, 3
+		srl  r1, r2, r3
+		sra  r1, r2, 31
+		mov  r1, r2
+		ldi  r1, w
+		mul  r1, r2, r3
+		div  r1, r2, 7
+		rem  r1, r2, 7
+		ld   r1, [r2+0]
+		st   r1, [r2+r3]
+		beq  main
+		bne  main
+		blt  main
+		ble  main
+		bgt  main
+		bge  main
+		bltu main
+		bgeu main
+		jmp  main
+		call main
+		jr   r1
+		jr   r1+4
+		out  r1
+	end:
+		ret
+		halt
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[isa.Op]bool{}
+	for _, in := range p.Code {
+		seen[in.Op] = true
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		if !seen[op] {
+			t.Errorf("mnemonic %v not exercised", op)
+		}
+	}
+}
+
+func TestEncodeOperandCountErrors(t *testing.T) {
+	cases := []string{
+		"main:\n\tnop r1\n",
+		"main:\n\tmov r1\n",
+		"main:\n\tldi r1\n",
+		"main:\n\tcmp r1\n",
+		"main:\n\tld r1\n",
+		"main:\n\tst r1\n",
+		"main:\n\tbeq a, b\n",
+		"main:\n\tjr\n",
+		"main:\n\tout\n",
+		"main:\n\tadd r1, r2, r3, r4\n",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%q assembled, want operand-count error", src)
+		}
+	}
+}
+
+func TestEncodeBadOperandErrors(t *testing.T) {
+	cases := []string{
+		"main:\n\tmov r1, 5\n",         // mov needs a register source
+		"main:\n\tldi 5, r1\n",         // ldi needs a register dest
+		"main:\n\tld r1, [zz+0]\n",     // bad base register
+		"main:\n\tjr 5\n",              // jr needs a register
+		"main:\n\tout 5\n",             // out needs a register
+		"main:\n\tbeq r1\n",            // branch target must be a label/number
+		"main:\n\tcmp r1, bogus\n",     // undefined symbol operand
+		"main:\n\tldi r1, 'toolong'\n", // bad char literal
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%q assembled, want operand error", src)
+		}
+	}
+}
+
+func TestLabelEdgeCases(t *testing.T) {
+	// Two labels on one line, label-only lines, labels with dots and
+	// underscores, numeric branch targets.
+	p, err := Assemble(`
+	a: b: main:
+		jmp a
+	_x.y:
+		beq 0
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["a"] != 0 || p.Symbols["b"] != 0 || p.Symbols["main"] != 0 {
+		t.Errorf("stacked labels wrong: %v", p.Symbols)
+	}
+	if p.Symbols["_x.y"] != 1 {
+		t.Errorf("_x.y = %d, want 1", p.Symbols["_x.y"])
+	}
+}
+
+func TestIsIdentRejections(t *testing.T) {
+	// Lines whose "label" is not an identifier must not be treated as
+	// labels: "1:" is a syntax error via unknown mnemonic.
+	if _, err := Assemble("main:\n\t1: nop\n"); err == nil {
+		t.Error("numeric label accepted")
+	}
+	// A memory operand containing ':' must not confuse the scanner.
+	if _, err := Assemble("main:\n\tld r1, [r2+:]\n"); err == nil {
+		t.Error("bad operand accepted")
+	}
+}
+
+func TestMustAssembleSuccess(t *testing.T) {
+	p := MustAssemble("main:\n\thalt\n")
+	if len(p.Code) != 1 {
+		t.Errorf("code = %d instructions, want 1", len(p.Code))
+	}
+}
+
+func TestImmediateRange(t *testing.T) {
+	// 32-bit range accepted, beyond rejected.
+	if _, err := Assemble("main:\n\tldi r1, 4294967295\n\thalt\n"); err != nil {
+		t.Errorf("max uint32 immediate rejected: %v", err)
+	}
+	if _, err := Assemble("main:\n\tldi r1, 4294967296\n\thalt\n"); err == nil {
+		t.Error("oversized immediate accepted")
+	}
+	if _, err := Assemble("main:\n\tldi r1, -2147483648\n\thalt\n"); err != nil {
+		t.Error("min int32 immediate rejected")
+	}
+}

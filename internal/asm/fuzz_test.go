@@ -1,0 +1,58 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// FuzzAssemble: the assembler must never panic; successful programs must
+// validate.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"main:\n\thalt\n",
+		"main:\n\tadd r1, r2, r3\n\thalt\n",
+		".data\nx: .word 1, 2\n.text\nmain:\n\tld r1, [r0+x]\n\thalt\n",
+		"a: b:\n\tjmp a\n",
+		"main:\n\tld r1, [sp+-4]\n\thalt\n",
+		"main:\n\tbeq 0\n",
+		"[}{",
+		":::",
+		".data\n.space\n",
+		"main:\n\tldi r1, 'x'\n\tout r1\n\thalt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Errorf("assembled program fails validation: %v\nsource: %q", verr, src)
+		}
+	})
+}
+
+// FuzzExecute drives fully random (but structurally valid) programs
+// through the emulator with a tight step budget: no panics, only typed
+// errors.
+func FuzzExecute(f *testing.F) {
+	f.Add("main:\n\tldi r1, 5\n\tadd r2, r1, r1\n\tout r2\n\thalt\n")
+	f.Add("main:\n\tjmp main\n")
+	f.Add("main:\n\tld r1, [r0+0]\n\thalt\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		m, err := vm.New(p, vm.WithMaxSteps(10_000), vm.WithMemWords(1<<16),
+			vm.WithSink(func(*trace.Record) {}))
+		if err != nil {
+			return
+		}
+		_ = m.Run() // faults are fine; panics are not
+	})
+}

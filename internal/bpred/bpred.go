@@ -1,0 +1,188 @@
+// Package bpred implements the conditional-branch predictors used by the
+// study: a bimodal table of 2-bit saturating counters, a gshare predictor
+// (global history XOR PC), and McFarling's combining predictor
+// (bimodalN/gshareN+1), which the paper configures at an 8 kByte hardware
+// cost. All other control transfers are assumed perfectly predicted by the
+// simulation model, so only conditional branches pass through this package.
+package bpred
+
+// Predictor is the interface the dependence simulator consumes. Predict
+// returns the predicted direction for the conditional branch at pc; Update
+// trains the predictor with the actual outcome. Callers must invoke Update
+// exactly once after each Predict, in trace order.
+type Predictor interface {
+	Predict(pc uint32) bool
+	Update(pc uint32, taken bool)
+}
+
+// counter is a 2-bit saturating counter. Values 0-1 predict not-taken,
+// 2-3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) train(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a direct-mapped table of 2-bit counters indexed by the low
+// bits of the branch PC.
+type Bimodal struct {
+	table []counter
+	mask  uint32
+}
+
+// NewBimodal creates a bimodal predictor with 2^logSize entries,
+// initialized to weakly taken (2) as is conventional for loop branches.
+func NewBimodal(logSize uint) *Bimodal {
+	n := 1 << logSize
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint32(n - 1)}
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint32) bool { return b.table[pc&b.mask].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint32, taken bool) {
+	i := pc & b.mask
+	b.table[i] = b.table[i].train(taken)
+}
+
+// Gshare XORs a global branch-history register with the PC to index a table
+// of 2-bit counters.
+type Gshare struct {
+	table   []counter
+	mask    uint32
+	history uint32
+	histLen uint
+}
+
+// NewGshare creates a gshare predictor with 2^logSize entries and a history
+// register of logSize bits.
+func NewGshare(logSize uint) *Gshare {
+	n := 1 << logSize
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Gshare{table: t, mask: uint32(n - 1), histLen: logSize}
+}
+
+func (g *Gshare) index(pc uint32) uint32 { return (pc ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint32) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor. It trains the counter and shifts the outcome
+// into the global history.
+func (g *Gshare) Update(pc uint32, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].train(taken)
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Combining is McFarling's tournament predictor: a bimodal and a gshare
+// component plus a chooser table of 2-bit counters that selects between
+// them per branch. The chooser trains toward the component that was right
+// when the two disagree.
+type Combining struct {
+	bimodal *Bimodal
+	gshare  *Gshare
+	chooser []counter // >=2 selects gshare
+	mask    uint32
+}
+
+// NewCombining builds a bimodalN/gshareN+1 combining predictor. With
+// logBimodal = 13 the configuration matches the paper's 8 kByte budget:
+// 8K-entry bimodal + 16K-entry gshare + 8K-entry chooser at 2 bits each.
+func NewCombining(logBimodal uint) *Combining {
+	n := 1 << logBimodal
+	return &Combining{
+		bimodal: NewBimodal(logBimodal),
+		gshare:  NewGshare(logBimodal + 1),
+		chooser: make([]counter, n),
+		mask:    uint32(n - 1),
+	}
+}
+
+// NewPaper8KB returns the predictor configuration used throughout the
+// paper's experiments.
+func NewPaper8KB() *Combining { return NewCombining(13) }
+
+// Predict implements Predictor.
+func (c *Combining) Predict(pc uint32) bool {
+	if c.chooser[pc&c.mask].taken() {
+		return c.gshare.Predict(pc)
+	}
+	return c.bimodal.Predict(pc)
+}
+
+// Update implements Predictor.
+func (c *Combining) Update(pc uint32, taken bool) {
+	bp := c.bimodal.Predict(pc)
+	gp := c.gshare.Predict(pc)
+	if bp != gp {
+		i := pc & c.mask
+		c.chooser[i] = c.chooser[i].train(gp == taken)
+	}
+	c.bimodal.Update(pc, taken)
+	c.gshare.Update(pc, taken)
+}
+
+// Perfect always predicts correctly; it is the ideal-control ablation.
+type Perfect struct{ outcome bool }
+
+// NewPerfect returns a perfect predictor. The simulator feeds it the actual
+// outcome through SetOutcome before Predict.
+func NewPerfect() *Perfect { return &Perfect{} }
+
+// SetOutcome primes the predictor with the branch's actual direction.
+func (p *Perfect) SetOutcome(taken bool) { p.outcome = taken }
+
+// Predict implements Predictor.
+func (p *Perfect) Predict(uint32) bool { return p.outcome }
+
+// Update implements Predictor.
+func (p *Perfect) Update(uint32, bool) {}
+
+// Accuracy measures a predictor over a stream of (pc, taken) pairs.
+type Accuracy struct {
+	Branches int64
+	Correct  int64
+}
+
+// Observe predicts and trains p on one branch, accumulating accuracy.
+func (a *Accuracy) Observe(p Predictor, pc uint32, taken bool) bool {
+	pred := p.Predict(pc)
+	p.Update(pc, taken)
+	a.Branches++
+	correct := pred == taken
+	if correct {
+		a.Correct++
+	}
+	return correct
+}
+
+// Rate reports the fraction of correct predictions in percent.
+func (a *Accuracy) Rate() float64 {
+	if a.Branches == 0 {
+		return 0
+	}
+	return 100 * float64(a.Correct) / float64(a.Branches)
+}

@@ -1,0 +1,198 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.train(true)
+	}
+	if c != 3 {
+		t.Errorf("counter = %d after saturating taken, want 3", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.train(false)
+	}
+	if c != 0 {
+		t.Errorf("counter = %d after saturating not-taken, want 0", c)
+	}
+}
+
+func TestCounterHysteresis(t *testing.T) {
+	// A strongly-taken counter survives one not-taken without flipping.
+	c := counter(3)
+	c = c.train(false)
+	if !c.taken() {
+		t.Error("strong counter flipped after one opposite outcome")
+	}
+	c = c.train(false)
+	if c.taken() {
+		t.Error("counter did not flip after two opposite outcomes")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(4)
+	pc := uint32(0x40)
+	for i := 0; i < 8; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal did not learn not-taken bias")
+	}
+	for i := 0; i < 8; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal did not re-learn taken bias")
+	}
+}
+
+func TestBimodalAliasing(t *testing.T) {
+	b := NewBimodal(2) // 4 entries: pc 0 and pc 4 alias
+	for i := 0; i < 8; i++ {
+		b.Update(0, true)
+	}
+	if !b.Predict(4) {
+		t.Error("aliased pcs should share an entry in a 4-entry table")
+	}
+}
+
+func TestGshareLearnsAlternation(t *testing.T) {
+	// A strict alternation is history-predictable: gshare should converge to
+	// near-perfect; bimodal cannot beat ~50% plus initialization effects.
+	g := NewGshare(10)
+	var acc Accuracy
+	for i := 0; i < 4096; i++ {
+		acc.Observe(g, 0x80, i%2 == 0)
+	}
+	if acc.Rate() < 95 {
+		t.Errorf("gshare on alternation = %.1f%%, want >= 95%%", acc.Rate())
+	}
+}
+
+func TestGshareBeatsBimodalOnPattern(t *testing.T) {
+	pattern := []bool{true, true, false, true, false, false}
+	run := func(p Predictor) float64 {
+		var acc Accuracy
+		for i := 0; i < 6000; i++ {
+			acc.Observe(p, 0x44, pattern[i%len(pattern)])
+		}
+		return acc.Rate()
+	}
+	gr := run(NewGshare(12))
+	br := run(NewBimodal(12))
+	if gr <= br {
+		t.Errorf("gshare %.1f%% should beat bimodal %.1f%% on a periodic pattern", gr, br)
+	}
+	if gr < 90 {
+		t.Errorf("gshare %.1f%% should learn a period-6 pattern", gr)
+	}
+}
+
+func TestCombiningTracksBetterComponent(t *testing.T) {
+	// Mix of biased branches (bimodal-friendly) and pattern branches
+	// (gshare-friendly): the combining predictor should be at least as good
+	// as either component alone.
+	gen := func() func() (uint32, bool) {
+		i := 0
+		rng := rand.New(rand.NewSource(7))
+		return func() (uint32, bool) {
+			i++
+			switch i % 3 {
+			case 0:
+				return 0x100, true // strongly biased
+			case 1:
+				return 0x104, i%6 < 3 // periodic
+			default:
+				return 0x108, rng.Intn(10) < 9 // 90% biased
+			}
+		}
+	}
+	run := func(p Predictor) float64 {
+		var acc Accuracy
+		next := gen()
+		for i := 0; i < 30000; i++ {
+			pc, taken := next()
+			acc.Observe(p, pc, taken)
+		}
+		return acc.Rate()
+	}
+	cr := run(NewCombining(12))
+	br := run(NewBimodal(12))
+	gr := run(NewGshare(13))
+	if cr+0.5 < br || cr+0.5 < gr {
+		t.Errorf("combining %.1f%% should not lose to bimodal %.1f%% or gshare %.1f%%", cr, br, gr)
+	}
+}
+
+func TestPaper8KBConfiguration(t *testing.T) {
+	c := NewPaper8KB()
+	// 8K bimodal + 16K gshare + 8K chooser entries = 32K counters * 2 bits
+	// = 8 kBytes.
+	bits := len(c.bimodal.table)*2 + len(c.gshare.table)*2 + len(c.chooser)*2
+	if bits != 8*1024*8 {
+		t.Errorf("paper predictor = %d bits, want %d (8kB)", bits, 8*1024*8)
+	}
+}
+
+func TestPerfect(t *testing.T) {
+	p := NewPerfect()
+	var acc Accuracy
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		taken := rng.Intn(2) == 0
+		p.SetOutcome(taken)
+		acc.Observe(p, uint32(rng.Intn(1<<20)), taken)
+	}
+	if acc.Rate() != 100 {
+		t.Errorf("perfect predictor rate = %v, want 100", acc.Rate())
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	var a Accuracy
+	if a.Rate() != 0 {
+		t.Errorf("empty accuracy rate = %v, want 0", a.Rate())
+	}
+}
+
+func TestCombiningAlwaysTakenConverges(t *testing.T) {
+	c := NewPaper8KB()
+	var acc Accuracy
+	for i := 0; i < 1000; i++ {
+		acc.Observe(c, 0xbeef, true)
+	}
+	if acc.Rate() < 99 {
+		t.Errorf("always-taken accuracy = %.2f%%, want >= 99%%", acc.Rate())
+	}
+}
+
+// Property: predictor state stays consistent — Predict never panics for any
+// pc and the chooser only moves when components disagree.
+func TestCombiningNoPanics(t *testing.T) {
+	c := NewCombining(6)
+	f := func(pc uint32, taken bool) bool {
+		pred := c.Predict(pc)
+		c.Update(pc, taken)
+		_ = pred
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGshareHistoryMasked(t *testing.T) {
+	g := NewGshare(4)
+	for i := 0; i < 100; i++ {
+		g.Update(0, true)
+	}
+	if g.history > g.mask {
+		t.Errorf("history %#x exceeds mask %#x", g.history, g.mask)
+	}
+}

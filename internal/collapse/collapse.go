@@ -1,0 +1,260 @@
+// Package collapse models the paper's data-dependence collapsing
+// functionality: deciding which dependences between pairs and triples of
+// instructions a 3-1 / 4-1 interlock-collapsing device (Phillips &
+// Vassiliadis, extended with shifts and zero-operand detection) can resolve,
+// and classifying each collapse for the paper's statistics.
+//
+// The package is purely combinational: it analyzes instructions and sizes
+// dependence expressions. The timing consequences (producer and consumer
+// issuing in the same cycle) live in internal/core.
+//
+// Terminology follows the paper. A dependent sequence of n-operand
+// computation is an "n-1 dependence expression": the expression's leaf
+// operands are the registers and immediates feeding the collapsed group.
+// Zero operands — the zero register r0 or a zero immediate — are detected
+// by the device and do not consume an input port, which is the "0-op"
+// category when the collapse would not have fit without dropping them.
+package collapse
+
+import (
+	"repro/internal/isa"
+)
+
+// MaxInputs is the widest collapsing device assumed by the study (a 4-1
+// unit: four operands in, one result out).
+const MaxInputs = 4
+
+// Category classifies a collapse for Figure 9's three mechanisms.
+type Category uint8
+
+// Collapse categories.
+const (
+	Cat31  Category = iota // raw expression arity <= 3
+	Cat41                  // raw expression arity == 4
+	Cat0Op                 // fits only because zero operands were dropped
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case Cat31:
+		return "3-1"
+	case Cat41:
+		return "4-1"
+	case Cat0Op:
+		return "0-op"
+	}
+	return "?"
+}
+
+// Counts tallies the leaf operands of a dependence expression, separating
+// zero operands (detected and dropped by the device) from real inputs.
+type Counts struct {
+	NonZero int
+	Zero    int
+}
+
+// Raw reports the expression arity counting zero operands.
+func (c Counts) Raw() int { return c.NonZero + c.Zero }
+
+// Add combines two operand tallies.
+func (c Counts) Add(o Counts) Counts {
+	return Counts{c.NonZero + o.NonZero, c.Zero + o.Zero}
+}
+
+// ReplaceUses substitutes m uses of a producer's (non-zero) result register
+// with the producer's own operand tally, as happens when the dependence is
+// collapsed through.
+func (c Counts) ReplaceUses(m int, p Counts) Counts {
+	return Counts{
+		NonZero: c.NonZero - m + m*p.NonZero,
+		Zero:    c.Zero + m*p.Zero,
+	}
+}
+
+// Fit reports whether a collapsing device can resolve an expression with
+// tally c, and under which category. An expression fits when its non-zero
+// operands fit the 4-1 device. The category is 3-1 or 4-1 by arity, except
+// that a collapse is credited to zero-operand detection (0-op) whenever
+// dropping zeros reduced the device class required — a raw arity-4
+// expression handled by the 3-1 device, or a raw arity-5+ expression
+// handled at all (the paper's Section 3 example).
+func Fit(c Counts) (Category, bool) {
+	if c.NonZero > MaxInputs {
+		return 0, false
+	}
+	switch {
+	case c.Raw() <= 3:
+		return Cat31, true
+	case c.NonZero <= 3:
+		return Cat0Op, true // zeros shrank a 4+ expression into the 3-1 device
+	case c.Raw() == 4:
+		return Cat41, true
+	default:
+		return Cat0Op, true // zeros made a 5+ expression collapsible at all
+	}
+}
+
+// Info is the collapsing-relevant analysis of one instruction.
+//
+// Slots lists the registers of the instruction's collapsible expression
+// that could be collapsed through (producer results it consumes): for ALU
+// operations these are its register sources; for loads and stores, the
+// address registers (a store's data register is not part of the address
+// expression); for conditional branches, the condition-code register.
+// Registers may repeat when used twice (Rb = Ra + Ra). r0 never appears in
+// Slots (there is nothing to collapse through) but contributes to Zero.
+//
+// Counts tallies the expression's own leaf operands with each slot counted
+// as one non-zero operand; collapsing a slot replaces that operand with the
+// producer's tally via Counts.ReplaceUses.
+type Info struct {
+	Class    isa.Class
+	Sig      string  // signature in the paper's Tables 5-6 notation
+	Producer bool    // may be collapsed into a consumer (ar/lg/sh/mv)
+	Consumer bool    // may collapse producers into itself
+	Slots    []uint8 // collapsible operand registers (never r0)
+	Counts   Counts
+}
+
+// Analyze computes the collapse information for an instruction.
+func Analyze(in *isa.Instr) Info {
+	cl := in.Class()
+	info := Info{Class: cl}
+	switch cl {
+	case isa.ClassAr, isa.ClassLg, isa.ClassSh:
+		info.Producer = in.Writes() >= 0 || in.Op == isa.Cmp
+		info.Consumer = true
+		info.Sig = sigPrefix(cl) + operandSuffix(in)
+		addRegSlot(&info, in.Rs1)
+		if in.HasImm {
+			addImm(&info, in.Imm)
+		} else {
+			addRegSlot(&info, in.Rs2)
+		}
+
+	case isa.ClassMv:
+		info.Producer = in.Writes() >= 0
+		info.Consumer = true
+		if in.Op == isa.Ldi {
+			if in.Imm == 0 {
+				info.Sig = "mv0"
+			} else {
+				info.Sig = "mvi"
+			}
+			addImm(&info, in.Imm)
+		} else { // Mov
+			if in.Rs1 == isa.R0 {
+				info.Sig = "mv0"
+			} else {
+				info.Sig = "mvr"
+			}
+			addRegSlot(&info, in.Rs1)
+		}
+
+	case isa.ClassLd, isa.ClassSt:
+		// Address-generation collapsing: the expression is the address
+		// computation only. A store's data register stays a plain
+		// dependence.
+		info.Consumer = true
+		info.Sig = sigPrefix(cl) + operandSuffix(in)
+		addRegSlot(&info, in.Rs1)
+		if in.HasImm {
+			addImm(&info, in.Imm)
+		} else {
+			addRegSlot(&info, in.Rs2)
+		}
+
+	case isa.ClassBrc:
+		// Condition-code generation collapsing: the branch's expression is
+		// the comparison feeding CC.
+		info.Consumer = true
+		info.Sig = "brc"
+		info.Slots = append(info.Slots, isa.CC)
+		info.Counts.NonZero++
+
+	default:
+		// mul, div, control, sys, nop: not collapsible in either role.
+		info.Sig = cl.String()
+	}
+	return info
+}
+
+func sigPrefix(cl isa.Class) string {
+	switch cl {
+	case isa.ClassAr:
+		return "ar"
+	case isa.ClassLg:
+		return "lg"
+	case isa.ClassSh:
+		return "sh"
+	case isa.ClassLd:
+		return "ld"
+	case isa.ClassSt:
+		return "st"
+	}
+	return cl.String()
+}
+
+// operandSuffix renders the two-source operand classes, e.g. "rr", "ri",
+// "r0", for the paper's signature notation.
+func operandSuffix(in *isa.Instr) string {
+	b := make([]byte, 0, 2)
+	b = append(b, regClass(in.Rs1))
+	if in.HasImm {
+		if in.Imm == 0 {
+			b = append(b, '0')
+		} else {
+			b = append(b, 'i')
+		}
+	} else {
+		b = append(b, regClass(in.Rs2))
+	}
+	return string(b)
+}
+
+func regClass(r uint8) byte {
+	if r == isa.R0 {
+		return '0'
+	}
+	return 'r'
+}
+
+func addRegSlot(info *Info, r uint8) {
+	if r == isa.R0 {
+		info.Counts.Zero++
+		return
+	}
+	info.Slots = append(info.Slots, r)
+	info.Counts.NonZero++
+}
+
+func addImm(info *Info, imm int32) {
+	if imm == 0 {
+		info.Counts.Zero++
+	} else {
+		info.Counts.NonZero++
+	}
+}
+
+// UsesOf reports how many of info's slots name register r.
+func (info *Info) UsesOf(r uint8) int {
+	n := 0
+	for _, s := range info.Slots {
+		if s == r {
+			n++
+		}
+	}
+	return n
+}
+
+// PairCounts sizes the dependence expression formed by collapsing consumer
+// c's m uses of producer p's result.
+func PairCounts(c, p *Info, m int) Counts { return c.Counts.ReplaceUses(m, p.Counts) }
+
+// PairSig renders a pair signature in Table 5 order: producer first.
+func PairSig(p, c *Info) string { return p.Sig + " " + c.Sig }
+
+// TripleSig renders a triple signature in Table 6 order: deepest producer
+// first, consumer last.
+func TripleSig(p1, p2, c *Info) string { return p1.Sig + " " + p2.Sig + " " + c.Sig }

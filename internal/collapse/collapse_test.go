@@ -1,0 +1,343 @@
+package collapse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func ins(op isa.Op, rd, rs1, rs2 uint8) isa.Instr {
+	return isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+}
+
+func insImm(op isa.Op, rd, rs1 uint8, imm int32) isa.Instr {
+	return isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm, HasImm: true}
+}
+
+func TestAnalyzeSignatures(t *testing.T) {
+	tests := []struct {
+		name string
+		in   isa.Instr
+		sig  string
+	}{
+		{"add rr", ins(isa.Add, 1, 2, 3), "arrr"},
+		{"add ri", insImm(isa.Add, 1, 2, 8), "arri"},
+		{"add r0imm", insImm(isa.Add, 1, 2, 0), "arr0"},
+		{"add with r0", ins(isa.Add, 1, 2, 0), "arr0"},
+		{"cmp", insImm(isa.Cmp, 0, 2, 5), "arri"},
+		{"and", ins(isa.And, 1, 2, 3), "lgrr"},
+		{"or ri", insImm(isa.Or, 1, 2, 0x288), "lgri"},
+		{"or r0", ins(isa.Or, 1, 2, 0), "lgr0"},
+		{"sll ri", insImm(isa.Sll, 1, 2, 3), "shri"},
+		{"srl rr", ins(isa.Srl, 1, 2, 3), "shrr"},
+		{"mov", ins(isa.Mov, 1, 2, 0), "mvr"},
+		{"mov from r0", ins(isa.Mov, 1, 0, 0), "mv0"},
+		{"ldi", insImm(isa.Ldi, 1, 0, 42), "mvi"},
+		{"ldi zero", insImm(isa.Ldi, 1, 0, 0), "mv0"},
+		{"ld rr", ins(isa.Ld, 1, 2, 3), "ldrr"},
+		{"ld ri", insImm(isa.Ld, 1, 2, 4), "ldri"},
+		{"ld r+0", insImm(isa.Ld, 1, 2, 0), "ldr0"},
+		{"st rr", ins(isa.St, 1, 2, 3), "strr"},
+		{"branch", isa.Instr{Op: isa.Bne}, "brc"},
+		{"mul", ins(isa.Mul, 1, 2, 3), "mul"},
+		{"div", ins(isa.Div, 1, 2, 3), "div"},
+	}
+	for _, tt := range tests {
+		info := Analyze(&tt.in)
+		if info.Sig != tt.sig {
+			t.Errorf("%s: sig = %q, want %q", tt.name, info.Sig, tt.sig)
+		}
+	}
+}
+
+func TestAnalyzeRoles(t *testing.T) {
+	tests := []struct {
+		name               string
+		in                 isa.Instr
+		producer, consumer bool
+	}{
+		{"add", ins(isa.Add, 1, 2, 3), true, true},
+		{"shift", insImm(isa.Sll, 1, 2, 3), true, true},
+		{"logic", ins(isa.Xor, 1, 2, 3), true, true},
+		{"mov", ins(isa.Mov, 1, 2, 0), true, true},
+		{"cmp produces CC", insImm(isa.Cmp, 0, 1, 0), true, true},
+		{"load consumes only", ins(isa.Ld, 1, 2, 3), false, true},
+		{"store consumes only", ins(isa.St, 1, 2, 3), false, true},
+		{"branch consumes only", isa.Instr{Op: isa.Beq}, false, true},
+		{"mul neither", ins(isa.Mul, 1, 2, 3), false, false},
+		{"div neither", ins(isa.Div, 1, 2, 3), false, false},
+		{"call neither", isa.Instr{Op: isa.Call}, false, false},
+		{"out neither", isa.Instr{Op: isa.Out, Rd: 1}, false, false},
+		{"add to r0 not producer", ins(isa.Add, 0, 2, 3), false, true},
+	}
+	for _, tt := range tests {
+		info := Analyze(&tt.in)
+		if info.Producer != tt.producer {
+			t.Errorf("%s: Producer = %v, want %v", tt.name, info.Producer, tt.producer)
+		}
+		if info.Consumer != tt.consumer {
+			t.Errorf("%s: Consumer = %v, want %v", tt.name, info.Consumer, tt.consumer)
+		}
+	}
+}
+
+func TestAnalyzeSlotsAndCounts(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      isa.Instr
+		slots   []uint8
+		nonZero int
+		zero    int
+	}{
+		{"add rr", ins(isa.Add, 1, 2, 3), []uint8{2, 3}, 2, 0},
+		{"add same reg twice", ins(isa.Add, 1, 5, 5), []uint8{5, 5}, 2, 0},
+		{"add ri", insImm(isa.Add, 1, 2, 9), []uint8{2}, 2, 0},
+		{"add r zero-imm", insImm(isa.Add, 1, 2, 0), []uint8{2}, 1, 1},
+		{"add r r0", ins(isa.Add, 1, 2, 0), []uint8{2}, 1, 1},
+		{"ldi", insImm(isa.Ldi, 1, 0, 7), nil, 1, 0},
+		{"ldi 0", insImm(isa.Ldi, 1, 0, 0), nil, 0, 1},
+		{"mov", ins(isa.Mov, 1, 4, 0), []uint8{4}, 1, 0},
+		{"ld addr only", insImm(isa.Ld, 1, 2, 8), []uint8{2}, 2, 0},
+		{"st addr only, data reg not a slot", ins(isa.St, 9, 2, 3), []uint8{2, 3}, 2, 0},
+		{"st zero offset", insImm(isa.St, 9, 2, 0), []uint8{2}, 1, 1},
+		{"branch slot is CC", isa.Instr{Op: isa.Bgt}, []uint8{isa.CC}, 1, 0},
+	}
+	for _, tt := range tests {
+		info := Analyze(&tt.in)
+		if len(info.Slots) != len(tt.slots) {
+			t.Errorf("%s: slots = %v, want %v", tt.name, info.Slots, tt.slots)
+		} else {
+			for i := range tt.slots {
+				if info.Slots[i] != tt.slots[i] {
+					t.Errorf("%s: slots = %v, want %v", tt.name, info.Slots, tt.slots)
+					break
+				}
+			}
+		}
+		if info.Counts.NonZero != tt.nonZero || info.Counts.Zero != tt.zero {
+			t.Errorf("%s: counts = %+v, want {%d %d}", tt.name, info.Counts, tt.nonZero, tt.zero)
+		}
+	}
+}
+
+func TestUsesOf(t *testing.T) {
+	in := ins(isa.Add, 1, 5, 5)
+	info := Analyze(&in)
+	if got := info.UsesOf(5); got != 2 {
+		t.Errorf("UsesOf(5) = %d, want 2", got)
+	}
+	if got := info.UsesOf(6); got != 0 {
+		t.Errorf("UsesOf(6) = %d, want 0", got)
+	}
+}
+
+func TestFitCategories(t *testing.T) {
+	tests := []struct {
+		c    Counts
+		cat  Category
+		fits bool
+	}{
+		{Counts{2, 0}, Cat31, true},
+		{Counts{3, 0}, Cat31, true},
+		{Counts{2, 1}, Cat31, true},
+		{Counts{4, 0}, Cat41, true},
+		{Counts{3, 1}, Cat0Op, true}, // zeros shrink it into the 3-1 device
+		{Counts{2, 2}, Cat0Op, true},
+		{Counts{4, 1}, Cat0Op, true}, // fits only by dropping the zero
+		{Counts{3, 2}, Cat0Op, true},
+		{Counts{2, 4}, Cat0Op, true},
+		{Counts{5, 0}, 0, false},
+		{Counts{6, 3}, 0, false},
+	}
+	for _, tt := range tests {
+		cat, ok := Fit(tt.c)
+		if ok != tt.fits {
+			t.Errorf("Fit(%+v) ok = %v, want %v", tt.c, ok, tt.fits)
+			continue
+		}
+		if ok && cat != tt.cat {
+			t.Errorf("Fit(%+v) = %v, want %v", tt.c, cat, tt.cat)
+		}
+	}
+}
+
+// Paper example (Section 3): Rb = Rd << Rh; Rg = Rb + Re is a 3-1
+// dependence expression Rg = (Rd << Rh) + Re.
+func TestPaperPairExample(t *testing.T) {
+	i1 := ins(isa.Sll /*Rb*/, 10 /*Rd*/, 11 /*Rh*/, 12)
+	i2 := ins(isa.Add /*Rg*/, 13 /*Rb*/, 10 /*Re*/, 14)
+	p, c := Analyze(&i1), Analyze(&i2)
+	m := c.UsesOf(10)
+	if m != 1 {
+		t.Fatalf("multiplicity = %d, want 1", m)
+	}
+	counts := PairCounts(&c, &p, m)
+	if counts.NonZero != 3 {
+		t.Errorf("pair expression = %+v, want 3 non-zero operands", counts)
+	}
+	cat, ok := Fit(counts)
+	if !ok || cat != Cat31 {
+		t.Errorf("fit = %v/%v, want 3-1", cat, ok)
+	}
+	if sig := PairSig(&p, &c); sig != "shrr arrr" {
+		t.Errorf("sig = %q", sig)
+	}
+}
+
+// Paper example: Ra = Rf - ((Rd << Rh) + Re) is a 4-1 triple.
+func TestPaperTripleExample(t *testing.T) {
+	i1 := ins(isa.Sll, 10, 11, 12) // Rb = Rd << Rh
+	i2 := ins(isa.Add, 13, 10, 14) // Rg = Rb + Re
+	i3 := ins(isa.Sub, 15, 16, 13) // Ra = Rf - Rg
+	p1, p2, c := Analyze(&i1), Analyze(&i2), Analyze(&i3)
+	inner := PairCounts(&p2, &p1, p2.UsesOf(10))
+	full := c.Counts.ReplaceUses(c.UsesOf(13), inner)
+	if full.NonZero != 4 {
+		t.Errorf("triple expression = %+v, want 4 non-zero operands", full)
+	}
+	cat, ok := Fit(full)
+	if !ok || cat != Cat41 {
+		t.Errorf("fit = %v/%v, want 4-1", cat, ok)
+	}
+	if sig := TripleSig(&p1, &p2, &c); sig != "shrr arrr arrr" {
+		t.Errorf("sig = %q", sig)
+	}
+}
+
+// Paper example: Rb = Ra + Rd; Rc = Rb + Rb requires (Ra+Rd)+(Ra+Rd),
+// a 4-1 dependence from just a pair.
+func TestPaperDoubleUsePair(t *testing.T) {
+	i1 := ins(isa.Add, 10, 11, 12)
+	i2 := ins(isa.Add, 13, 10, 10)
+	p, c := Analyze(&i1), Analyze(&i2)
+	m := c.UsesOf(10)
+	if m != 2 {
+		t.Fatalf("multiplicity = %d, want 2", m)
+	}
+	counts := PairCounts(&c, &p, m)
+	if counts.NonZero != 4 {
+		t.Errorf("expression = %+v, want 4 non-zero", counts)
+	}
+	cat, ok := Fit(counts)
+	if !ok || cat != Cat41 {
+		t.Errorf("fit = %v/%v, want 4-1", cat, ok)
+	}
+}
+
+// Paper example (Section 3, zero detection): the load's full dependence
+// expression ((Rg|0x288) >> (Ra-1)) + 0 has raw arity 5 — not collapsible —
+// but zero detection drops the offset, leaving 4 non-zero operands. This is
+// the paper's four-instruction collapse case enabled by 0-op detection.
+func TestPaperZeroDetectionExample(t *testing.T) {
+	// 1. Rf = Rg or 0x288   (lgri: 2 operands)
+	// 2. Rh = Ra - 1        (arri: 2 operands)
+	// 3. Rd = Rf >> Rh      (shrr)
+	// 4. Ra = [Rd + 0]      (ldr0)
+	i1 := insImm(isa.Or, 10, 11, 0x288)
+	i2 := insImm(isa.Sub, 13, 15, 1)
+	i3 := ins(isa.Srl, 14, 10, 13)
+	i4 := insImm(isa.Ld, 15, 14, 0)
+	p1, p2, p3, c := Analyze(&i1), Analyze(&i2), Analyze(&i3), Analyze(&i4)
+
+	inner := p3.Counts.
+		ReplaceUses(p3.UsesOf(10), p1.Counts).
+		ReplaceUses(p3.UsesOf(13), p2.Counts) // (Rg|0x288) >> (Ra-1): 4 non-zero
+	full := c.Counts.ReplaceUses(c.UsesOf(14), inner)
+	if full.NonZero != 4 || full.Zero != 1 {
+		t.Fatalf("expression = %+v, want {4 1}", full)
+	}
+	cat, ok := Fit(full)
+	if !ok {
+		t.Fatal("zero detection should make this collapsible")
+	}
+	if cat != Cat0Op {
+		t.Errorf("category = %v, want 0-op", cat)
+	}
+	// Without zero detection the raw arity is 5: not collapsible.
+	if _, ok := Fit(Counts{NonZero: full.Raw()}); ok {
+		t.Error("raw 5-1 expression should not fit")
+	}
+}
+
+// A tree triple in the style of Table 6's "lgr0 lgr0 arrr": two logic
+// producers with zero operands feeding one arithmetic consumer.
+func TestTreeTripleLgr0(t *testing.T) {
+	p1i := ins(isa.Or, 10, 11, 0) // lgr0
+	p2i := ins(isa.Or, 12, 13, 0) // lgr0
+	ci := ins(isa.Add, 14, 10, 12)
+	p1, p2, c := Analyze(&p1i), Analyze(&p2i), Analyze(&ci)
+	counts := c.Counts.
+		ReplaceUses(c.UsesOf(10), p1.Counts).
+		ReplaceUses(c.UsesOf(12), p2.Counts)
+	if counts.NonZero != 2 || counts.Zero != 2 {
+		t.Fatalf("counts = %+v, want {2 2}", counts)
+	}
+	cat, ok := Fit(counts)
+	if !ok || cat != Cat0Op {
+		t.Errorf("fit = %v/%v, want 0-op (zeros shrink the raw arity-4 expression)", cat, ok)
+	}
+}
+
+func TestCmpBranchCollapse(t *testing.T) {
+	cmp := insImm(isa.Cmp, 0, 8, 100)
+	br := isa.Instr{Op: isa.Ble}
+	p, c := Analyze(&cmp), Analyze(&br)
+	if !p.Producer {
+		t.Fatal("cmp must be a collapse producer")
+	}
+	m := c.UsesOf(isa.CC)
+	counts := PairCounts(&c, &p, m)
+	cat, ok := Fit(counts)
+	if !ok || cat != Cat31 {
+		t.Errorf("cmp+branch fit = %v/%v, want 3-1", cat, ok)
+	}
+	if sig := PairSig(&p, &c); sig != "arri brc" {
+		t.Errorf("sig = %q, want %q", sig, "arri brc")
+	}
+}
+
+// Property: Fit is monotone — adding non-zero operands never turns an
+// unfittable expression fittable, and category ranks never decrease.
+func TestFitMonotoneQuick(t *testing.T) {
+	f := func(nz, z uint8) bool {
+		c := Counts{int(nz % 8), int(z % 8)}
+		bigger := Counts{c.NonZero + 1, c.Zero}
+		_, ok1 := Fit(c)
+		_, ok2 := Fit(bigger)
+		if ok2 && !ok1 {
+			return false // adding an operand cannot make it fit
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReplaceUses preserves total operand accounting.
+func TestReplaceUsesAccountingQuick(t *testing.T) {
+	f := func(cnz, cz, pnz, pz, mSeed uint8) bool {
+		c := Counts{int(cnz%5) + 1, int(cz % 5)}
+		p := Counts{int(pnz % 5), int(pz % 5)}
+		m := int(mSeed%uint8(c.NonZero)) + 1
+		if m > c.NonZero {
+			return true
+		}
+		got := c.ReplaceUses(m, p)
+		return got.NonZero == c.NonZero-m+m*p.NonZero &&
+			got.Zero == c.Zero+m*p.Zero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Cat31.String() != "3-1" || Cat41.String() != "4-1" || Cat0Op.String() != "0-op" {
+		t.Error("category names wrong")
+	}
+	if Category(9).String() != "?" {
+		t.Error("unknown category should render ?")
+	}
+}

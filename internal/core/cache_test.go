@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func smallCache() *mem.Cache {
+	return mem.NewCache(mem.CacheConfig{Sets: 4, Ways: 1, LineBytes: 16, MissLatency: 10})
+}
+
+func TestCacheMissDelaysDependent(t *testing.T) {
+	b := &tb{}
+	b.mem(aluImm(isa.Ld, 1, 0, 0x1000), 0x1000) // cold miss
+	b.add(aluImm(isa.Add, 2, 1, 1))
+	r := Run(b.src(), ConfigA, Params{Width: 4, Cache: smallCache()})
+	// ld c1, data at 1+2+10 = c13; add c13.
+	if r.Cycles != 13 {
+		t.Errorf("cycles = %d, want 13 (miss penalty applied)", r.Cycles)
+	}
+	if r.CacheAccesses != 1 || r.CacheMisses != 1 {
+		t.Errorf("cache stats = %d/%d, want 1/1", r.CacheAccesses, r.CacheMisses)
+	}
+}
+
+func TestCacheHitKeepsPaperLatency(t *testing.T) {
+	b := &tb{}
+	b.mem(aluImm(isa.Ld, 1, 0, 0x1000), 0x1000) // miss, but nothing depends on it
+	b.mem(aluImm(isa.Ld, 3, 0, 0x1004), 0x1004) // same line: hit
+	b.add(aluImm(isa.Add, 2, 3, 1))
+	r := Run(b.src(), ConfigA, Params{Width: 4, Cache: smallCache()})
+	// Both loads issue c1; the hit's data at c3; add c3.
+	if r.Cycles != 3 {
+		t.Errorf("cycles = %d, want 3 (hit keeps 2-cycle latency)", r.Cycles)
+	}
+	if r.CacheMisses != 1 {
+		t.Errorf("misses = %d, want 1", r.CacheMisses)
+	}
+}
+
+func TestStoresAllocateLines(t *testing.T) {
+	b := &tb{}
+	b.mem(aluImm(isa.St, 5, 0, 0x2000), 0x2000) // write-allocate
+	b.mem(aluImm(isa.Ld, 1, 0, 0x2004), 0x2004) // same line: hit
+	b.add(aluImm(isa.Add, 2, 1, 1))
+	r := Run(b.src(), ConfigA, Params{Width: 4, Cache: smallCache()})
+	if r.CacheMisses != 1 {
+		t.Errorf("misses = %d, want 1 (store allocated the line)", r.CacheMisses)
+	}
+	// st c1; the load touches a different word (no memory dependence) but
+	// the same line: issue c1, data c3; add c3.
+	if r.Cycles != 3 {
+		t.Errorf("cycles = %d, want 3", r.Cycles)
+	}
+}
+
+func TestNilCacheMeansPerfectMemory(t *testing.T) {
+	b := &tb{}
+	b.mem(aluImm(isa.Ld, 1, 0, 0x1000), 0x1000)
+	b.add(aluImm(isa.Add, 2, 1, 1))
+	r := Run(b.src(), ConfigA, Params{Width: 4})
+	if r.Cycles != 3 {
+		t.Errorf("cycles = %d, want 3 (perfect memory)", r.Cycles)
+	}
+	if r.CacheAccesses != 0 {
+		t.Errorf("cache stats recorded without a cache: %d", r.CacheAccesses)
+	}
+}
+
+func TestCacheReducesCollapsingGains(t *testing.T) {
+	// With long miss latencies on a load-dependent chain, collapsing's ALU
+	// gains shrink relative to the perfect-memory machine — the "realistic
+	// environment" concern the paper defers to future work.
+	mk := func() *tb {
+		b := &tb{}
+		b.add(ldi(1, 0))
+		for i := 0; i < 64; i++ {
+			// Strided loads with dependent address arithmetic.
+			b.raw(1, aluImm(isa.Add, 1, 1, 4), 0, false)
+			b.raw(2, aluImm(isa.Ld, 2, 1, 0x1000), uint32(0x1000+4*i), false)
+			b.raw(3, alu(isa.Add, 3, 2, 3), 0, false)
+		}
+		return b
+	}
+	perfectA := Run(mk().src(), ConfigA, Params{Width: 8})
+	perfectC := Run(mk().src(), ConfigC, Params{Width: 8})
+	// Fresh caches per run: cold misses every 4 iterations.
+	cacheA := Run(mk().src(), ConfigA, Params{Width: 8, Cache: smallCache()})
+	cacheC := Run(mk().src(), ConfigC, Params{Width: 8, Cache: smallCache()})
+
+	gainPerfect := float64(perfectA.Cycles) / float64(perfectC.Cycles)
+	gainCache := float64(cacheA.Cycles) / float64(cacheC.Cycles)
+	if gainCache >= gainPerfect {
+		t.Errorf("collapsing gain with cache (%.3f) should shrink vs perfect memory (%.3f)",
+			gainCache, gainPerfect)
+	}
+	if cacheA.Cycles <= perfectA.Cycles {
+		t.Errorf("cache misses did not slow the base machine: %d vs %d",
+			cacheA.Cycles, perfectA.Cycles)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/collapse"
+)
+
+// DistBuckets is the number of collapse-distance histogram buckets: exact
+// distances 1..7 plus a ">= 8" bucket, matching Figure 10's resolution.
+const DistBuckets = 8
+
+// Result carries every statistic one simulation run produces.
+type Result struct {
+	Config Config
+	Width  int
+	Window int
+
+	Instructions int64
+	Cycles       int64
+
+	// Conditional-branch prediction (Table 2).
+	CondBranches int64
+	Mispredicts  int64
+
+	// Load-speculation behaviour (Tables 3-4). The four categories
+	// partition all loads: ready loads never consult the table; not-ready
+	// loads are predicted correctly, predicted incorrectly, or not
+	// predicted (confidence too low).
+	Loads             int64
+	LoadReady         int64
+	LoadPredCorrect   int64
+	LoadPredIncorrect int64
+	LoadNotPred       int64
+
+	// Load-value prediction behaviour (configuration F, the paper's
+	// future-work extension). The three categories partition all loads.
+	ValuePredCorrect   int64
+	ValuePredIncorrect int64
+	ValueNotPred       int64
+
+	// Cache behaviour (realistic-memory extension; zero unless Params.Cache
+	// was set).
+	CacheAccesses int64
+	CacheMisses   int64
+
+	// Collapsing behaviour (Figures 8-10, Tables 5-6).
+	CollapsedInstrs int64 // distinct instructions participating in >= 1 collapse
+	Groups          [collapse.NumCategories]int64
+	GroupsBySize    [5]int64 // index = instructions in group (2..4 used)
+	DistHist        [DistBuckets]int64
+	DistSum         int64
+	DistCount       int64
+	PairSigs        map[string]int64
+	TripleSigs      map[string]int64
+}
+
+// IPC reports instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// SpeedupOver reports this run's speedup relative to base (typically
+// configuration A at the same width).
+func (r *Result) SpeedupOver(base *Result) float64 {
+	b := base.IPC()
+	if b == 0 {
+		return 0
+	}
+	return r.IPC() / b
+}
+
+// BranchAccuracy reports the conditional-branch prediction rate in percent
+// (Table 2).
+func (r *Result) BranchAccuracy() float64 {
+	if r.CondBranches == 0 {
+		return 100
+	}
+	return 100 * float64(r.CondBranches-r.Mispredicts) / float64(r.CondBranches)
+}
+
+// LoadPercent reports the percentage of all loads in the given category
+// count (use with the Load* fields).
+func (r *Result) LoadPercent(count int64) float64 {
+	if r.Loads == 0 {
+		return 0
+	}
+	return 100 * float64(count) / float64(r.Loads)
+}
+
+// CollapsedPercent reports the percentage of instructions participating in
+// a collapse (Figure 8).
+func (r *Result) CollapsedPercent() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(r.CollapsedInstrs) / float64(r.Instructions)
+}
+
+// TotalGroups reports the number of collapse groups formed.
+func (r *Result) TotalGroups() int64 {
+	var t int64
+	for _, g := range r.Groups {
+		t += g
+	}
+	return t
+}
+
+// CategoryPercent reports the share of collapse groups in category c
+// (Figure 9).
+func (r *Result) CategoryPercent(c collapse.Category) float64 {
+	t := r.TotalGroups()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(r.Groups[c]) / float64(t)
+}
+
+// DistPercent reports the share of collapsed-pair distances falling in
+// histogram bucket i (0-based; bucket DistBuckets-1 is ">= 8").
+func (r *Result) DistPercent(i int) float64 {
+	if r.DistCount == 0 {
+		return 0
+	}
+	return 100 * float64(r.DistHist[i]) / float64(r.DistCount)
+}
+
+// MeanDistance reports the average distance between collapsed instructions.
+func (r *Result) MeanDistance() float64 {
+	if r.DistCount == 0 {
+		return 0
+	}
+	return float64(r.DistSum) / float64(r.DistCount)
+}
+
+// SigCount is one row of a signature frequency table.
+type SigCount struct {
+	Sig   string
+	Count int64
+}
+
+// TopSigs returns the n most frequent signatures from m, ties broken
+// alphabetically for determinism.
+func TopSigs(m map[string]int64, n int) []SigCount {
+	rows := make([]SigCount, 0, len(m))
+	for sig, c := range m {
+		rows = append(rows, SigCount{sig, c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Sig < rows[j].Sig
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "config %s width %d window %d: %d instr, %d cycles, IPC %.3f",
+		r.Config.Name, r.Width, r.Window, r.Instructions, r.Cycles, r.IPC())
+	if r.CondBranches > 0 {
+		fmt.Fprintf(&b, ", bpred %.1f%%", r.BranchAccuracy())
+	}
+	if r.Config.Collapse {
+		fmt.Fprintf(&b, ", collapsed %.1f%%", r.CollapsedPercent())
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collapse"
+	"repro/internal/isa"
+)
+
+func TestResultZeroValueHelpers(t *testing.T) {
+	var r Result
+	if r.IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+	if r.BranchAccuracy() != 100 {
+		t.Error("no branches should read as 100% accuracy")
+	}
+	if r.LoadPercent(0) != 0 {
+		t.Error("no loads should read as 0%")
+	}
+	if r.CollapsedPercent() != 0 {
+		t.Error("no instructions should read as 0%")
+	}
+	if r.CategoryPercent(collapse.Cat31) != 0 {
+		t.Error("no groups should read as 0%")
+	}
+	if r.DistPercent(0) != 0 || r.MeanDistance() != 0 {
+		t.Error("no distances should read as 0")
+	}
+	base := &Result{}
+	if r.SpeedupOver(base) != 0 {
+		t.Error("speedup over zero base should be 0")
+	}
+}
+
+func TestResultDistHelpers(t *testing.T) {
+	r := &Result{DistCount: 4, DistSum: 10}
+	r.DistHist[0] = 3
+	r.DistHist[7] = 1
+	if got := r.DistPercent(0); got != 75 {
+		t.Errorf("DistPercent(0) = %v, want 75", got)
+	}
+	if got := r.DistPercent(7); got != 25 {
+		t.Errorf("DistPercent(7) = %v, want 25", got)
+	}
+	if got := r.MeanDistance(); got != 2.5 {
+		t.Errorf("MeanDistance = %v, want 2.5", got)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	b := &tb{}
+	b.add(ldi(1, 5))
+	b.add(aluImm(isa.Cmp, 0, 1, 5))
+	b.branch(isa.Instr{Op: isa.Beq, Target: 0}, true)
+	r := Run(b.src(), ConfigD, Params{Width: 4})
+	s := r.String()
+	for _, want := range []string{"config D", "width 4", "IPC", "bpred", "collapsed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,662 @@
+package core
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/collapse"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Run schedules the trace under cfg and params and returns the statistics.
+//
+// The scheduling model (DESIGN.md Section 5): instructions are visited in
+// dynamic order; instruction i enters the window one cycle after the issue
+// that freed its slot; it issues at the first cycle with a free issue slot
+// at or after max(entry, misprediction barrier, operand readiness, memory
+// dependence). A result issued at cycle t with latency L is readable by
+// instructions issuing at cycle >= t+L.
+func Run(src trace.Source, cfg Config, params Params) *Result {
+	s := newSched(cfg, params)
+	var rec trace.Record
+	for src.Next(&rec) {
+		s.visit(&rec)
+	}
+	return s.finish()
+}
+
+// srcSnap is a snapshot of one source operand's defining instruction, taken
+// when the consumer of that operand was scheduled. It carries enough to
+// collapse through the producer one level deeper (its own sources'
+// readiness) without chasing pointers into state that later instructions
+// overwrite.
+type srcSnap struct {
+	seq      int64 // dynamic index of the producer; -1 for initial values
+	issue    int64
+	ready    int64 // cycle the produced value is readable
+	srcReady int64 // max readiness of the producer's own leaf operands
+	counts   collapse.Counts
+	producer bool // producer's class is collapsible-through
+	sig      string
+	uses     int // times the consumer names this source register (Rb+Rb: 2)
+}
+
+// def is the current definition of an architectural register under ideal
+// renaming: the youngest earlier writer.
+type def struct {
+	seq      int64
+	issue    int64
+	ready    int64
+	srcReady int64
+	counts   collapse.Counts
+	producer bool
+	sig      string
+	srcs     [2]srcSnap
+	nsrcs    int
+}
+
+// slotOption is one way to obtain a consumer operand: directly (producers
+// empty) or by collapsing through up to three instructions.
+type slotOption struct {
+	ready     int64
+	unit      collapse.Counts // per-use operand contribution when collapsed
+	collapsed bool            // false: plain use of the produced value
+	producers [3]srcSnap
+	nprod     int
+}
+
+type sched struct {
+	cfg Config
+	p   Params
+	res *Result
+
+	brc  bpred.Predictor
+	addr AddrPredictor
+	vals ValuePredictor
+
+	regs [isa.NumRegs]def
+
+	// Window occupancy: a min-heap of in-window issue times.
+	heap []int64
+
+	// Issue bandwidth accounting per cycle.
+	issued map[int64]int32
+
+	// Misprediction barrier: no later instruction may issue at or before
+	// the mispredicted branch's issue cycle.
+	barrier int64
+
+	// Perfect memory disambiguation: word address -> cycle after the
+	// latest prior store to it has issued.
+	stores map[uint32]int64
+
+	// Collapse participation ring bitmap (distinct-instruction counting).
+	ring     []bool
+	ringMask int64
+
+	// Static analysis cache, indexed by PC.
+	infos []*collapse.Info
+
+	seq      int64
+	maxIssue int64
+
+	// valueHit marks the in-flight load whose value was predicted
+	// correctly: its consumers see the value immediately.
+	valueHit bool
+
+	// loadExtra is the in-flight load's cache-miss penalty in cycles.
+	loadExtra int64
+
+	// Scratch buffers reused across visits to keep the hot loop
+	// allocation-free.
+	readBuf []uint8
+	optBuf  [2][]slotOption
+	prodBuf []srcSnap
+}
+
+func newSched(cfg Config, params Params) *sched {
+	params = params.withDefaults()
+	ringSize := int64(4 * params.WindowSize)
+	if ringSize < 16 {
+		ringSize = 16
+	}
+	// Round up to a power of two.
+	for ringSize&(ringSize-1) != 0 {
+		ringSize++
+	}
+	s := &sched{
+		cfg:      cfg,
+		p:        params,
+		res:      &Result{Config: cfg, Width: params.Width, Window: params.WindowSize},
+		brc:      params.Branch,
+		addr:     params.Addr,
+		vals:     params.Value,
+		heap:     make([]int64, 0, params.WindowSize),
+		issued:   make(map[int64]int32, 1<<12),
+		stores:   make(map[uint32]int64, 1<<12),
+		ring:     make([]bool, ringSize),
+		ringMask: ringSize - 1,
+	}
+	if cfg.PerfectBranches {
+		s.brc = bpred.NewPerfect()
+	}
+	for i := range s.regs {
+		s.regs[i] = def{seq: -1}
+	}
+	s.res.PairSigs = make(map[string]int64)
+	s.res.TripleSigs = make(map[string]int64)
+	return s
+}
+
+func (s *sched) info(pc uint32, in *isa.Instr) *collapse.Info {
+	for int(pc) >= len(s.infos) {
+		s.infos = append(s.infos, nil)
+	}
+	if s.infos[pc] == nil {
+		inf := collapse.Analyze(in)
+		if s.cfg.NoShiftCollapse && inf.Class == isa.ClassSh {
+			inf.Producer = false
+			inf.Consumer = false
+		}
+		s.infos[pc] = &inf
+	}
+	return s.infos[pc]
+}
+
+// --- window heap ---------------------------------------------------------
+
+func (s *sched) heapPush(v int64) {
+	s.heap = append(s.heap, v)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent] <= s.heap[i] {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *sched) heapPop() int64 {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && s.heap[l] < s.heap[small] {
+			small = l
+		}
+		if r < last && s.heap[r] < s.heap[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.heap[i], s.heap[small] = s.heap[small], s.heap[i]
+		i = small
+	}
+	return top
+}
+
+// slotted returns the first cycle >= t with spare issue bandwidth and
+// consumes one slot there.
+func (s *sched) slotted(t int64) int64 {
+	if t < 1 {
+		t = 1
+	}
+	w := int32(s.p.Width)
+	for {
+		if s.issued[t] < w {
+			s.issued[t]++
+			if t > s.maxIssue {
+				s.maxIssue = t
+			}
+			return t
+		}
+		t++
+	}
+}
+
+// --- per-instruction scheduling ------------------------------------------
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (s *sched) visit(rec *trace.Record) {
+	seq := s.seq
+	s.seq++
+	s.ring[seq&s.ringMask] = false
+	s.res.Instructions++
+
+	in := &rec.Instr
+	inf := s.info(rec.PC, in)
+
+	// Window entry: the window is kept full; a slot frees one cycle after
+	// the earliest in-window issue.
+	entry := int64(1)
+	if len(s.heap) == s.p.WindowSize {
+		entry = s.heapPop() + 1
+	}
+	lower := max64(entry, s.barrier)
+
+	collapsing := s.cfg.Collapse && inf.Consumer
+
+	// Plain (non-collapsible) operand readiness. A store's data operand is
+	// always a plain dependence (only its address expression collapses);
+	// in.Reads lists it first, before the address registers.
+	var plainReady int64
+	s.readBuf = in.Reads(s.readBuf[:0])
+	for i, r := range s.readBuf {
+		if r == isa.R0 {
+			continue
+		}
+		storeData := in.Op == isa.St && i == 0
+		if collapsing && !storeData && inSlots(inf, r) {
+			continue // handled by the slot machinery
+		}
+		plainReady = max64(plainReady, s.regs[r].ready)
+	}
+
+	// Collapsible operand readiness (with the chosen collapse group).
+	var group groupChoice
+	if collapsing {
+		group = s.chooseGroup(inf, seq, entry)
+	} else {
+		group = s.plainGroup(inf)
+	}
+
+	var issue int64
+	isLoad := in.Op == isa.Ld
+	if isLoad {
+		issue = s.scheduleLoad(rec, inf, seq, lower, plainReady, &group)
+	} else {
+		issue = s.slotted(max64(lower, max64(plainReady, group.ready)))
+		if in.Op == isa.St {
+			s.stores[rec.Addr] = issue + int64(isa.Latency(in.Op))
+			if s.p.Cache != nil {
+				s.p.Cache.Access(rec.Addr) // write-allocate; no extra latency modeled
+			}
+		}
+		s.commitGroup(inf, seq, &group)
+	}
+
+	// Conditional branches: realistic prediction; a misprediction bars all
+	// later instructions from issuing at or before the branch's cycle.
+	if in.IsCondBranch() {
+		s.res.CondBranches++
+		if p, ok := s.brc.(*bpred.Perfect); ok {
+			p.SetOutcome(rec.Taken)
+		}
+		pred := s.brc.Predict(rec.PC)
+		s.brc.Update(rec.PC, rec.Taken)
+		if pred != rec.Taken {
+			s.res.Mispredicts++
+			s.barrier = max64(s.barrier, issue+1)
+		}
+	}
+
+	s.heapPush(issue)
+	defer func() { s.valueHit = false; s.loadExtra = 0 }()
+
+	// Record the new register definition.
+	if w := in.Writes(); w >= 0 {
+		d := &s.regs[w]
+		d.seq = seq
+		d.issue = issue
+		d.ready = issue + int64(isa.Latency(in.Op)) + s.loadExtra
+		if s.valueHit {
+			// Value prediction removed the load-use dependence: consumers
+			// read the predicted value without waiting for the load.
+			d.ready = 0
+		}
+		d.counts = inf.Counts
+		d.producer = inf.Producer
+		d.sig = inf.Sig
+		d.nsrcs = 0
+		d.srcReady = 0
+		if inf.Producer {
+			seen := [2]uint8{255, 255}
+			for _, r := range inf.Slots {
+				if r == seen[0] || r == seen[1] {
+					continue
+				}
+				seen[d.nsrcs] = r
+				src := &s.regs[r]
+				d.srcs[d.nsrcs] = srcSnap{
+					seq:      src.seq,
+					issue:    src.issue,
+					ready:    src.ready,
+					srcReady: src.srcReady,
+					counts:   src.counts,
+					producer: src.producer,
+					sig:      src.sig,
+					uses:     inf.UsesOf(r),
+				}
+				d.srcReady = max64(d.srcReady, src.ready)
+				d.nsrcs++
+			}
+		}
+	}
+}
+
+func inSlots(inf *collapse.Info, r uint8) bool {
+	for _, sreg := range inf.Slots {
+		if sreg == r {
+			return true
+		}
+	}
+	return false
+}
+
+// --- loads ----------------------------------------------------------------
+
+func (s *sched) scheduleLoad(rec *trace.Record, inf *collapse.Info, seq, lower, plainReady int64, group *groupChoice) int64 {
+	s.res.Loads++
+	addrReady := max64(plainReady, group.ready)
+	memDep := s.stores[rec.Addr]
+
+	// Realistic memory: a load that misses in the cache delivers its data
+	// late. The access happens once, with the correct address (the paper
+	// accounts the verification access only).
+	if s.p.Cache != nil && !s.p.Cache.Access(rec.Addr) {
+		s.loadExtra = int64(s.p.Cache.Config().MissLatency)
+	}
+
+	// Value prediction (configuration F): a confidently and correctly
+	// predicted load value removes the load-use dependence entirely — the
+	// load still issues below to verify the prediction, but its consumers
+	// do not wait for it.
+	if s.cfg.LoadValuePred {
+		vp := s.vals.Lookup(rec.PC)
+		s.vals.Update(rec.PC, rec.Value)
+		switch {
+		case !vp.Valid || !vp.Confident:
+			s.res.ValueNotPred++
+		case vp.Value == rec.Value:
+			s.res.ValuePredCorrect++
+			s.valueHit = true
+		default:
+			s.res.ValuePredIncorrect++
+		}
+	}
+
+	speculative := s.cfg.LoadSpec || s.cfg.IdealLoadSpec
+
+	// A "ready" load computes its address early enough that speculation is
+	// pointless: its address is available by the time it could issue anyway.
+	ready := addrReady <= lower
+	if !speculative || ready {
+		if speculative {
+			s.res.LoadReady++
+			s.addr.Update(rec.PC, rec.Addr)
+		}
+		issue := s.slotted(max64(lower, max64(addrReady, memDep)))
+		s.commitGroup(inf, seq, group)
+		return issue
+	}
+
+	if s.cfg.IdealLoadSpec {
+		s.res.LoadPredCorrect++
+		s.addr.Update(rec.PC, rec.Addr)
+		return s.slotted(max64(lower, memDep)) // address dependence removed
+	}
+
+	pred := s.addr.Lookup(rec.PC)
+	s.addr.Update(rec.PC, rec.Addr)
+	switch {
+	case !pred.Valid || !pred.Confident:
+		s.res.LoadNotPred++
+	case pred.Addr == rec.Addr:
+		s.res.LoadPredCorrect++
+		return s.slotted(max64(lower, memDep))
+	default:
+		s.res.LoadPredIncorrect++
+		// The speculative issue fetched a wrong address; dependents wait
+		// for the correct-address load, which issues exactly like the base
+		// case (the paper accounts resources for verification only), so the
+		// timing below is shared with the not-predicted path.
+	}
+	issue := s.slotted(max64(lower, max64(addrReady, memDep)))
+	s.commitGroup(inf, seq, group)
+	return issue
+}
+
+// --- collapsing ------------------------------------------------------------
+
+// groupChoice is the outcome of operand scheduling for a consumer: the
+// achieved operand readiness plus the collapse group (if any) that achieved
+// it.
+type groupChoice struct {
+	ready     int64
+	counts    collapse.Counts
+	producers [3]srcSnap
+	nprod     int
+}
+
+// plainGroup computes operand readiness without collapsing.
+func (s *sched) plainGroup(inf *collapse.Info) groupChoice {
+	var g groupChoice
+	for _, r := range inf.Slots {
+		g.ready = max64(g.ready, s.regs[r].ready)
+	}
+	return g
+}
+
+// chooseGroup enumerates the collapse options for the consumer's slots and
+// picks the combination that minimizes operand readiness, preferring fewer
+// collapsed producers on ties. Groups may span up to four instructions
+// (consumer + three producers) when the expression fits the 4-1 device.
+func (s *sched) chooseGroup(inf *collapse.Info, seq, entry int64) groupChoice {
+	// Distinct slot registers with multiplicities.
+	var slotRegs [2]uint8
+	var slotMult [2]int
+	nslots := 0
+	for _, r := range inf.Slots {
+		found := false
+		for i := 0; i < nslots; i++ {
+			if slotRegs[i] == r {
+				slotMult[i]++
+				found = true
+				break
+			}
+		}
+		if !found && nslots < 2 {
+			slotRegs[nslots] = r
+			slotMult[nslots] = 1
+			nslots++
+		}
+	}
+
+	var opts [2][]slotOption
+	for i := 0; i < nslots; i++ {
+		opts[i] = s.slotOptions(s.optBuf[i][:0], slotRegs[i], seq, entry)
+		s.optBuf[i] = opts[i][:0]
+	}
+
+	best := groupChoice{ready: -1}
+	var pick func(i int, ready int64, counts collapse.Counts, prods []srcSnap)
+	pick = func(i int, ready int64, counts collapse.Counts, prods []srcSnap) {
+		if i == nslots {
+			if s.cfg.PairsOnly && len(prods) > 1 {
+				return
+			}
+			if s.cfg.NoZeroDetect && counts.Raw() > collapse.MaxInputs {
+				return
+			}
+			if _, ok := collapse.Fit(counts); !ok && len(prods) > 0 {
+				return
+			}
+			better := best.ready < 0 ||
+				ready < best.ready ||
+				(ready == best.ready && len(prods) < best.nprod)
+			if better {
+				best.ready = ready
+				best.counts = counts
+				best.nprod = copy(best.producers[:], prods)
+			}
+			return
+		}
+		for _, o := range opts[i] {
+			if len(prods)+o.nprod > 3 {
+				continue
+			}
+			c := counts
+			if o.collapsed {
+				c = c.ReplaceUses(slotMult[i], o.unit)
+			}
+			np := prods
+			for k := 0; k < o.nprod; k++ {
+				np = append(np, o.producers[k])
+			}
+			pick(i+1, max64(ready, o.ready), c, np)
+		}
+	}
+	if s.prodBuf == nil {
+		s.prodBuf = make([]srcSnap, 0, 8)
+	}
+	pick(0, 0, inf.Counts, s.prodBuf[:0])
+	if best.ready < 0 {
+		return s.plainGroup(inf)
+	}
+	return best
+}
+
+// slotOptions appends the ways to obtain the operand in register r to opts.
+func (s *sched) slotOptions(opts []slotOption, r uint8, seq, entry int64) []slotOption {
+	d := &s.regs[r]
+	opts = append(opts, slotOption{ready: d.ready}) // plain
+
+	if !d.producer || !s.coresident(d.seq, d.issue, seq, entry) {
+		return opts
+	}
+	if s.cfg.ConsecutiveOnly && seq-d.seq != 1 {
+		return opts
+	}
+
+	top := srcSnap{
+		seq: d.seq, issue: d.issue, ready: d.ready,
+		srcReady: d.srcReady, counts: d.counts, producer: d.producer, sig: d.sig,
+	}
+
+	// Pair-through: wait for the producer's own sources instead.
+	pair := slotOption{ready: d.srcReady, unit: d.counts, collapsed: true}
+	pair.producers[0] = top
+	pair.nprod = 1
+	opts = append(opts, pair)
+
+	if s.cfg.PairsOnly {
+		return opts
+	}
+
+	// Deeper: additionally collapse through one or both of the producer's
+	// own producers (chain / tree triples and the zero-detection quads).
+	for mask := 1; mask < 1<<d.nsrcs; mask++ {
+		o := slotOption{unit: d.counts, collapsed: true}
+		o.producers[0] = top
+		o.nprod = 1
+		feasible := true
+		for k := 0; k < d.nsrcs; k++ {
+			src := &d.srcs[k]
+			if mask&(1<<k) == 0 {
+				o.ready = max64(o.ready, src.ready)
+				continue
+			}
+			if !src.producer || !s.coresident(src.seq, src.issue, seq, entry) {
+				feasible = false
+				break
+			}
+			if s.cfg.ConsecutiveOnly {
+				feasible = false
+				break
+			}
+			o.ready = max64(o.ready, src.srcReady)
+			// Replace every use of this source in the producer's counts
+			// (a double use duplicates the sub-expression, as in the
+			// paper's Rc = Rb + Rb example).
+			o.unit = o.unit.ReplaceUses(src.uses, src.counts)
+			o.producers[o.nprod] = *src
+			o.nprod++
+		}
+		if feasible {
+			opts = append(opts, o)
+		}
+	}
+	return opts
+}
+
+// coresident reports whether the producer at pseq (issuing at pissue) and
+// the consumer entering the window at entry were in the window together.
+// A producer that issued before the consumer's entry has left the window;
+// distances beyond the window capacity are structurally impossible.
+func (s *sched) coresident(pseq, pissue, cseq, entry int64) bool {
+	if pseq < 0 {
+		return false
+	}
+	if cseq-pseq >= int64(s.p.WindowSize) {
+		return false
+	}
+	return pissue >= entry
+}
+
+// commitGroup records the statistics for a chosen collapse group. Groups
+// with no producers (plain scheduling) record nothing.
+func (s *sched) commitGroup(inf *collapse.Info, seq int64, g *groupChoice) {
+	if g.nprod == 0 {
+		return
+	}
+	cat, ok := collapse.Fit(g.counts)
+	if !ok {
+		return
+	}
+	s.res.Groups[cat]++
+	s.res.GroupsBySize[min(g.nprod+1, 4)]++
+
+	s.mark(seq)
+	for i := 0; i < g.nprod; i++ {
+		p := &g.producers[i]
+		s.mark(p.seq)
+		dist := seq - p.seq
+		s.res.DistSum += dist
+		s.res.DistCount++
+		b := int(dist) - 1
+		if b >= DistBuckets {
+			b = DistBuckets - 1
+		}
+		s.res.DistHist[b]++
+	}
+
+	switch g.nprod {
+	case 1:
+		s.res.PairSigs[g.producers[0].sig+" "+inf.Sig]++
+	case 2:
+		a, b := &g.producers[0], &g.producers[1]
+		if a.seq > b.seq {
+			a, b = b, a
+		}
+		s.res.TripleSigs[a.sig+" "+b.sig+" "+inf.Sig]++
+	}
+}
+
+func (s *sched) mark(seq int64) {
+	idx := seq & s.ringMask
+	if !s.ring[idx] {
+		s.ring[idx] = true
+		s.res.CollapsedInstrs++
+	}
+}
+
+func (s *sched) finish() *Result {
+	s.res.Cycles = s.maxIssue
+	if s.p.Cache != nil {
+		s.res.CacheAccesses = s.p.Cache.Accesses
+		s.res.CacheMisses = s.p.Cache.Misses
+	}
+	return s.res
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// invariantLoads builds k iterations of a dependence chain carried through
+// load values: each iteration's address generation consumes the previous
+// load's value, the addresses jump around unpredictably (defeating the
+// stride table), but the loaded value is always the same. Address
+// prediction cannot break this chain; value prediction can — the case the
+// paper's reference [9] targets.
+func invariantLoads(k int) *tb {
+	b := &tb{}
+	b.add(ldi(2, 0x1000))
+	addr := uint32(0x1000)
+	for i := 0; i < k; i++ {
+		b.raw(1, aluImm(isa.Add, 3, 2, 4), 0, false) // addr gen from last value
+		b.buf.Append(trace.Record{PC: 2, Instr: aluImm(isa.Ld, 2, 3, 0), Addr: addr, Value: 42})
+		addr = (addr*2654435761 + 97) &^ 3 // unpredictable next address
+	}
+	return b
+}
+
+func TestValuePredictionCategories(t *testing.T) {
+	r := Run(invariantLoads(20).src(), ConfigF, Params{Width: 4})
+	total := r.ValuePredCorrect + r.ValuePredIncorrect + r.ValueNotPred
+	if total != r.Loads {
+		t.Fatalf("value categories sum %d != loads %d", total, r.Loads)
+	}
+	if r.ValuePredCorrect < 15 {
+		t.Errorf("value-predicted correct = %d, want >= 15 after warmup", r.ValuePredCorrect)
+	}
+	if r.ValuePredIncorrect != 0 {
+		t.Errorf("invariant value mispredicted %d times", r.ValuePredIncorrect)
+	}
+}
+
+func TestValuePredictionRemovesLoadUseDependence(t *testing.T) {
+	d := Run(invariantLoads(20).src(), ConfigD, Params{Width: 4})
+	f := Run(invariantLoads(20).src(), ConfigF, Params{Width: 4})
+	if f.Cycles >= d.Cycles {
+		t.Errorf("value prediction did not help: F %d cycles vs D %d", f.Cycles, d.Cycles)
+	}
+}
+
+func TestValuePredictionChangingValuesDoNotHelp(t *testing.T) {
+	// Loads returning fresh values every iteration defeat last-value
+	// prediction; F must degrade gracefully to D's behaviour.
+	mk := func() *tb {
+		b := &tb{}
+		b.add(ldi(1, 0x1000))
+		for i := 0; i < 20; i++ {
+			b.raw(1, aluImm(isa.Div, 1, 1, 1), 0, false)
+			b.buf.Append(trace.Record{PC: 2, Instr: aluImm(isa.Ld, 2, 1, 0),
+				Addr: 0x1000, Value: int32(i * 13)})
+			b.raw(3, alu(isa.Add, 3, 2, 3), 0, false)
+		}
+		return b
+	}
+	d := Run(mk().src(), ConfigD, Params{Width: 4})
+	f := Run(mk().src(), ConfigF, Params{Width: 4})
+	if f.ValuePredCorrect != 0 {
+		t.Errorf("changing values predicted correctly %d times", f.ValuePredCorrect)
+	}
+	if f.Cycles != d.Cycles {
+		t.Errorf("F cycles %d != D cycles %d on unpredictable values", f.Cycles, d.Cycles)
+	}
+}
+
+func TestConfigFByName(t *testing.T) {
+	cfg, err := ConfigByName("F")
+	if err != nil || !cfg.LoadValuePred {
+		t.Errorf("ConfigByName(F) = %+v, %v", cfg, err)
+	}
+}
+
+func TestValuePredictionOffByDefault(t *testing.T) {
+	r := Run(invariantLoads(5).src(), ConfigD, Params{Width: 4})
+	if r.ValuePredCorrect+r.ValuePredIncorrect+r.ValueNotPred != 0 {
+		t.Error("config D recorded value-prediction statistics")
+	}
+}

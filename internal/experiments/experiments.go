@@ -1,0 +1,567 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bpred"
+	"repro/internal/collapse"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// --- Table 1: benchmark characteristics --------------------------------------
+
+// Table1Row describes one benchmark like the paper's Table 1.
+type Table1Row struct {
+	Name           string
+	PointerChasing bool
+	Scale          int
+	Instructions   int64
+}
+
+// Table1Data computes the benchmark characteristics.
+func Table1Data(r *Runner) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, w := range workloads.All() {
+		buf, _, err := r.traceOf(w)
+		if err != nil {
+			return nil, err
+		}
+		scale := r.Scale
+		if scale <= 0 {
+			scale = w.DefaultScale
+		}
+		rows = append(rows, Table1Row{
+			Name:           w.Name,
+			PointerChasing: w.PointerChasing,
+			Scale:          scale,
+			Instructions:   int64(buf.Len()),
+		})
+	}
+	return rows, nil
+}
+
+// Table1 renders Table 1.
+func Table1(r *Runner) (*Report, error) {
+	rows, err := Table1Data(r)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Name", "Class", "Scale", "Trace Size")
+	for _, row := range rows {
+		class := "non-pointer"
+		if row.PointerChasing {
+			class = "pointer-chasing"
+		}
+		t.AddRowf(row.Name, class, row.Scale, row.Instructions)
+	}
+	return &Report{ID: "table1", Title: "Benchmark Characteristics", Text: t.String(), CSV: t.CSV()}, nil
+}
+
+// --- Table 2: branch characteristics ------------------------------------------
+
+// Table2Row holds one benchmark's conditional-branch statistics.
+type Table2Row struct {
+	Name            string
+	CondBranchesPct float64
+	PredictedPct    float64
+}
+
+// Table2Data measures the conditional-branch fraction and the 8 kB
+// McFarling predictor's accuracy per benchmark, as in the paper's Table 2.
+func Table2Data(r *Runner) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range workloads.All() {
+		buf, _, err := r.traceOf(w)
+		if err != nil {
+			return nil, err
+		}
+		mix := trace.CollectMix(buf.Reader())
+		pred := bpred.NewPaper8KB()
+		var acc bpred.Accuracy
+		var rec trace.Record
+		src := buf.Reader()
+		for src.Next(&rec) {
+			if rec.Instr.IsCondBranch() {
+				acc.Observe(pred, rec.PC, rec.Taken)
+			}
+		}
+		rows = append(rows, Table2Row{
+			Name:            w.Name,
+			CondBranchesPct: mix.CondBranchPercent(),
+			PredictedPct:    acc.Rate(),
+		})
+	}
+	return rows, nil
+}
+
+// Table2 renders Table 2.
+func Table2(r *Runner) (*Report, error) {
+	rows, err := Table2Data(r)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Name", "Conditional Branches (%)", "Predicted Correctly (%)")
+	for _, row := range rows {
+		t.AddRowf(row.Name, row.CondBranchesPct, row.PredictedPct)
+	}
+	return &Report{ID: "table2", Title: "Benchmark Branch Characteristics", Text: t.String(), CSV: t.CSV()}, nil
+}
+
+// --- Figures 2-7: IPC and speedup ---------------------------------------------
+
+// PerfData holds harmonic-mean IPC and speedup for one benchmark set,
+// indexed by configuration name then width (the contents of Figures 2-7).
+type PerfData struct {
+	Widths  []int
+	IPC     map[string]map[int]float64
+	Speedup map[string]map[int]float64 // relative to configuration A
+}
+
+// Performance runs configurations A-E across the widths for one set and
+// summarizes with harmonic means, as in Figures 2-7.
+func Performance(r *Runner, set []*workloads.Workload) (*PerfData, error) {
+	widths := r.widths()
+	if err := r.Prefetch(set, core.Configs(), widths); err != nil {
+		return nil, err
+	}
+	d := &PerfData{
+		Widths:  widths,
+		IPC:     make(map[string]map[int]float64),
+		Speedup: make(map[string]map[int]float64),
+	}
+	for _, cfg := range core.Configs() {
+		d.IPC[cfg.Name] = make(map[int]float64)
+		d.Speedup[cfg.Name] = make(map[int]float64)
+		for _, width := range widths {
+			var ipcs, speedups []float64
+			for _, w := range set {
+				res, err := r.Result(w, cfg, width)
+				if err != nil {
+					return nil, err
+				}
+				base, err := r.Result(w, core.ConfigA, width)
+				if err != nil {
+					return nil, err
+				}
+				ipcs = append(ipcs, res.IPC())
+				speedups = append(speedups, res.SpeedupOver(base))
+			}
+			d.IPC[cfg.Name][width] = stats.HarmonicMean(ipcs)
+			d.Speedup[cfg.Name][width] = stats.HarmonicMean(speedups)
+		}
+	}
+	return d, nil
+}
+
+// FigureIPC renders the IPC data (Figures 2, 4, 6) as a table plus an
+// ASCII chart shaped like the paper's figure.
+func FigureIPC(r *Runner, id string, set []*workloads.Workload) (*Report, error) {
+	d, err := Performance(r, set)
+	if err != nil {
+		return nil, err
+	}
+	t := newConfigWidthTable(d.Widths)
+	for _, cfg := range core.Configs() {
+		cells := []any{cfg.Name}
+		for _, width := range d.Widths {
+			cells = append(cells, d.IPC[cfg.Name][width])
+		}
+		t.AddRowf(cells...)
+	}
+	text := t.String() + "\n" + perfChart("IPC", d.Widths, d.IPC)
+	return &Report{ID: id, Title: "Harmonic mean IPC (" + setName(set) + ")", Text: text, CSV: t.CSV()}, nil
+}
+
+// FigureSpeedup renders the speedup data (Figures 3, 5, 7) as a table plus
+// an ASCII chart.
+func FigureSpeedup(r *Runner, id string, set []*workloads.Workload) (*Report, error) {
+	d, err := Performance(r, set)
+	if err != nil {
+		return nil, err
+	}
+	t := newConfigWidthTable(d.Widths)
+	for _, cfg := range core.Configs() {
+		cells := []any{cfg.Name}
+		for _, width := range d.Widths {
+			cells = append(cells, d.Speedup[cfg.Name][width])
+		}
+		t.AddRowf(cells...)
+	}
+	text := t.String() + "\n" + perfChart("SpeedUp", d.Widths, d.Speedup)
+	return &Report{ID: id, Title: "Harmonic mean speedup over A (" + setName(set) + ")", Text: text, CSV: t.CSV()}, nil
+}
+
+// perfChart renders one config-per-series chart over the width axis.
+func perfChart(yLabel string, widths []int, data map[string]map[int]float64) string {
+	var series []stats.Series
+	for _, cfg := range core.Configs() {
+		pts := make([]float64, len(widths))
+		for i, w := range widths {
+			pts[i] = data[cfg.Name][w]
+		}
+		series = append(series, stats.Series{Name: cfg.Name, Points: pts})
+	}
+	labels := make([]string, len(widths))
+	for i, w := range widths {
+		labels[i] = widthName(w)
+	}
+	return stats.RenderChart(yLabel, labels, series, 12)
+}
+
+func newConfigWidthTable(widths []int) *stats.Table {
+	header := []string{"Config"}
+	for _, w := range widths {
+		header = append(header, widthName(w))
+	}
+	return stats.NewTable(header...)
+}
+
+func widthName(w int) string {
+	if w >= 1024 && w%1024 == 0 {
+		return fmt.Sprintf("%dk", w/1024)
+	}
+	return fmt.Sprintf("%d", w)
+}
+
+func setName(set []*workloads.Workload) string {
+	names := make([]string, len(set))
+	for i, w := range set {
+		names[i] = w.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// --- Tables 3-4: load-speculation behaviour ------------------------------------
+
+// LoadRow is one width's load-category breakdown under configuration D.
+type LoadRow struct {
+	Width        int
+	ReadyPct     float64
+	CorrectPct   float64
+	IncorrectPct float64
+	NotPredPct   float64
+}
+
+// LoadBehavior aggregates configuration D's load categories over a set,
+// reproducing Tables 3 and 4.
+func LoadBehavior(r *Runner, set []*workloads.Workload) ([]LoadRow, error) {
+	widths := r.widths()
+	if err := r.Prefetch(set, []core.Config{core.ConfigD}, widths); err != nil {
+		return nil, err
+	}
+	var rows []LoadRow
+	for _, width := range widths {
+		var loads, ready, correct, incorrect, notPred int64
+		for _, w := range set {
+			res, err := r.Result(w, core.ConfigD, width)
+			if err != nil {
+				return nil, err
+			}
+			loads += res.Loads
+			ready += res.LoadReady
+			correct += res.LoadPredCorrect
+			incorrect += res.LoadPredIncorrect
+			notPred += res.LoadNotPred
+		}
+		pct := func(n int64) float64 {
+			if loads == 0 {
+				return 0
+			}
+			return 100 * float64(n) / float64(loads)
+		}
+		rows = append(rows, LoadRow{
+			Width: width, ReadyPct: pct(ready), CorrectPct: pct(correct),
+			IncorrectPct: pct(incorrect), NotPredPct: pct(notPred),
+		})
+	}
+	return rows, nil
+}
+
+// LoadTable renders Table 3 or Table 4.
+func LoadTable(r *Runner, id string, set []*workloads.Workload) (*Report, error) {
+	rows, err := LoadBehavior(r, set)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Issue Width", "Ready (%)", "Predicted Correctly (%)",
+		"Predicted Incorrectly (%)", "Not Predicted (%)")
+	for _, row := range rows {
+		t.AddRowf(widthName(row.Width), row.ReadyPct, row.CorrectPct, row.IncorrectPct, row.NotPredPct)
+	}
+	return &Report{ID: id, Title: "Load-Speculation Behavior (" + setName(set) + ", config D)", Text: t.String(), CSV: t.CSV()}, nil
+}
+
+// --- Figures 8-10: collapsing behaviour -----------------------------------------
+
+// CollapseRow summarizes configuration D's collapsing at one width.
+type CollapseRow struct {
+	Width        int
+	CollapsedPct float64                         // Figure 8
+	CategoryPct  [collapse.NumCategories]float64 // Figure 9
+	DistancePct  [core.DistBuckets]float64       // Figure 10
+	MeanDistance float64
+}
+
+// CollapseBehavior aggregates configuration D's collapse statistics over
+// all benchmarks.
+func CollapseBehavior(r *Runner) ([]CollapseRow, error) {
+	set := workloads.All()
+	widths := r.widths()
+	if err := r.Prefetch(set, []core.Config{core.ConfigD}, widths); err != nil {
+		return nil, err
+	}
+	var rows []CollapseRow
+	for _, width := range widths {
+		var instrs, collapsed, groups, distCount, distSum int64
+		var cats [collapse.NumCategories]int64
+		var dists [core.DistBuckets]int64
+		for _, w := range set {
+			res, err := r.Result(w, core.ConfigD, width)
+			if err != nil {
+				return nil, err
+			}
+			instrs += res.Instructions
+			collapsed += res.CollapsedInstrs
+			groups += res.TotalGroups()
+			distCount += res.DistCount
+			distSum += res.DistSum
+			for c := range cats {
+				cats[c] += res.Groups[c]
+			}
+			for b := range dists {
+				dists[b] += res.DistHist[b]
+			}
+		}
+		row := CollapseRow{Width: width}
+		if instrs > 0 {
+			row.CollapsedPct = 100 * float64(collapsed) / float64(instrs)
+		}
+		for c := range cats {
+			if groups > 0 {
+				row.CategoryPct[c] = 100 * float64(cats[c]) / float64(groups)
+			}
+		}
+		for b := range dists {
+			if distCount > 0 {
+				row.DistancePct[b] = 100 * float64(dists[b]) / float64(distCount)
+			}
+		}
+		if distCount > 0 {
+			row.MeanDistance = float64(distSum) / float64(distCount)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure8 renders the collapsed-instruction fractions.
+func Figure8(r *Runner) (*Report, error) {
+	rows, err := CollapseBehavior(r)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Issue Width", "Instructions Collapsed (%)")
+	for _, row := range rows {
+		t.AddRowf(widthName(row.Width), row.CollapsedPct)
+	}
+	return &Report{ID: "figure8", Title: "Instructions D-Collapsed (config D)", Text: t.String(), CSV: t.CSV()}, nil
+}
+
+// Figure9 renders the 3-1 / 4-1 / 0-op contribution split.
+func Figure9(r *Runner) (*Report, error) {
+	rows, err := CollapseBehavior(r)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Issue Width", "3-1 (%)", "4-1 (%)", "0-op (%)")
+	for _, row := range rows {
+		t.AddRowf(widthName(row.Width),
+			row.CategoryPct[collapse.Cat31],
+			row.CategoryPct[collapse.Cat41],
+			row.CategoryPct[collapse.Cat0Op])
+	}
+	return &Report{ID: "figure9", Title: "Contribution of the Three Collapsing Mechanisms (config D)", Text: t.String(), CSV: t.CSV()}, nil
+}
+
+// Figure10 renders the collapse-distance distribution.
+func Figure10(r *Runner) (*Report, error) {
+	rows, err := CollapseBehavior(r)
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"Issue Width"}
+	for b := 1; b < core.DistBuckets; b++ {
+		header = append(header, fmt.Sprintf("d=%d (%%)", b))
+	}
+	header = append(header, fmt.Sprintf("d>=%d (%%)", core.DistBuckets), "mean")
+	t := stats.NewTable(header...)
+	for _, row := range rows {
+		cells := []any{widthName(row.Width)}
+		for b := 0; b < core.DistBuckets; b++ {
+			cells = append(cells, row.DistancePct[b])
+		}
+		cells = append(cells, row.MeanDistance)
+		t.AddRowf(cells...)
+	}
+	return &Report{ID: "figure10", Title: "Distance between D-Collapsed Instructions (config D)", Text: t.String(), CSV: t.CSV()}, nil
+}
+
+// --- Tables 5-6: collapsed dependence signatures ---------------------------------
+
+// SigTable holds, per width, each signature's percentage of all collapsed
+// pair (or triple) groups, plus the row order (descending by the widest
+// machine's percentages, like the paper's 2k-first column ordering).
+type SigTable struct {
+	Widths []int
+	Rows   []string
+	Pct    map[string]map[int]float64 // sig -> width -> percent
+}
+
+// Signatures aggregates pair or triple signature frequencies under
+// configuration D.
+func Signatures(r *Runner, triples bool, topN int) (*SigTable, error) {
+	set := workloads.All()
+	widths := r.widths()
+	if err := r.Prefetch(set, []core.Config{core.ConfigD}, widths); err != nil {
+		return nil, err
+	}
+	st := &SigTable{Widths: widths, Pct: make(map[string]map[int]float64)}
+	perWidthTotals := make(map[int]int64)
+	counts := make(map[string]map[int]int64)
+	for _, width := range widths {
+		for _, w := range set {
+			res, err := r.Result(w, core.ConfigD, width)
+			if err != nil {
+				return nil, err
+			}
+			sigs := res.PairSigs
+			if triples {
+				sigs = res.TripleSigs
+			}
+			for sig, n := range sigs {
+				if counts[sig] == nil {
+					counts[sig] = make(map[int]int64)
+				}
+				counts[sig][width] += n
+				perWidthTotals[width] += n
+			}
+		}
+	}
+	for sig, byWidth := range counts {
+		st.Pct[sig] = make(map[int]float64)
+		for _, width := range widths {
+			if perWidthTotals[width] > 0 {
+				st.Pct[sig][width] = 100 * float64(byWidth[width]) / float64(perWidthTotals[width])
+			}
+		}
+	}
+	// Order rows by the widest machine's share, like the paper.
+	widest := widths[len(widths)-1]
+	for sig := range st.Pct {
+		st.Rows = append(st.Rows, sig)
+	}
+	sort.Slice(st.Rows, func(i, j int) bool {
+		a, b := st.Pct[st.Rows[i]][widest], st.Pct[st.Rows[j]][widest]
+		if a != b {
+			return a > b
+		}
+		return st.Rows[i] < st.Rows[j]
+	})
+	if len(st.Rows) > topN {
+		st.Rows = st.Rows[:topN]
+	}
+	return st, nil
+}
+
+func sigTableReport(r *Runner, id, title string, triples bool) (*Report, error) {
+	st, err := Signatures(r, triples, 13)
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"Operation Types"}
+	for i := len(st.Widths) - 1; i >= 0; i-- {
+		header = append(header, widthName(st.Widths[i]))
+	}
+	t := stats.NewTable(header...)
+	for _, sig := range st.Rows {
+		cells := []any{sig}
+		for i := len(st.Widths) - 1; i >= 0; i-- {
+			cells = append(cells, st.Pct[sig][st.Widths[i]])
+		}
+		t.AddRowf(cells...)
+	}
+	return &Report{ID: id, Title: title, Text: t.String(), CSV: t.CSV()}, nil
+}
+
+// Table5 renders the most frequently collapsed pair signatures.
+func Table5(r *Runner) (*Report, error) {
+	return sigTableReport(r, "table5", "Collapsed 3-1 (Pair) Dependences, % of pairs (config D)", false)
+}
+
+// Table6 renders the most frequently collapsed triple signatures.
+func Table6(r *Runner) (*Report, error) {
+	return sigTableReport(r, "table6", "Collapsed 4-1 (Triple) Dependences, % of triples (config D)", true)
+}
+
+// --- Per-benchmark detail (beyond the paper's harmonic means) --------------------
+
+// PerBenchRow is one benchmark's IPC under every configuration at one
+// width. The paper reports only harmonic means; this exposes the
+// per-benchmark detail behind them.
+type PerBenchRow struct {
+	Name string
+	IPC  map[string]float64 // config name -> IPC
+}
+
+// PerBenchmark computes per-benchmark IPCs for all configurations at the
+// given width.
+func PerBenchmark(r *Runner, width int) ([]PerBenchRow, error) {
+	set := workloads.All()
+	if err := r.Prefetch(set, core.Configs(), []int{width}); err != nil {
+		return nil, err
+	}
+	var rows []PerBenchRow
+	for _, w := range set {
+		row := PerBenchRow{Name: w.Name, IPC: make(map[string]float64)}
+		for _, cfg := range core.Configs() {
+			res, err := r.Result(w, cfg, width)
+			if err != nil {
+				return nil, err
+			}
+			row.IPC[cfg.Name] = res.IPC()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PerBenchmarkReport renders the per-benchmark table.
+func PerBenchmarkReport(r *Runner, width int) (*Report, error) {
+	rows, err := PerBenchmark(r, width)
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"Benchmark"}
+	for _, cfg := range core.Configs() {
+		header = append(header, cfg.Name)
+	}
+	t := stats.NewTable(header...)
+	for _, row := range rows {
+		cells := []any{row.Name}
+		for _, cfg := range core.Configs() {
+			cells = append(cells, row.IPC[cfg.Name])
+		}
+		t.AddRowf(cells...)
+	}
+	return &Report{
+		ID:    "perbench",
+		Title: fmt.Sprintf("Per-benchmark IPC at width %d (detail behind the harmonic means)", width),
+		Text:  t.String(),
+		CSV:   t.CSV(),
+	}, nil
+}

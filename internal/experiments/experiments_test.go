@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collapse"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// testRunner uses small workload scales and two widths so the whole
+// experiment suite stays fast; the full-scale sweep lives in the benchmark
+// harness.
+func testRunner() *Runner {
+	r := NewRunner(60)
+	r.Widths = []int{4, 16}
+	return r
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1Data(testRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, row := range rows {
+		if row.Instructions <= 0 {
+			t.Errorf("%s: zero-length trace", row.Name)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2Data(testRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.CondBranchesPct <= 0 || row.CondBranchesPct > 50 {
+			t.Errorf("%s: conditional branch fraction %.1f%% implausible", row.Name, row.CondBranchesPct)
+		}
+		if row.PredictedPct < 50 || row.PredictedPct > 100 {
+			t.Errorf("%s: prediction rate %.1f%% implausible", row.Name, row.PredictedPct)
+		}
+	}
+}
+
+func TestPerformanceShape(t *testing.T) {
+	r := testRunner()
+	d, err := Performance(r, workloads.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range d.Widths {
+		a := d.IPC["A"][width]
+		c := d.IPC["C"][width]
+		dd := d.IPC["D"][width]
+		e := d.IPC["E"][width]
+		if a <= 0 {
+			t.Fatalf("width %d: base IPC %v", width, a)
+		}
+		// The paper's headline ordering: collapsing beats base; adding
+		// ideal speculation beats real speculation (small tolerances for
+		// slot-contention noise).
+		if c < a*0.99 {
+			t.Errorf("width %d: IPC(C)=%.3f below IPC(A)=%.3f", width, c, a)
+		}
+		if e < dd*0.99 {
+			t.Errorf("width %d: IPC(E)=%.3f below IPC(D)=%.3f", width, e, dd)
+		}
+		// Speedups are relative to A: config A's speedup must be 1.
+		if s := d.Speedup["A"][width]; s < 0.999 || s > 1.001 {
+			t.Errorf("width %d: speedup(A)=%v, want 1", width, s)
+		}
+		if s := d.Speedup["D"][width]; s < 1 {
+			t.Errorf("width %d: speedup(D)=%v < 1", width, s)
+		}
+	}
+	// Wider machines should not lower ideal-configuration IPC.
+	if d.IPC["E"][16] < d.IPC["E"][4] {
+		t.Errorf("IPC(E) fell with width: %v vs %v", d.IPC["E"][16], d.IPC["E"][4])
+	}
+}
+
+func TestPointerChasingSpeculationGap(t *testing.T) {
+	// The paper's Section 5.2 finding: stride-based load speculation alone
+	// (B vs A) helps pointer-chasing benchmarks much less than the others.
+	r := testRunner()
+	pc, err := Performance(r, workloads.PointerChasingSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	npc, err := Performance(r, workloads.NonPointerChasingSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range r.Widths {
+		gpc := pc.Speedup["B"][width]
+		gnpc := npc.Speedup["B"][width]
+		if gpc > gnpc {
+			t.Errorf("width %d: pointer-chasing B speedup %.3f exceeds non-pointer %.3f",
+				width, gpc, gnpc)
+		}
+	}
+}
+
+func TestLoadBehaviorPartitions(t *testing.T) {
+	r := testRunner()
+	for _, set := range [][]*workloads.Workload{
+		workloads.PointerChasingSet(), workloads.NonPointerChasingSet(),
+	} {
+		rows, err := LoadBehavior(r, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows {
+			sum := row.ReadyPct + row.CorrectPct + row.IncorrectPct + row.NotPredPct
+			if sum < 99.9 || sum > 100.1 {
+				t.Errorf("width %d: load categories sum to %.2f%%", row.Width, sum)
+			}
+		}
+	}
+}
+
+func TestPointerChasingLoadsLessPredictable(t *testing.T) {
+	// Table 3 vs Table 4: among not-ready loads, the pointer-chasing set
+	// must have a worse predicted-correct share than the array benchmarks.
+	r := testRunner()
+	pc, err := LoadBehavior(r, workloads.PointerChasingSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	npc, err := LoadBehavior(r, workloads.NonPointerChasingSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pc {
+		pcRate := pc[i].CorrectPct / (100 - pc[i].ReadyPct + 1e-9)
+		npcRate := npc[i].CorrectPct / (100 - npc[i].ReadyPct + 1e-9)
+		if pcRate > npcRate {
+			t.Errorf("width %d: pointer-chasing loads more predictable (%.2f) than non-pointer (%.2f)",
+				pc[i].Width, pcRate, npcRate)
+		}
+	}
+}
+
+func TestCollapseBehavior(t *testing.T) {
+	rows, err := CollapseBehavior(testRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.CollapsedPct <= 0 || row.CollapsedPct > 100 {
+			t.Errorf("width %d: collapsed %.1f%%", row.Width, row.CollapsedPct)
+		}
+		var catSum float64
+		for _, c := range row.CategoryPct {
+			catSum += c
+		}
+		if catSum < 99.9 || catSum > 100.1 {
+			t.Errorf("width %d: categories sum to %.2f%%", row.Width, catSum)
+		}
+		// Paper: 3-1 dominates (65-82% for widths <= 32).
+		if row.CategoryPct[collapse.Cat31] < row.CategoryPct[collapse.Cat41] {
+			t.Errorf("width %d: 4-1 (%.1f%%) exceeds 3-1 (%.1f%%)",
+				row.Width, row.CategoryPct[collapse.Cat41], row.CategoryPct[collapse.Cat31])
+		}
+		var distSum float64
+		for _, d := range row.DistancePct {
+			distSum += d
+		}
+		if distSum < 99.9 || distSum > 100.1 {
+			t.Errorf("width %d: distances sum to %.2f%%", row.Width, distSum)
+		}
+		// Paper: most collapse distances below 8.
+		if row.DistancePct[core.DistBuckets-1] > 50 {
+			t.Errorf("width %d: %.1f%% of distances >= 8; paper says almost all < 8",
+				row.Width, row.DistancePct[core.DistBuckets-1])
+		}
+	}
+}
+
+func TestSignatures(t *testing.T) {
+	st, err := Signatures(testRunner(), false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) == 0 {
+		t.Fatal("no pair signatures")
+	}
+	for _, sig := range st.Rows {
+		if strings.Count(sig, " ") != 1 {
+			t.Errorf("pair signature %q should have two ops", sig)
+		}
+	}
+	// cmp+branch collapsing must appear among the top pairs (the paper's
+	// Table 5 is headed by arXX-brc rows).
+	foundBrc := false
+	for _, sig := range st.Rows {
+		if strings.HasSuffix(sig, " brc") {
+			foundBrc = true
+		}
+	}
+	if !foundBrc {
+		t.Errorf("no brc pair among top signatures: %v", st.Rows)
+	}
+
+	tr, err := Signatures(testRunner(), true, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sig := range tr.Rows {
+		if strings.Count(sig, " ") != 2 {
+			t.Errorf("triple signature %q should have three ops", sig)
+		}
+	}
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	r := testRunner()
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		rep, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if rep.ID != e.ID {
+			t.Errorf("report ID %q != registry ID %q", rep.ID, e.ID)
+		}
+		if len(rep.Text) == 0 {
+			t.Errorf("%s: empty report", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if len(ids) != 15 {
+		t.Errorf("registry has %d experiments, want 15 (Tables 1-6 + Figures 2-10)", len(ids))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("figure2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("bogus"); err == nil {
+		t.Error("ByID(bogus) should fail")
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := testRunner()
+	w := workloads.All()[0]
+	r1, err := r.Result(w, core.ConfigA, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := r.Result(w, core.ConfigA, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("Result not cached")
+	}
+	// Ablated configs must not collide with the plain ones in the cache.
+	abl := core.ConfigD
+	abl.PairsOnly = true
+	r3, err := r.Result(w, abl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := r.Result(w, core.ConfigD, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r4 {
+		t.Error("ablated config shared a cache entry with the plain config")
+	}
+	if len(r3.TripleSigs) != 0 {
+		t.Error("pairs-only run produced triples")
+	}
+}
+
+func TestPerBenchmark(t *testing.T) {
+	r := testRunner()
+	rows, err := PerBenchmark(r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, row := range rows {
+		for _, cfg := range core.Configs() {
+			if row.IPC[cfg.Name] <= 0 {
+				t.Errorf("%s/%s: IPC %v", row.Name, cfg.Name, row.IPC[cfg.Name])
+			}
+		}
+		if row.IPC["D"] < row.IPC["A"] {
+			t.Errorf("%s: D (%.2f) slower than A (%.2f)", row.Name, row.IPC["D"], row.IPC["A"])
+		}
+	}
+	rep, err := PerBenchmarkReport(r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "compress") {
+		t.Errorf("report missing benchmarks:\n%s", rep.Text)
+	}
+}

@@ -1,0 +1,199 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Tables 1-6, Figures 2-10) from the simulator. Each
+// experiment returns typed data plus a rendered text table shaped like the
+// paper's; the Registry maps experiment identifiers ("table1".."figure10")
+// to runners for the ddsim command line and the benchmark harness.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Runner executes and caches simulation runs. Results are keyed by
+// (workload, config, width) at the Runner's scale, so experiments sharing
+// runs (all the figures share the A-E sweep) pay for them once.
+type Runner struct {
+	Scale  int   // workload scale; 0 = each workload's default
+	Widths []int // issue widths; nil = the paper's {4, 8, 16, 32, 2048}
+
+	mu    sync.Mutex
+	cache map[runKey]*core.Result
+}
+
+type runKey struct {
+	workload string
+	config   string
+	width    int
+}
+
+// NewRunner creates a Runner at the given scale (0 = workload defaults).
+func NewRunner(scale int) *Runner {
+	return &Runner{Scale: scale, cache: make(map[runKey]*core.Result)}
+}
+
+func (r *Runner) widths() []int {
+	if r.Widths != nil {
+		return r.Widths
+	}
+	return core.Widths
+}
+
+// Result returns the simulation result for one (workload, config, width),
+// computing and caching it on first use.
+func (r *Runner) Result(w *workloads.Workload, cfg core.Config, width int) (*core.Result, error) {
+	key := runKey{w.Name, cfg.Name + ablationSuffix(cfg), width}
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	buf, _, err := w.TraceCached(r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	res := core.Run(buf.Reader(), cfg, core.Params{Width: width})
+
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// ablationSuffix distinguishes ablated configs in the cache.
+func ablationSuffix(cfg core.Config) string {
+	s := ""
+	if cfg.PairsOnly {
+		s += "+pairs"
+	}
+	if cfg.ConsecutiveOnly {
+		s += "+consec"
+	}
+	if cfg.NoShiftCollapse {
+		s += "+noshift"
+	}
+	if cfg.NoZeroDetect {
+		s += "+nozero"
+	}
+	if cfg.PerfectBranches {
+		s += "+perfbr"
+	}
+	return s
+}
+
+// Prefetch computes all (workload, config, width) results for the given
+// sets in parallel, bounded by GOMAXPROCS workers.
+func (r *Runner) Prefetch(set []*workloads.Workload, cfgs []core.Config, widths []int) error {
+	type job struct {
+		w     *workloads.Workload
+		cfg   core.Config
+		width int
+	}
+	var jobs []job
+	for _, w := range set {
+		// Generate traces serially first: trace generation is also cached
+		// and must not race heap-heavy VM runs against each other.
+		if _, _, err := w.TraceCached(r.Scale); err != nil {
+			return err
+		}
+		for _, cfg := range cfgs {
+			for _, width := range widths {
+				jobs = append(jobs, job{w, cfg, width})
+			}
+		}
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	errCh := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := r.Result(j.w, j.cfg, j.width); err != nil {
+				errCh <- err
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// traceOf is a small helper for the trace-level experiments (Tables 1-2).
+func (r *Runner) traceOf(w *workloads.Workload) (*trace.Buffer, []int32, error) {
+	return w.TraceCached(r.Scale)
+}
+
+// Report is one experiment's rendered output. CSV, when non-empty, holds
+// the same data in comma-separated form for plotting pipelines
+// (ddsim -csv).
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+	CSV   string
+}
+
+// Registry maps experiment identifiers to their runners, in the paper's
+// order.
+func Registry() []RegistryEntry {
+	return []RegistryEntry{
+		{"table1", "Benchmark characteristics", func(r *Runner) (*Report, error) { return Table1(r) }},
+		{"table2", "Benchmark branch characteristics", func(r *Runner) (*Report, error) { return Table2(r) }},
+		{"figure2", "IPC for the different configurations and issue widths", func(r *Runner) (*Report, error) {
+			return FigureIPC(r, "figure2", workloads.All())
+		}},
+		{"figure3", "Speedup over the superscalar base machine", func(r *Runner) (*Report, error) {
+			return FigureSpeedup(r, "figure3", workloads.All())
+		}},
+		{"figure4", "IPC for the pointer-chasing benchmarks", func(r *Runner) (*Report, error) {
+			return FigureIPC(r, "figure4", workloads.PointerChasingSet())
+		}},
+		{"figure5", "Speedup for the pointer-chasing benchmarks", func(r *Runner) (*Report, error) {
+			return FigureSpeedup(r, "figure5", workloads.PointerChasingSet())
+		}},
+		{"figure6", "IPC for the non pointer-chasing benchmarks", func(r *Runner) (*Report, error) {
+			return FigureIPC(r, "figure6", workloads.NonPointerChasingSet())
+		}},
+		{"figure7", "Speedup for the non pointer-chasing benchmarks", func(r *Runner) (*Report, error) {
+			return FigureSpeedup(r, "figure7", workloads.NonPointerChasingSet())
+		}},
+		{"table3", "Load-speculation behavior, pointer-chasing benchmarks (config D)", func(r *Runner) (*Report, error) {
+			return LoadTable(r, "table3", workloads.PointerChasingSet())
+		}},
+		{"table4", "Load-speculation behavior, non pointer-chasing benchmarks (config D)", func(r *Runner) (*Report, error) {
+			return LoadTable(r, "table4", workloads.NonPointerChasingSet())
+		}},
+		{"figure8", "Instructions d-collapsed (config D)", func(r *Runner) (*Report, error) { return Figure8(r) }},
+		{"figure9", "Contribution of the three collapsing mechanisms (config D)", func(r *Runner) (*Report, error) { return Figure9(r) }},
+		{"figure10", "Distance between d-collapsed instructions (config D)", func(r *Runner) (*Report, error) { return Figure10(r) }},
+		{"table5", "Most frequently collapsed 3-1 (pair) dependences", func(r *Runner) (*Report, error) { return Table5(r) }},
+		{"table6", "Most frequently collapsed 4-1 (triple) dependences", func(r *Runner) (*Report, error) { return Table6(r) }},
+	}
+}
+
+// RegistryEntry is one experiment in the registry.
+type RegistryEntry struct {
+	ID    string
+	Title string
+	Run   func(*Runner) (*Report, error)
+}
+
+// ByID finds a registry entry.
+func ByID(id string) (RegistryEntry, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return RegistryEntry{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,386 @@
+// Package isa defines SV8, a SPARC-v8-inspired 32-bit RISC instruction set
+// used throughout the repository. SV8 reproduces the properties the MICRO-96
+// dependence speculation & collapsing study depends on: a zero register
+// (like SPARC's %g0), two-source/one-destination integer operations,
+// condition-code generation feeding conditional branches, and register+
+// register / register+immediate addressing for loads and stores.
+//
+// The package is purely declarative: instruction words are Go structs, not
+// binary encodings. The assembler (internal/asm) produces them, the emulator
+// (internal/vm) executes them, and the dependence simulator (internal/core)
+// analyses them.
+package isa
+
+import "fmt"
+
+// Op enumerates the SV8 opcodes.
+type Op uint8
+
+// The SV8 opcode space. Arithmetic, logical and shift operations take two
+// sources (register or register+immediate) and one destination. Cmp writes
+// the condition-code register (register CC) exactly like SPARC's subcc with
+// %g0 destination. Conditional branches read CC.
+const (
+	Nop Op = iota
+
+	// Arithmetic (class Ar).
+	Add
+	Sub
+	Cmp // subtract, result discarded, sets CC
+
+	// Logical (class Lg).
+	And
+	Or
+	Xor
+	Andn // a &^ b
+	Orn  // a | ^b
+	Xnor // ^(a ^ b)
+
+	// Shift (class Sh). Shift distances use the low 5 bits of the source.
+	Sll
+	Srl
+	Sra
+
+	// Moves (class Mv).
+	Mov // rd = rs1
+	Ldi // rd = imm (32-bit immediate materialization)
+
+	// Long-latency arithmetic (classes Mul, Div). Not collapsible.
+	Mul
+	Div
+	Rem
+
+	// Memory (classes Ld, St). Address = rs1 + rs2 or rs1 + imm.
+	Ld // rd = mem[addr]
+	St // mem[addr] = rd (Rd holds the stored value's register)
+
+	// Conditional branches (class Brc). All read CC.
+	Beq
+	Bne
+	Blt
+	Ble
+	Bgt
+	Bge
+	Bltu
+	Bgeu
+
+	// Other control transfers (class Ctl): always predicted correctly in
+	// the paper's model.
+	Jmp  // unconditional direct jump
+	Call // r31 = return PC; jump to target
+	Ret  // jump to r31
+	Jr   // indirect jump to rs1 (+imm)
+
+	// Out appends the value in Rd to the program's output stream. It is the
+	// emulator's I/O device; class Sys, never collapsible.
+	Out
+
+	// Halt stops the emulator.
+	Halt
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// Class is the paper's operation-type taxonomy (Section 3 and Tables 5-6):
+// ar (arithmetic), lg (logical), sh (shift), mv (move), ld (load), st
+// (store), brc (conditional branch). Mul/Div, other control transfers and
+// system operations are tracked separately because they never collapse.
+type Class uint8
+
+// Operation classes.
+const (
+	ClassNop Class = iota
+	ClassAr
+	ClassLg
+	ClassSh
+	ClassMv
+	ClassMul
+	ClassDiv
+	ClassLd
+	ClassSt
+	ClassBrc
+	ClassCtl
+	ClassSys
+
+	numClasses
+)
+
+// NumClasses is the number of defined operation classes.
+const NumClasses = int(numClasses)
+
+// Register file layout. SV8 has 32 integer registers; R0 is hard-wired to
+// zero (reads return 0, writes are discarded), mirroring SPARC's %g0. The
+// condition-code register is modelled as architectural register CC so that
+// the dependence simulator can treat cc-generation uniformly with register
+// dataflow.
+const (
+	R0 = 0 // always zero
+	SP = 29
+	FP = 30
+	RA = 31 // link register written by Call
+	CC = 32 // condition codes (virtual register)
+
+	// NumRegs counts addressable dataflow registers including CC.
+	NumRegs = 33
+)
+
+// ABI register conventions used by the MiniC compiler.
+const (
+	RegRet      = 1  // return value
+	RegArg0     = 2  // first of six argument registers r2..r7
+	NumArgRegs  = 6  //
+	RegTmp0     = 8  // first of twelve expression temporaries r8..r19
+	NumTmpRegs  = 12 //
+	RegSave0    = 20 // first of eight register-allocated locals r20..r27
+	NumSaveRegs = 8  //
+	RegScratch  = 28 // assembler/codegen scratch
+)
+
+// Instr is one SV8 instruction. Interpretation of the fields depends on Op:
+//
+//   - ALU ops (Add..Sra, Mul, Div, Rem): Rd = Rs1 op (Rs2 | Imm).
+//   - Cmp: CC = compare Rs1 with (Rs2 | Imm).
+//   - Mov: Rd = Rs1. Ldi: Rd = Imm.
+//   - Ld: Rd = mem[Rs1 + (Rs2 | Imm)].
+//   - St: mem[Rs1 + (Rs2 | Imm)] = Rd. Rd is a *source* for stores.
+//   - Conditional branches: branch to Target if CC satisfies the condition.
+//   - Jmp, Call: jump to Target. Jr: jump to Rs1 + Imm. Ret: jump to r31.
+//   - Out: emit Rd.
+//
+// HasImm selects the immediate form for ops with an Rs2/Imm alternative.
+type Instr struct {
+	Op     Op
+	Rd     uint8
+	Rs1    uint8
+	Rs2    uint8
+	Imm    int32
+	HasImm bool
+	Target int32 // instruction index for direct control transfers
+}
+
+var opInfo = [numOps]struct {
+	name  string
+	class Class
+}{
+	Nop:  {"nop", ClassNop},
+	Add:  {"add", ClassAr},
+	Sub:  {"sub", ClassAr},
+	Cmp:  {"cmp", ClassAr},
+	And:  {"and", ClassLg},
+	Or:   {"or", ClassLg},
+	Xor:  {"xor", ClassLg},
+	Andn: {"andn", ClassLg},
+	Orn:  {"orn", ClassLg},
+	Xnor: {"xnor", ClassLg},
+	Sll:  {"sll", ClassSh},
+	Srl:  {"srl", ClassSh},
+	Sra:  {"sra", ClassSh},
+	Mov:  {"mov", ClassMv},
+	Ldi:  {"ldi", ClassMv},
+	Mul:  {"mul", ClassMul},
+	Div:  {"div", ClassDiv},
+	Rem:  {"rem", ClassDiv},
+	Ld:   {"ld", ClassLd},
+	St:   {"st", ClassSt},
+	Beq:  {"beq", ClassBrc},
+	Bne:  {"bne", ClassBrc},
+	Blt:  {"blt", ClassBrc},
+	Ble:  {"ble", ClassBrc},
+	Bgt:  {"bgt", ClassBrc},
+	Bge:  {"bge", ClassBrc},
+	Bltu: {"bltu", ClassBrc},
+	Bgeu: {"bgeu", ClassBrc},
+	Jmp:  {"jmp", ClassCtl},
+	Call: {"call", ClassCtl},
+	Ret:  {"ret", ClassCtl},
+	Jr:   {"jr", ClassCtl},
+	Out:  {"out", ClassSys},
+	Halt: {"halt", ClassSys},
+}
+
+// ClassOf reports the operation class of op.
+func ClassOf(op Op) Class {
+	if int(op) >= NumOps {
+		return ClassNop
+	}
+	return opInfo[op].class
+}
+
+// Class reports the operation class of the instruction.
+func (i Instr) Class() Class { return ClassOf(i.Op) }
+
+func (op Op) String() string {
+	if int(op) >= NumOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opInfo[op].name
+}
+
+var classNames = [numClasses]string{
+	ClassNop: "nop",
+	ClassAr:  "ar",
+	ClassLg:  "lg",
+	ClassSh:  "sh",
+	ClassMv:  "mv",
+	ClassMul: "mul",
+	ClassDiv: "div",
+	ClassLd:  "ld",
+	ClassSt:  "st",
+	ClassBrc: "brc",
+	ClassCtl: "ctl",
+	ClassSys: "sys",
+}
+
+func (c Class) String() string {
+	if int(c) >= NumClasses {
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+	return classNames[c]
+}
+
+// Latency reports the execution latency in cycles of op under the paper's
+// model: 1 cycle for everything except loads and multiplies (2 cycles) and
+// divides (12 cycles).
+func Latency(op Op) int {
+	switch ClassOf(op) {
+	case ClassLd, ClassMul:
+		return 2
+	case ClassDiv:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// Writes reports the destination dataflow register of the instruction, or
+// -1 if it produces no register value. Writes to R0 are discarded and
+// reported as -1. Cmp writes CC; Call writes RA.
+func (i Instr) Writes() int {
+	switch i.Op {
+	case Cmp:
+		return CC
+	case Call:
+		return RA
+	case St, Out, Halt, Nop, Jmp, Ret, Jr,
+		Beq, Bne, Blt, Ble, Bgt, Bge, Bltu, Bgeu:
+		return -1
+	default:
+		if i.Rd == R0 {
+			return -1
+		}
+		return int(i.Rd)
+	}
+}
+
+// Reads appends the dataflow registers the instruction reads to dst and
+// returns the extended slice. R0 is included (it reads the constant zero;
+// the collapsing model treats it as a zero operand). Conditional branches
+// read CC. Stores read the stored value register (Rd) plus the address
+// registers.
+func (i Instr) Reads(dst []uint8) []uint8 {
+	switch i.Op {
+	case Nop, Ldi, Jmp, Call, Halt:
+		return dst
+	case Mov:
+		return append(dst, i.Rs1)
+	case Ret:
+		return append(dst, RA)
+	case Jr:
+		return append(dst, i.Rs1)
+	case Beq, Bne, Blt, Ble, Bgt, Bge, Bltu, Bgeu:
+		return append(dst, CC)
+	case Out:
+		return append(dst, i.Rd)
+	case St:
+		dst = append(dst, i.Rd, i.Rs1)
+		if !i.HasImm {
+			dst = append(dst, i.Rs2)
+		}
+		return dst
+	default: // ALU, Cmp, Ld
+		dst = append(dst, i.Rs1)
+		if !i.HasImm {
+			dst = append(dst, i.Rs2)
+		}
+		return dst
+	}
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Instr) IsCondBranch() bool { return i.Class() == ClassBrc }
+
+// IsControl reports whether the instruction transfers control (conditional
+// or otherwise).
+func (i Instr) IsControl() bool {
+	c := i.Class()
+	return c == ClassBrc || c == ClassCtl
+}
+
+// RegName returns the assembly name of dataflow register r.
+func RegName(r int) string {
+	switch r {
+	case CC:
+		return "cc"
+	case SP:
+		return "sp"
+	case FP:
+		return "fp"
+	case RA:
+		return "ra"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// String renders the instruction in SV8 assembly syntax.
+func (i Instr) String() string {
+	op := i.Op.String()
+	src2 := func() string {
+		if i.HasImm {
+			return fmt.Sprintf("%d", i.Imm)
+		}
+		return RegName(int(i.Rs2))
+	}
+	switch i.Op {
+	case Nop, Halt:
+		return op
+	case Ret:
+		return op
+	case Mov:
+		return fmt.Sprintf("%s %s, %s", op, RegName(int(i.Rd)), RegName(int(i.Rs1)))
+	case Ldi:
+		return fmt.Sprintf("%s %s, %d", op, RegName(int(i.Rd)), i.Imm)
+	case Cmp:
+		return fmt.Sprintf("%s %s, %s", op, RegName(int(i.Rs1)), src2())
+	case Ld:
+		return fmt.Sprintf("%s %s, [%s+%s]", op, RegName(int(i.Rd)), RegName(int(i.Rs1)), src2())
+	case St:
+		return fmt.Sprintf("%s %s, [%s+%s]", op, RegName(int(i.Rd)), RegName(int(i.Rs1)), src2())
+	case Beq, Bne, Blt, Ble, Bgt, Bge, Bltu, Bgeu, Jmp, Call:
+		return fmt.Sprintf("%s %d", op, i.Target)
+	case Jr:
+		return fmt.Sprintf("%s %s+%d", op, RegName(int(i.Rs1)), i.Imm)
+	case Out:
+		return fmt.Sprintf("%s %s", op, RegName(int(i.Rd)))
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", op, RegName(int(i.Rd)), RegName(int(i.Rs1)), src2())
+	}
+}
+
+// OpByName maps assembly mnemonics to opcodes. It is exported for the
+// assembler and tests.
+func OpByName(name string) (Op, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < numOps; op++ {
+		m[opInfo[op].name] = op
+	}
+	return m
+}()

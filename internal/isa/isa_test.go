@@ -1,0 +1,254 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassOf(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want Class
+	}{
+		{Add, ClassAr}, {Sub, ClassAr}, {Cmp, ClassAr},
+		{And, ClassLg}, {Or, ClassLg}, {Xor, ClassLg},
+		{Andn, ClassLg}, {Orn, ClassLg}, {Xnor, ClassLg},
+		{Sll, ClassSh}, {Srl, ClassSh}, {Sra, ClassSh},
+		{Mov, ClassMv}, {Ldi, ClassMv},
+		{Mul, ClassMul}, {Div, ClassDiv}, {Rem, ClassDiv},
+		{Ld, ClassLd}, {St, ClassSt},
+		{Beq, ClassBrc}, {Bne, ClassBrc}, {Bltu, ClassBrc}, {Bgeu, ClassBrc},
+		{Jmp, ClassCtl}, {Call, ClassCtl}, {Ret, ClassCtl}, {Jr, ClassCtl},
+		{Out, ClassSys}, {Halt, ClassSys},
+		{Nop, ClassNop},
+	}
+	for _, tt := range tests {
+		if got := ClassOf(tt.op); got != tt.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestClassOfOutOfRange(t *testing.T) {
+	if got := ClassOf(Op(200)); got != ClassNop {
+		t.Errorf("ClassOf(200) = %v, want ClassNop", got)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want int
+	}{
+		{Add, 1}, {And, 1}, {Sll, 1}, {Mov, 1}, {Cmp, 1},
+		{Beq, 1}, {St, 1}, {Jmp, 1},
+		{Ld, 2}, {Mul, 2},
+		{Div, 12}, {Rem, 12},
+	}
+	for _, tt := range tests {
+		if got := Latency(tt.op); got != tt.want {
+			t.Errorf("Latency(%v) = %d, want %d", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestWrites(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Instr
+		want int
+	}{
+		{"add", Instr{Op: Add, Rd: 5}, 5},
+		{"add to r0 discarded", Instr{Op: Add, Rd: 0}, -1},
+		{"cmp writes CC", Instr{Op: Cmp, Rs1: 1}, CC},
+		{"call writes RA", Instr{Op: Call}, RA},
+		{"store writes nothing", Instr{Op: St, Rd: 5}, -1},
+		{"branch writes nothing", Instr{Op: Beq}, -1},
+		{"out writes nothing", Instr{Op: Out, Rd: 3}, -1},
+		{"ld", Instr{Op: Ld, Rd: 7}, 7},
+		{"ldi", Instr{Op: Ldi, Rd: 9}, 9},
+		{"ret writes nothing", Instr{Op: Ret}, -1},
+		{"jr writes nothing", Instr{Op: Jr, Rs1: 4}, -1},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Writes(); got != tt.want {
+			t.Errorf("%s: Writes() = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestReads(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Instr
+		want []uint8
+	}{
+		{"add rr", Instr{Op: Add, Rd: 1, Rs1: 2, Rs2: 3}, []uint8{2, 3}},
+		{"add ri", Instr{Op: Add, Rd: 1, Rs1: 2, Imm: 7, HasImm: true}, []uint8{2}},
+		{"ldi no reads", Instr{Op: Ldi, Rd: 1, Imm: 7, HasImm: true}, nil},
+		{"mov", Instr{Op: Mov, Rd: 1, Rs1: 2}, []uint8{2}},
+		{"branch reads CC", Instr{Op: Bne}, []uint8{CC}},
+		{"ret reads RA", Instr{Op: Ret}, []uint8{RA}},
+		{"jr reads rs1", Instr{Op: Jr, Rs1: 6}, []uint8{6}},
+		{"store reads value+base+index", Instr{Op: St, Rd: 4, Rs1: 5, Rs2: 6}, []uint8{4, 5, 6}},
+		{"store imm reads value+base", Instr{Op: St, Rd: 4, Rs1: 5, Imm: 8, HasImm: true}, []uint8{4, 5}},
+		{"ld rr", Instr{Op: Ld, Rd: 4, Rs1: 5, Rs2: 6}, []uint8{5, 6}},
+		{"out reads rd", Instr{Op: Out, Rd: 9}, []uint8{9}},
+		{"call no reads", Instr{Op: Call}, nil},
+		{"jmp no reads", Instr{Op: Jmp}, nil},
+	}
+	for _, tt := range tests {
+		got := tt.in.Reads(nil)
+		if len(got) != len(tt.want) {
+			t.Errorf("%s: Reads() = %v, want %v", tt.name, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%s: Reads() = %v, want %v", tt.name, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		got, ok := OpByName(op.String())
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", op.String())
+		}
+		if got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName(bogus) unexpectedly found")
+	}
+}
+
+func TestIsCondBranchAndIsControl(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		in := Instr{Op: op}
+		wantCond := ClassOf(op) == ClassBrc
+		if got := in.IsCondBranch(); got != wantCond {
+			t.Errorf("%v: IsCondBranch = %v, want %v", op, got, wantCond)
+		}
+		wantCtl := wantCond || ClassOf(op) == ClassCtl
+		if got := in.IsControl(); got != wantCtl {
+			t.Errorf("%v: IsControl = %v, want %v", op, got, wantCtl)
+		}
+	}
+}
+
+func TestRegName(t *testing.T) {
+	tests := []struct {
+		r    int
+		want string
+	}{{0, "r0"}, {7, "r7"}, {SP, "sp"}, {FP, "fp"}, {RA, "ra"}, {CC, "cc"}}
+	for _, tt := range tests {
+		if got := RegName(tt.r); got != tt.want {
+			t.Errorf("RegName(%d) = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Add, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instr{Op: Add, Rd: 1, Rs1: 2, Imm: -4, HasImm: true}, "add r1, r2, -4"},
+		{Instr{Op: Ld, Rd: 4, Rs1: SP, Imm: 8, HasImm: true}, "ld r4, [sp+8]"},
+		{Instr{Op: St, Rd: 4, Rs1: 5, Rs2: 6}, "st r4, [r5+r6]"},
+		{Instr{Op: Cmp, Rs1: 2, Imm: 0, HasImm: true}, "cmp r2, 0"},
+		{Instr{Op: Beq, Target: 12}, "beq 12"},
+		{Instr{Op: Ldi, Rd: 3, Imm: 100, HasImm: true}, "ldi r3, 100"},
+		{Instr{Op: Mov, Rd: 3, Rs1: 9}, "mov r3, r9"},
+		{Instr{Op: Halt}, "halt"},
+		{Instr{Op: Ret}, "ret"},
+		{Instr{Op: Out, Rd: 1}, "out r1"},
+		{Instr{Op: Jr, Rs1: 8, Imm: 2, HasImm: true}, "jr r8+2"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// Property: every instruction's Writes target is never R0 and Reads never
+// returns more than 3 registers.
+func TestReadsWritesBounds(t *testing.T) {
+	f := func(op8, rd, rs1, rs2 uint8, imm int32, hasImm bool) bool {
+		in := Instr{
+			Op: Op(op8 % uint8(NumOps)), Rd: rd % 32, Rs1: rs1 % 32, Rs2: rs2 % 32,
+			Imm: imm, HasImm: hasImm,
+		}
+		w := in.Writes()
+		if w == R0 {
+			return false
+		}
+		if w >= NumRegs {
+			return false
+		}
+		reads := in.Reads(nil)
+		if len(reads) > 3 {
+			return false
+		}
+		for _, r := range reads {
+			if int(r) >= NumRegs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{Code: []Instr{{Op: Jmp, Target: 0}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		p    *Program
+	}{
+		{"entry out of range", &Program{Code: []Instr{{Op: Halt}}, Entry: 5}},
+		{"branch target out of range", &Program{Code: []Instr{{Op: Beq, Target: 9}}}},
+		{"negative target", &Program{Code: []Instr{{Op: Jmp, Target: -1}}}},
+		{"bad register", &Program{Code: []Instr{{Op: Add, Rd: 40}}}},
+	}
+	for _, tt := range tests {
+		if err := tt.p.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tt.name)
+		}
+	}
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	p := &Program{
+		Code:    []Instr{{Op: Ldi, Rd: 1, Imm: 5, HasImm: true}, {Op: Halt}},
+		Symbols: map[string]int32{"main": 0},
+	}
+	d := p.Disassemble()
+	if want := "main:"; !contains(d, want) {
+		t.Errorf("Disassemble missing %q:\n%s", want, d)
+	}
+	if want := "ldi r1, 5"; !contains(d, want) {
+		t.Errorf("Disassemble missing %q:\n%s", want, d)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

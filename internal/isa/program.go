@@ -1,0 +1,54 @@
+package isa
+
+import "fmt"
+
+// Program is a loaded SV8 program: code, an initialized data segment, and
+// the entry point. Addresses are byte addresses; the data segment is placed
+// at DataBase and is word (4-byte) granular.
+type Program struct {
+	Code     []Instr
+	Data     []int32           // initial data segment contents (words)
+	DataBase uint32            // byte address of Data[0]
+	Entry    int32             // instruction index where execution starts
+	Symbols  map[string]int32  // label -> instruction index
+	DataSyms map[string]uint32 // data label -> byte address
+}
+
+// Validate checks structural invariants: control-transfer targets in range,
+// register numbers valid, entry in range. It returns the first violation
+// found.
+func (p *Program) Validate() error {
+	n := int32(len(p.Code))
+	if p.Entry < 0 || p.Entry >= n {
+		return fmt.Errorf("isa: entry %d out of range [0,%d)", p.Entry, n)
+	}
+	for pc, in := range p.Code {
+		switch in.Op {
+		case Beq, Bne, Blt, Ble, Bgt, Bge, Bltu, Bgeu, Jmp, Call:
+			if in.Target < 0 || in.Target >= n {
+				return fmt.Errorf("isa: pc %d (%s): target %d out of range [0,%d)", pc, in, in.Target, n)
+			}
+		}
+		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+			return fmt.Errorf("isa: pc %d (%s): register out of range", pc, in)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole code segment with instruction indices and
+// label annotations, for debugging and the ddasm tool.
+func (p *Program) Disassemble() string {
+	labels := make(map[int32][]string)
+	for name, pc := range p.Symbols {
+		labels[pc] = append(labels[pc], name)
+	}
+	var out []byte
+	for pc, in := range p.Code {
+		for _, l := range labels[int32(pc)] {
+			out = append(out, fmt.Sprintf("%s:\n", l)...)
+		}
+		out = append(out, fmt.Sprintf("%6d  %s\n", pc, in)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,143 @@
+// Package mem models a level-1 data cache for the "more realistic
+// environments" direction the paper's conclusion names as further research.
+// The paper's own model assumes perfect memory (every load takes 2 cycles);
+// attaching a Cache to the simulator's Params makes loads that miss pay a
+// configurable penalty, quantifying how much of the speculation/collapsing
+// potential survives a real memory hierarchy.
+//
+// The model is a set-associative, write-allocate, LRU cache with
+// single-cycle hits folded into the paper's 2-cycle load latency. It is
+// deliberately state-only (no MSHR/bandwidth modeling): the limit study's
+// question is dependence latency, not memory bandwidth.
+package mem
+
+import "fmt"
+
+// CacheConfig dimensions a cache. All sizes must be powers of two.
+type CacheConfig struct {
+	Sets        int // number of sets
+	Ways        int // associativity (1 = direct-mapped)
+	LineBytes   int // line size in bytes
+	MissLatency int // extra cycles a missing load pays
+}
+
+// DefaultL1 is a 16 KiB, 2-way, 32-byte-line cache with a 20-cycle miss
+// penalty — small for its era on purpose, so misses actually appear on
+// million-instruction traces.
+func DefaultL1() CacheConfig {
+	return CacheConfig{Sets: 256, Ways: 2, LineBytes: 32, MissLatency: 20}
+}
+
+func (c CacheConfig) validate() error {
+	for _, v := range []struct {
+		name string
+		n    int
+	}{{"Sets", c.Sets}, {"Ways", c.Ways}, {"LineBytes", c.LineBytes}} {
+		if v.n <= 0 || v.n&(v.n-1) != 0 {
+			return fmt.Errorf("mem: %s must be a positive power of two, got %d", v.name, v.n)
+		}
+	}
+	if c.MissLatency < 0 {
+		return fmt.Errorf("mem: negative miss latency %d", c.MissLatency)
+	}
+	return nil
+}
+
+// SizeBytes reports the cache capacity.
+func (c CacheConfig) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// Cache is the simulation model. It is not safe for concurrent use; the
+// simulator accesses it in trace order, which keeps runs deterministic.
+type Cache struct {
+	cfg      CacheConfig
+	lineMask uint32
+	setMask  uint32
+	shift    uint
+
+	// tags[set*ways+way]; age holds per-line LRU counters (smaller = older).
+	tags  []uint32
+	valid []bool
+	age   []uint64
+	clock uint64
+
+	// Stats.
+	Accesses int64
+	Misses   int64
+}
+
+// NewCache builds a cache; it panics on invalid configuration (a
+// construction-time programming error, not a runtime condition).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Sets * cfg.Ways
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		lineMask: ^uint32(cfg.LineBytes - 1),
+		setMask:  uint32(cfg.Sets - 1),
+		shift:    shift,
+		tags:     make([]uint32, n),
+		valid:    make([]bool, n),
+		age:      make([]uint64, n),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access looks up addr, updates LRU state, allocates on miss
+// (write-allocate for stores too), and reports whether it hit.
+func (c *Cache) Access(addr uint32) bool {
+	c.Accesses++
+	c.clock++
+	line := addr & c.lineMask
+	set := (addr >> c.shift) & c.setMask
+	base := int(set) * c.cfg.Ways
+
+	victim := base
+	oldest := c.age[base]
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.age[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+			oldest = 0
+			continue
+		}
+		if c.age[i] < oldest {
+			victim, oldest = i, c.age[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.age[victim] = c.clock
+	return false
+}
+
+// MissRate reports the miss fraction in percent.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.age[i] = 0
+	}
+	c.clock = 0
+	c.Accesses = 0
+	c.Misses = 0
+}

@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{Sets: 0, Ways: 1, LineBytes: 32},
+		{Sets: 3, Ways: 1, LineBytes: 32},
+		{Sets: 16, Ways: 0, LineBytes: 32},
+		{Sets: 16, Ways: 2, LineBytes: 24},
+		{Sets: 16, Ways: 2, LineBytes: 32, MissLatency: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if err := DefaultL1().validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := DefaultL1().SizeBytes(); got != 16*1024 {
+		t.Errorf("default size = %d, want 16KiB", got)
+	}
+}
+
+func TestNewCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCache accepted an invalid config")
+		}
+	}()
+	NewCache(CacheConfig{Sets: 3, Ways: 1, LineBytes: 32})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := NewCache(CacheConfig{Sets: 4, Ways: 1, LineBytes: 16, MissLatency: 10})
+	if c.Access(0x100) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x100) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x10c) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(0x200) {
+		t.Error("different line hit")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("accesses/misses = %d/%d, want 4/2", c.Accesses, c.Misses)
+	}
+	if got := c.MissRate(); got != 50 {
+		t.Errorf("miss rate = %v, want 50", got)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 4 sets x 16B lines: addresses 0x000 and 0x040 map to set 0 and evict
+	// each other in a direct-mapped cache.
+	c := NewCache(CacheConfig{Sets: 4, Ways: 1, LineBytes: 16})
+	c.Access(0x000)
+	c.Access(0x040)
+	if c.Access(0x000) {
+		t.Error("conflicting line survived in a direct-mapped cache")
+	}
+}
+
+func TestTwoWayAvoidsConflict(t *testing.T) {
+	c := NewCache(CacheConfig{Sets: 4, Ways: 2, LineBytes: 16})
+	c.Access(0x000)
+	c.Access(0x040)
+	if !c.Access(0x000) {
+		t.Error("2-way cache evicted one of two conflicting lines")
+	}
+	if !c.Access(0x040) {
+		t.Error("2-way cache lost the second line")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// Three lines into a 2-way set: the least recently used is evicted.
+	c := NewCache(CacheConfig{Sets: 4, Ways: 2, LineBytes: 16})
+	c.Access(0x000) // A
+	c.Access(0x040) // B
+	c.Access(0x000) // touch A: B is now LRU
+	c.Access(0x080) // C evicts B
+	if !c.Access(0x000) {
+		t.Error("A evicted despite being MRU")
+	}
+	if c.Access(0x040) {
+		t.Error("B survived despite being LRU")
+	}
+}
+
+func TestSequentialScanExploitsLines(t *testing.T) {
+	// A word-by-word scan should miss once per 32-byte line: 12.5%.
+	c := NewCache(DefaultL1())
+	for addr := uint32(0); addr < 32*1024; addr += 4 {
+		c.Access(addr)
+	}
+	if got := c.MissRate(); got < 12 || got > 13 {
+		t.Errorf("sequential scan miss rate = %.2f%%, want ~12.5%%", got)
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// A working set smaller than the cache, touched twice: second pass all
+	// hits.
+	c := NewCache(DefaultL1())
+	size := uint32(c.Config().SizeBytes() / 2)
+	for pass := 0; pass < 2; pass++ {
+		before := c.Misses
+		for addr := uint32(0); addr < size; addr += 4 {
+			c.Access(addr)
+		}
+		if pass == 1 && c.Misses != before {
+			t.Errorf("second pass over a fitting working set missed %d times", c.Misses-before)
+		}
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	// A working set 4x the cache, scanned repeatedly: near-100% line-grain
+	// misses on every pass (LRU pathological case).
+	cfg := CacheConfig{Sets: 16, Ways: 2, LineBytes: 32}
+	c := NewCache(cfg)
+	span := uint32(4 * cfg.SizeBytes())
+	for pass := 0; pass < 3; pass++ {
+		c.Reset()
+		for addr := uint32(0); addr < span; addr += 32 {
+			c.Access(addr)
+		}
+		if c.Misses != c.Accesses {
+			t.Errorf("pass %d: %d hits on a thrashing scan", pass, c.Accesses-c.Misses)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCache(DefaultL1())
+	c.Access(0x40)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("stats survived Reset")
+	}
+	if c.Access(0x40) {
+		t.Error("contents survived Reset")
+	}
+}
+
+// Property: repeating any access immediately always hits, and stats stay
+// consistent (misses <= accesses).
+func TestRepeatHitsQuick(t *testing.T) {
+	c := NewCache(CacheConfig{Sets: 8, Ways: 2, LineBytes: 16})
+	f := func(addr uint32) bool {
+		c.Access(addr)
+		if !c.Access(addr) {
+			return false
+		}
+		return c.Misses <= c.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package minic
+
+// The AST. Nodes carry the source line for diagnostics.
+
+type program struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name string
+	line int
+	// Exactly one of the following shapes:
+	isArray bool
+	size    int32   // array element count (words); for initialized arrays, len(init)
+	init    []int32 // scalar: one element; array with initializer: its values
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   *blockStmt
+	line   int
+}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type blockStmt struct {
+	stmts []stmt
+}
+
+type varStmt struct {
+	name string
+	size int32 // 0: scalar; >0: local array of size words
+	init expr  // optional initializer (scalars only)
+	line int
+}
+
+type assignStmt struct {
+	lhs  expr // identExpr, indexExpr or derefExpr
+	rhs  expr
+	line int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els stmt // els may be nil
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body stmt
+	line int
+}
+
+type forStmt struct {
+	init stmt // may be nil (assignStmt or varStmt)
+	cond expr // may be nil (infinite)
+	post stmt // may be nil
+	body stmt
+	line int
+}
+
+type returnStmt struct {
+	value expr // may be nil
+	line  int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type exprStmt struct {
+	x    expr
+	line int
+}
+
+func (*blockStmt) stmtNode()    {}
+func (*varStmt) stmtNode()      {}
+func (*assignStmt) stmtNode()   {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*exprStmt) stmtNode()     {}
+
+// Expressions.
+
+type expr interface{ exprNode() }
+
+type numExpr struct {
+	val  int32
+	line int
+}
+
+type identExpr struct {
+	name string
+	line int
+}
+
+type unaryExpr struct {
+	op   tokKind // tokMinus, tokBang, tokTilde
+	x    expr
+	line int
+}
+
+type binExpr struct {
+	op   tokKind
+	l, r expr
+	line int
+}
+
+type indexExpr struct {
+	base  expr
+	index expr
+	line  int
+}
+
+type derefExpr struct {
+	ptr  expr
+	line int
+}
+
+type addrExpr struct {
+	x    expr // identExpr or indexExpr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+func (*numExpr) exprNode()   {}
+func (*identExpr) exprNode() {}
+func (*unaryExpr) exprNode() {}
+func (*binExpr) exprNode()   {}
+func (*indexExpr) exprNode() {}
+func (*derefExpr) exprNode() {}
+func (*addrExpr) exprNode()  {}
+func (*callExpr) exprNode()  {}

@@ -1,0 +1,841 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Register conventions shared with the isa package's ABI (kept as local
+// constants so the compiler reads standalone).
+const (
+	retReg       = 1  // return value
+	argRegBase   = 2  // r2..r7
+	maxArgRegs   = 6  //
+	tmpRegBase   = 8  // r8..r19: expression temporaries, caller-saved
+	numTmpRegs   = 12 //
+	savedRegBase = 20 // r20..r27: register locals, callee-saved
+	numSavedRegs = 8  //
+)
+
+// Options selects optional code-generation behaviour.
+type Options struct {
+	// DirectAssign writes binary-operation results straight into a
+	// register-resident local's home register instead of materializing a
+	// temporary and moving it: "x = x + 1" becomes one instruction. This
+	// shortens dependence chains and removes mv instructions — the
+	// compiler-side ILP lever the paper's conclusion names as future work.
+	DirectAssign bool
+}
+
+// Compile translates MiniC source into SV8 assembly text with default
+// options (the configuration the repository's experiment numbers use).
+func Compile(src string) (string, error) { return CompileWithOptions(src, Options{}) }
+
+// CompileWithOptions translates MiniC source with explicit codegen options.
+func CompileWithOptions(src string, opts Options) (string, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return "", err
+	}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return "", err
+	}
+	a, err := analyze(prog)
+	if err != nil {
+		return "", err
+	}
+	g := &codegen{a: a, opts: opts}
+	return g.generate()
+}
+
+// val is an expression result: a register plus whether it is an owned
+// temporary that must be released (in LIFO order).
+type val struct {
+	reg uint8
+	tmp bool
+}
+
+// operand is a source operand: an immediate or a register value.
+type operand struct {
+	isImm bool
+	imm   int32
+	v     val
+}
+
+type codegen struct {
+	a    *analysis
+	opts Options
+	b    strings.Builder
+	lbl  int
+
+	// Per-function state.
+	fn        *funcInfo
+	localBase int32 // bytes from fp down to the start of the local area
+	frame     int32
+	tmpDepth  int
+	retLbl    string
+	breakLbl  []string
+	contLbl   []string
+	errs      []error
+}
+
+func (g *codegen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
+}
+
+func (g *codegen) label(l string) { fmt.Fprintf(&g.b, "%s:\n", l) }
+
+func (g *codegen) newLabel() string {
+	g.lbl++
+	return fmt.Sprintf("L%d", g.lbl)
+}
+
+func (g *codegen) fail(line int, format string, args ...any) {
+	g.errs = append(g.errs, errf(line, format, args...))
+}
+
+func (g *codegen) generate() (string, error) {
+	// Data segment: runtime heap pointer plus globals.
+	g.b.WriteString(".data\n")
+	g.b.WriteString("__hp: .word 0\n")
+	g.b.WriteString("__hplim: .word 0\n")
+	for _, gd := range g.a.prog.globals {
+		if gd.isArray {
+			if len(gd.init) > 0 {
+				fmt.Fprintf(&g.b, "g_%s: .word %s\n", gd.name, joinInts(gd.init))
+				if extra := int(gd.size) - len(gd.init); extra > 0 {
+					fmt.Fprintf(&g.b, "\t.space %d\n", extra)
+				}
+			} else {
+				fmt.Fprintf(&g.b, "g_%s: .space %d\n", gd.name, gd.size)
+			}
+		} else {
+			fmt.Fprintf(&g.b, "g_%s: .word %d\n", gd.name, gd.init[0])
+		}
+	}
+
+	// Startup stub: record the heap bounds the VM passes in r2/r3, run the
+	// user's main, halt.
+	g.b.WriteString(".text\n")
+	g.b.WriteString("main:\n")
+	g.emit("st r2, [r0+__hp]")
+	g.emit("st r3, [r0+__hplim]")
+	g.emit("call fn_main")
+	g.emit("halt")
+
+	for _, f := range g.a.prog.funcs {
+		g.genFunc(g.a.funcs[f.name])
+	}
+	if len(g.errs) > 0 {
+		return "", g.errs[0]
+	}
+	return g.b.String(), nil
+}
+
+func joinInts(vs []int32) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (g *codegen) genFunc(fn *funcInfo) {
+	g.fn = fn
+	g.tmpDepth = 0
+	g.retLbl = g.newLabel()
+	g.localBase = 8 + 4*int32(len(fn.usedSaved))
+	g.frame = (g.localBase + fn.frameSize + 7) &^ 7
+
+	g.label("fn_" + fn.decl.name)
+	g.emit("add sp, sp, %d", -g.frame)
+	g.emit("st ra, [sp+%d]", g.frame-4)
+	g.emit("st fp, [sp+%d]", g.frame-8)
+	g.emit("add fp, sp, %d", g.frame)
+	for i, r := range fn.usedSaved {
+		g.emit("st r%d, [fp+%d]", r, -12-4*int32(i))
+	}
+	for i, p := range fn.params {
+		src := argRegBase + i
+		if p.store == storeReg {
+			g.emit("mov r%d, r%d", p.reg, src)
+		} else {
+			g.emit("st r%d, [fp+%d]", src, g.slotOffset(p))
+		}
+	}
+
+	g.genStmt(fn.decl.body)
+
+	g.emit("ldi r%d, 0", retReg) // implicit return 0 on fall-through
+	g.label(g.retLbl)
+	for i, r := range fn.usedSaved {
+		g.emit("ld r%d, [fp+%d]", r, -12-4*int32(i))
+	}
+	g.emit("ld ra, [fp+%d]", -4)
+	g.emit("ld fp, [fp+%d]", -8)
+	g.emit("add sp, sp, %d", g.frame)
+	g.emit("ret")
+}
+
+// slotOffset is the fp-relative byte offset of a frame-resident local.
+func (g *codegen) slotOffset(l *localInfo) int32 { return -(g.localBase + l.offset) }
+
+// --- temporaries ------------------------------------------------------------
+
+func (g *codegen) allocTmp(line int) val {
+	if g.tmpDepth >= numTmpRegs {
+		g.fail(line, "expression too complex (out of temporaries)")
+		return val{reg: tmpRegBase, tmp: false}
+	}
+	v := val{reg: uint8(tmpRegBase + g.tmpDepth), tmp: true}
+	g.tmpDepth++
+	return v
+}
+
+func (g *codegen) release(v val) {
+	if v.tmp {
+		g.tmpDepth--
+	}
+}
+
+// --- statements ---------------------------------------------------------------
+
+func (g *codegen) genStmt(s stmt) {
+	switch st := s.(type) {
+	case *blockStmt:
+		for _, inner := range st.stmts {
+			g.genStmt(inner)
+		}
+
+	case *varStmt:
+		l := g.a.vars[st]
+		if st.init == nil {
+			return
+		}
+		if l.store == storeReg && g.opts.DirectAssign && g.genDirectAssign(l.reg, st.init) {
+			return
+		}
+		v := g.genExpr(st.init)
+		if l.store == storeReg {
+			g.emit("mov r%d, r%d", l.reg, v.reg)
+		} else {
+			g.emit("st r%d, [fp+%d]", v.reg, g.slotOffset(l))
+		}
+		g.release(v)
+
+	case *assignStmt:
+		g.genAssign(st)
+
+	case *ifStmt:
+		elseL := g.newLabel()
+		g.genCond(st.cond, elseL, false)
+		g.genStmt(st.then)
+		if st.els != nil {
+			endL := g.newLabel()
+			g.emit("jmp %s", endL)
+			g.label(elseL)
+			g.genStmt(st.els)
+			g.label(endL)
+		} else {
+			g.label(elseL)
+		}
+
+	case *whileStmt:
+		condL, endL := g.newLabel(), g.newLabel()
+		g.breakLbl = append(g.breakLbl, endL)
+		g.contLbl = append(g.contLbl, condL)
+		g.label(condL)
+		g.genCond(st.cond, endL, false)
+		g.genStmt(st.body)
+		g.emit("jmp %s", condL)
+		g.label(endL)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+
+	case *forStmt:
+		condL, postL, endL := g.newLabel(), g.newLabel(), g.newLabel()
+		if st.init != nil {
+			g.genStmt(st.init)
+		}
+		g.breakLbl = append(g.breakLbl, endL)
+		g.contLbl = append(g.contLbl, postL)
+		g.label(condL)
+		if st.cond != nil {
+			g.genCond(st.cond, endL, false)
+		}
+		g.genStmt(st.body)
+		g.label(postL)
+		if st.post != nil {
+			g.genStmt(st.post)
+		}
+		g.emit("jmp %s", condL)
+		g.label(endL)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+
+	case *returnStmt:
+		if st.value != nil {
+			v := g.genExpr(st.value)
+			g.emit("mov r%d, r%d", retReg, v.reg)
+			g.release(v)
+		} else {
+			g.emit("ldi r%d, 0", retReg)
+		}
+		g.emit("jmp %s", g.retLbl)
+
+	case *breakStmt:
+		g.emit("jmp %s", g.breakLbl[len(g.breakLbl)-1])
+
+	case *continueStmt:
+		g.emit("jmp %s", g.contLbl[len(g.contLbl)-1])
+
+	case *exprStmt:
+		v := g.genExpr(st.x)
+		g.release(v)
+	}
+}
+
+func (g *codegen) genAssign(st *assignStmt) {
+	switch lhs := st.lhs.(type) {
+	case *identExpr:
+		sym := g.a.idents[lhs]
+		if sym.local != nil && sym.local.store == storeReg &&
+			g.opts.DirectAssign && g.genDirectAssign(sym.local.reg, st.rhs) {
+			return
+		}
+		v := g.genExpr(st.rhs)
+		switch {
+		case sym.local != nil && sym.local.store == storeReg:
+			g.emit("mov r%d, r%d", sym.local.reg, v.reg)
+		case sym.local != nil:
+			g.emit("st r%d, [fp+%d]", v.reg, g.slotOffset(sym.local))
+		default:
+			g.emit("st r%d, [r0+g_%s]", v.reg, sym.global.name)
+		}
+		g.release(v)
+
+	case *indexExpr:
+		base := g.genExpr(lhs.base)
+		idx := g.genIndex(lhs.index)
+		v := g.genExpr(st.rhs)
+		if idx.isImm {
+			g.emit("st r%d, [r%d+%d]", v.reg, base.reg, idx.imm)
+		} else {
+			g.emit("st r%d, [r%d+r%d]", v.reg, base.reg, idx.v.reg)
+		}
+		g.release(v)
+		g.release(idx.v)
+		g.release(base)
+
+	case *derefExpr:
+		p := g.genExpr(lhs.ptr)
+		v := g.genExpr(st.rhs)
+		g.emit("st r%d, [r%d+0]", v.reg, p.reg)
+		g.release(v)
+		g.release(p)
+	}
+}
+
+// --- conditions ---------------------------------------------------------------
+
+// genCond emits a jump to target taken when the condition's truth equals
+// when. Comparisons and logical operators compile to compare-and-branch
+// without materializing a boolean.
+func (g *codegen) genCond(e expr, target string, when bool) {
+	switch x := e.(type) {
+	case *numExpr:
+		if (x.val != 0) == when {
+			g.emit("jmp %s", target)
+		}
+		return
+
+	case *unaryExpr:
+		if x.op == tokBang {
+			g.genCond(x.x, target, !when)
+			return
+		}
+
+	case *binExpr:
+		switch x.op {
+		case tokEq, tokNe, tokLt, tokLe, tokGt, tokGe:
+			l := g.genExpr(x.l)
+			r := g.genOperand(x.r)
+			if r.isImm {
+				g.emit("cmp r%d, %d", l.reg, r.imm)
+			} else {
+				g.emit("cmp r%d, r%d", l.reg, r.v.reg)
+			}
+			g.release(r.v)
+			g.release(l)
+			g.emit("%s %s", branchFor(x.op, when), target)
+			return
+		case tokAndAnd:
+			if when {
+				skip := g.newLabel()
+				g.genCond(x.l, skip, false)
+				g.genCond(x.r, target, true)
+				g.label(skip)
+			} else {
+				g.genCond(x.l, target, false)
+				g.genCond(x.r, target, false)
+			}
+			return
+		case tokOrOr:
+			if when {
+				g.genCond(x.l, target, true)
+				g.genCond(x.r, target, true)
+			} else {
+				skip := g.newLabel()
+				g.genCond(x.l, skip, true)
+				g.genCond(x.r, target, false)
+				g.label(skip)
+			}
+			return
+		}
+	}
+
+	v := g.genExpr(e)
+	g.emit("cmp r%d, 0", v.reg)
+	g.release(v)
+	if when {
+		g.emit("bne %s", target)
+	} else {
+		g.emit("beq %s", target)
+	}
+}
+
+// branchFor maps a comparison operator to the branch taken when the
+// comparison's truth equals when.
+func branchFor(op tokKind, when bool) string {
+	type pair struct{ t, f string }
+	m := map[tokKind]pair{
+		tokEq: {"beq", "bne"},
+		tokNe: {"bne", "beq"},
+		tokLt: {"blt", "bge"},
+		tokLe: {"ble", "bgt"},
+		tokGt: {"bgt", "ble"},
+		tokGe: {"bge", "blt"},
+	}
+	p := m[op]
+	if when {
+		return p.t
+	}
+	return p.f
+}
+
+// --- expressions ---------------------------------------------------------------
+
+// genOperand evaluates e as a source operand, preferring immediate form.
+func (g *codegen) genOperand(e expr) operand {
+	if n, ok := e.(*numExpr); ok {
+		return operand{isImm: true, imm: n.val}
+	}
+	return operand{v: g.genExpr(e)}
+}
+
+// genIndex evaluates an array index scaled to a byte offset.
+func (g *codegen) genIndex(e expr) operand {
+	if n, ok := e.(*numExpr); ok {
+		return operand{isImm: true, imm: 4 * n.val}
+	}
+	idx := g.genExpr(e)
+	t := g.resultTmp(idx, 0)
+	g.emit("sll r%d, r%d, 2", t.reg, idx.reg)
+	return operand{v: t}
+}
+
+// resultTmp returns a destination register for an operation consuming v:
+// v itself when it is an owned temporary, otherwise a fresh one.
+func (g *codegen) resultTmp(v val, line int) val {
+	if v.tmp {
+		return v
+	}
+	return g.allocTmp(line)
+}
+
+// genExpr evaluates e into a register.
+func (g *codegen) genExpr(e expr) val {
+	switch x := e.(type) {
+	case *numExpr:
+		t := g.allocTmp(x.line)
+		g.emit("ldi r%d, %d", t.reg, x.val)
+		return t
+
+	case *identExpr:
+		sym := g.a.idents[x]
+		switch {
+		case sym.local != nil && sym.local.store == storeReg:
+			return val{reg: sym.local.reg}
+		case sym.local != nil && sym.local.isArray:
+			t := g.allocTmp(x.line)
+			g.emit("add r%d, fp, %d", t.reg, g.slotOffset(sym.local))
+			return t
+		case sym.local != nil:
+			t := g.allocTmp(x.line)
+			g.emit("ld r%d, [fp+%d]", t.reg, g.slotOffset(sym.local))
+			return t
+		case sym.global.isArray:
+			t := g.allocTmp(x.line)
+			g.emit("ldi r%d, g_%s", t.reg, sym.global.name)
+			return t
+		default:
+			t := g.allocTmp(x.line)
+			g.emit("ld r%d, [r0+g_%s]", t.reg, sym.global.name)
+			return t
+		}
+
+	case *unaryExpr:
+		return g.genUnary(x)
+
+	case *binExpr:
+		return g.genBin(x)
+
+	case *indexExpr:
+		base := g.genExpr(x.base)
+		idx := g.genIndex(x.index)
+		// Release before allocating the destination so the result can
+		// reuse the deeper slot (LIFO).
+		g.release(idx.v)
+		g.release(base)
+		t := g.allocTmp(x.line)
+		if idx.isImm {
+			g.emit("ld r%d, [r%d+%d]", t.reg, base.reg, idx.imm)
+		} else {
+			g.emit("ld r%d, [r%d+r%d]", t.reg, base.reg, idx.v.reg)
+		}
+		return t
+
+	case *derefExpr:
+		p := g.genExpr(x.ptr)
+		g.release(p)
+		t := g.allocTmp(x.line)
+		g.emit("ld r%d, [r%d+0]", t.reg, p.reg)
+		return t
+
+	case *addrExpr:
+		return g.genAddr(x)
+
+	case *callExpr:
+		return g.genCall(x)
+	}
+	g.fail(0, "unsupported expression %T", e)
+	return g.allocTmp(0)
+}
+
+func (g *codegen) genUnary(x *unaryExpr) val {
+	switch x.op {
+	case tokMinus:
+		v := g.genExpr(x.x)
+		t := g.resultTmp(v, x.line)
+		g.emit("sub r%d, r0, r%d", t.reg, v.reg)
+		return t
+	case tokTilde:
+		v := g.genExpr(x.x)
+		t := g.resultTmp(v, x.line)
+		g.emit("xor r%d, r%d, -1", t.reg, v.reg)
+		return t
+	default: // tokBang: booleanize
+		t := g.allocTmp(x.line)
+		trueL, endL := g.newLabel(), g.newLabel()
+		g.genCond(x.x, trueL, false)
+		g.emit("ldi r%d, 0", t.reg)
+		g.emit("jmp %s", endL)
+		g.label(trueL)
+		g.emit("ldi r%d, 1", t.reg)
+		g.label(endL)
+		return t
+	}
+}
+
+func (g *codegen) genBin(x *binExpr) val {
+	switch x.op {
+	case tokEq, tokNe, tokLt, tokLe, tokGt, tokGe, tokAndAnd, tokOrOr:
+		// Boolean-valued: evaluate via the condition machinery.
+		t := g.allocTmp(x.line)
+		trueL, endL := g.newLabel(), g.newLabel()
+		g.genCond(x, trueL, true)
+		g.emit("ldi r%d, 0", t.reg)
+		g.emit("jmp %s", endL)
+		g.label(trueL)
+		g.emit("ldi r%d, 1", t.reg)
+		g.label(endL)
+		return t
+	}
+
+	// Strength reduction for constant multiply/divide/modulo.
+	if r, ok := x.r.(*numExpr); ok {
+		switch x.op {
+		case tokStar:
+			return g.genMulConst(x, r.val)
+		case tokSlash:
+			if v, done := g.genDivConst(x, r.val); done {
+				return v
+			}
+		case tokPercent:
+			if v, done := g.genModConst(x, r.val); done {
+				return v
+			}
+		}
+	}
+
+	op := map[tokKind]string{
+		tokPlus: "add", tokMinus: "sub", tokStar: "mul", tokSlash: "div",
+		tokPercent: "rem", tokAmp: "and", tokPipe: "or", tokCaret: "xor",
+		tokShl: "sll", tokShr: "sra",
+	}[x.op]
+
+	// Commute constant left operands for commutative operators.
+	l, r := x.l, x.r
+	if _, lconst := l.(*numExpr); lconst {
+		switch x.op {
+		case tokPlus, tokStar, tokAmp, tokPipe, tokCaret:
+			l, r = r, l
+		}
+	}
+
+	lv := g.genExpr(l)
+	ro := g.genOperand(r)
+	g.release(ro.v)
+	g.release(lv)
+	t := g.allocTmp(x.line)
+	if ro.isImm {
+		g.emit("%s r%d, r%d, %d", op, t.reg, lv.reg, ro.imm)
+	} else {
+		g.emit("%s r%d, r%d, r%d", op, t.reg, lv.reg, ro.v.reg)
+	}
+	return t
+}
+
+// log2 returns k when v == 1<<k for k in [0,31), else -1.
+func log2(v int32) int {
+	if v <= 0 || v&(v-1) != 0 {
+		return -1
+	}
+	k := 0
+	for v > 1 {
+		v >>= 1
+		k++
+	}
+	return k
+}
+
+func (g *codegen) genMulConst(x *binExpr, c int32) val {
+	switch {
+	case c == 0:
+		t := g.allocTmp(x.line)
+		g.emit("ldi r%d, 0", t.reg)
+		return t
+	case c == 1:
+		return g.genExpr(x.l)
+	}
+	if k := log2(c); k > 0 {
+		v := g.genExpr(x.l)
+		t := g.resultTmp(v, x.line)
+		g.emit("sll r%d, r%d, %d", t.reg, v.reg, k)
+		return t
+	}
+	v := g.genExpr(x.l)
+	t := g.resultTmp(v, x.line)
+	g.emit("mul r%d, r%d, %d", t.reg, v.reg, c)
+	return t
+}
+
+// genDivConst emits the gcc-style shift sequence for division by a positive
+// power of two: add (2^k - 1) to negative dividends, then shift.
+func (g *codegen) genDivConst(x *binExpr, c int32) (val, bool) {
+	if c == 1 {
+		return g.genExpr(x.l), true
+	}
+	k := log2(c)
+	if k < 0 {
+		return val{}, false
+	}
+	v := g.genExpr(x.l)
+	q := g.allocTmp(x.line) // bias/quotient scratch, above v
+	g.emit("sra r%d, r%d, 31", q.reg, v.reg)
+	g.emit("srl r%d, r%d, %d", q.reg, q.reg, 32-k)
+	g.emit("add r%d, r%d, r%d", q.reg, v.reg, q.reg)
+	g.emit("sra r%d, r%d, %d", q.reg, q.reg, k)
+	return g.foldDown(v, q, x.line), true
+}
+
+// genModConst reduces x % 2^k to x - (x / 2^k << k).
+func (g *codegen) genModConst(x *binExpr, c int32) (val, bool) {
+	k := log2(c)
+	if k < 0 {
+		return val{}, false
+	}
+	v := g.genExpr(x.l)
+	if c == 1 {
+		t := g.resultTmp(v, x.line)
+		g.emit("ldi r%d, 0", t.reg)
+		return t, true
+	}
+	q := g.allocTmp(x.line)
+	g.emit("sra r%d, r%d, 31", q.reg, v.reg)
+	g.emit("srl r%d, r%d, %d", q.reg, q.reg, 32-k)
+	g.emit("add r%d, r%d, r%d", q.reg, v.reg, q.reg)
+	g.emit("sra r%d, r%d, %d", q.reg, q.reg, k)
+	g.emit("sll r%d, r%d, %d", q.reg, q.reg, k)
+	g.emit("sub r%d, r%d, r%d", q.reg, v.reg, q.reg)
+	return g.foldDown(v, q, x.line), true
+}
+
+// foldDown releases the pair (v below q) and re-materializes q's value in
+// the lowest available temporary slot, preserving LIFO temp discipline.
+func (g *codegen) foldDown(v, q val, line int) val {
+	g.release(q)
+	g.release(v)
+	res := g.allocTmp(line)
+	if res.reg != q.reg {
+		g.emit("mov r%d, r%d", res.reg, q.reg)
+	}
+	return res
+}
+
+func (g *codegen) genAddr(x *addrExpr) val {
+	switch target := x.x.(type) {
+	case *identExpr:
+		sym := g.a.idents[target]
+		t := g.allocTmp(x.line)
+		switch {
+		case sym.local != nil:
+			g.emit("add r%d, fp, %d", t.reg, g.slotOffset(sym.local))
+		default:
+			g.emit("ldi r%d, g_%s", t.reg, sym.global.name)
+		}
+		return t
+	case *indexExpr:
+		base := g.genExpr(target.base)
+		idx := g.genIndex(target.index)
+		g.release(idx.v)
+		g.release(base)
+		t := g.allocTmp(x.line)
+		if idx.isImm {
+			g.emit("add r%d, r%d, %d", t.reg, base.reg, idx.imm)
+		} else {
+			g.emit("add r%d, r%d, r%d", t.reg, base.reg, idx.v.reg)
+		}
+		return t
+	}
+	g.fail(x.line, "invalid address-of target")
+	return g.allocTmp(x.line)
+}
+
+func (g *codegen) genCall(x *callExpr) val {
+	switch x.name {
+	case "out":
+		v := g.genExpr(x.args[0])
+		g.emit("out r%d", v.reg)
+		return v // out yields its argument
+	case "halt":
+		g.emit("halt")
+		t := g.allocTmp(x.line)
+		g.emit("ldi r%d, 0", t.reg)
+		return t
+	case "alloc":
+		return g.genAlloc(x)
+	}
+
+	// Spill the live temporaries across the call (they are caller-saved).
+	live := g.tmpDepth
+	if live > 0 {
+		g.emit("add sp, sp, %d", -4*live)
+		for i := 0; i < live; i++ {
+			g.emit("st r%d, [sp+%d]", tmpRegBase+i, 4*i)
+		}
+	}
+	args := make([]val, len(x.args))
+	for i, arg := range x.args {
+		args[i] = g.genExpr(arg)
+	}
+	for i, a := range args {
+		g.emit("mov r%d, r%d", argRegBase+i, a.reg)
+	}
+	for i := len(args) - 1; i >= 0; i-- {
+		g.release(args[i])
+	}
+	g.emit("call fn_%s", x.name)
+	if live > 0 {
+		for i := 0; i < live; i++ {
+			g.emit("ld r%d, [sp+%d]", tmpRegBase+i, 4*i)
+		}
+		g.emit("add sp, sp, %d", 4*live)
+	}
+	t := g.allocTmp(x.line)
+	g.emit("mov r%d, r%d", t.reg, retReg)
+	return t
+}
+
+// directOps are the binary operators genDirectAssign may emit straight
+// into a home register (operators with constant-specific expansions are
+// excluded and take the generic path).
+var directOps = map[tokKind]string{
+	tokPlus: "add", tokMinus: "sub", tokAmp: "and", tokPipe: "or",
+	tokCaret: "xor", tokShl: "sll", tokShr: "sra",
+}
+
+// genDirectAssign emits "home = l op r" as a single instruction when the
+// right-hand side is a plain binary operation, reporting whether it did.
+// A single instruction reads its sources before writing its destination,
+// so the home register may safely appear among the operands ("x = x + 1").
+func (g *codegen) genDirectAssign(home uint8, rhs expr) bool {
+	switch x := rhs.(type) {
+	case *binExpr:
+		op, ok := directOps[x.op]
+		if !ok {
+			return false
+		}
+		l, r := x.l, x.r
+		if _, lconst := l.(*numExpr); lconst {
+			switch x.op {
+			case tokPlus, tokAmp, tokPipe, tokCaret:
+				l, r = r, l
+			}
+		}
+		lv := g.genExpr(l)
+		ro := g.genOperand(r)
+		g.release(ro.v)
+		g.release(lv)
+		if ro.isImm {
+			g.emit("%s r%d, r%d, %d", op, home, lv.reg, ro.imm)
+		} else {
+			g.emit("%s r%d, r%d, r%d", op, home, lv.reg, ro.v.reg)
+		}
+		return true
+	case *numExpr:
+		g.emit("ldi r%d, %d", home, x.val)
+		return true
+	case *identExpr:
+		if sym := g.a.idents[x]; sym.local != nil && sym.local.store == storeReg {
+			if sym.local.reg != home {
+				g.emit("mov r%d, r%d", home, sym.local.reg)
+			}
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// genAlloc inlines the bump allocator: the result is the old heap pointer;
+// the pointer advances by the word count scaled to bytes.
+func (g *codegen) genAlloc(x *callExpr) val {
+	t := g.allocTmp(x.line)
+	g.emit("ld r%d, [r0+__hp]", t.reg)
+	if n, ok := x.args[0].(*numExpr); ok {
+		next := g.allocTmp(x.line)
+		g.emit("add r%d, r%d, %d", next.reg, t.reg, 4*n.val)
+		g.emit("st r%d, [r0+__hp]", next.reg)
+		g.release(next)
+		return t
+	}
+	n := g.genExpr(x.args[0])
+	sz := g.resultTmp(n, x.line)
+	g.emit("sll r%d, r%d, 2", sz.reg, n.reg)
+	g.emit("add r%d, r%d, r%d", sz.reg, t.reg, sz.reg)
+	g.emit("st r%d, [r0+__hp]", sz.reg)
+	g.release(sz)
+	return t
+}

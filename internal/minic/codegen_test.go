@@ -1,0 +1,278 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Codegen-shape tests: assert structural properties of the emitted
+// assembly and of the dynamic traces it produces.
+
+func mustCompile(t *testing.T, src string) string {
+	t.Helper()
+	asmText, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asmText
+}
+
+func TestPrologueEpilogueShape(t *testing.T) {
+	asmText := mustCompile(t, `
+		func f(a) {
+			var x = a + 1;
+			return x;
+		}
+		func main() { out(f(1)); }
+	`)
+	fn := section(asmText, "fn_f:")
+	for _, want := range []string{
+		"add sp, sp, -", // frame allocation
+		"st ra, [sp+",   // return address saved
+		"st fp, [sp+",   // old frame pointer saved
+		"add fp, sp, ",  // frame pointer established
+		"mov r20, r2",   // parameter homed in a saved register
+		"ld ra, [fp+-4]",
+		"ld fp, [fp+-8]",
+		"ret",
+	} {
+		if !strings.Contains(fn, want) {
+			t.Errorf("fn_f missing %q:\n%s", want, fn)
+		}
+	}
+}
+
+// section extracts the text from a label to the next ret (inclusive).
+func section(asmText, label string) string {
+	i := strings.Index(asmText, label)
+	if i < 0 {
+		return ""
+	}
+	rest := asmText[i:]
+	if j := strings.Index(rest, "ret\n"); j >= 0 {
+		return rest[:j+4]
+	}
+	return rest
+}
+
+func TestCalleeSavedRegistersPreserved(t *testing.T) {
+	// A function using saved registers must restore them: call it with
+	// live values in the caller and check they survive.
+	expectOut(t, `
+		func clobber() {
+			var a = 1; var b = 2; var c = 3; var d = 4;
+			var e = 5; var f = 6; var g = 7; var h = 8;
+			return a + b + c + d + e + f + g + h;
+		}
+		func main() {
+			var x = 100;
+			var y = 200;
+			var z = clobber();
+			out(x);
+			out(y);
+			out(z);
+		}
+	`, 100, 200, 36)
+}
+
+func TestTemporariesSurviveCalls(t *testing.T) {
+	// Mid-expression call: the temporaries holding earlier operands are
+	// caller-saved around it.
+	expectOut(t, `
+		func ten() { return 10; }
+		func main() {
+			var a = 3;
+			out(a * 100 + ten() * (a + ten()));
+		}
+	`, 430)
+}
+
+func TestShiftScaledIndexing(t *testing.T) {
+	// Variable indexing must go through a 2-bit shift (the shri-ldrr idiom
+	// from the paper's Table 5); constant indexing through an immediate.
+	asmText := mustCompile(t, `
+		var a[8];
+		func main() {
+			var i = 3;
+			out(a[i]);
+			out(a[5]);
+		}
+	`)
+	if !strings.Contains(asmText, "sll ") {
+		t.Errorf("variable indexing did not shift:\n%s", asmText)
+	}
+	if !strings.Contains(asmText, "[r") || !strings.Contains(asmText, "+20]") {
+		t.Errorf("constant indexing did not fold the offset:\n%s", asmText)
+	}
+}
+
+func TestImmediateOperandForms(t *testing.T) {
+	asmText := mustCompile(t, `
+		func main() {
+			var x = 5;
+			out(x + 7);
+			out(x & 3);
+		}
+	`)
+	if !strings.Contains(asmText, ", 7") || !strings.Contains(asmText, ", 3") {
+		t.Errorf("constants not used as immediates:\n%s", asmText)
+	}
+}
+
+func TestConditionalBranchIdiom(t *testing.T) {
+	// Conditions compile to cmp + conditional branch without materializing
+	// a boolean.
+	asmText := mustCompile(t, `
+		func main() {
+			var x = 5;
+			if (x < 10) { out(1); }
+		}
+	`)
+	if !strings.Contains(asmText, "cmp ") {
+		t.Errorf("no cmp emitted:\n%s", asmText)
+	}
+	// The false-branch jump for "<" is bge.
+	if !strings.Contains(asmText, "bge ") {
+		t.Errorf("if(<) should branch with bge:\n%s", asmText)
+	}
+}
+
+func TestDivisionShiftSequenceShape(t *testing.T) {
+	asmText := mustCompile(t, `
+		func main() {
+			var x = 100;
+			out(x / 8);
+		}
+	`)
+	for _, want := range []string{"sra ", "srl ", "add "} {
+		if !strings.Contains(asmText, want) {
+			t.Errorf("division-by-8 expansion missing %q:\n%s", want, asmText)
+		}
+	}
+	if strings.Contains(asmText, "div ") {
+		t.Errorf("division by 8 used the div instruction:\n%s", asmText)
+	}
+}
+
+func TestTraceClassMixOfCompiledLoop(t *testing.T) {
+	// A simple array-summing loop must produce the classes the paper's
+	// analysis depends on: ar (index arithmetic + cmp), sh (scaling),
+	// ld, brc.
+	asmText := mustCompile(t, `
+		var a[64];
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+			out(s);
+		}
+	`)
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := vm.Trace(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := trace.CollectMix(buf.Reader())
+	for _, c := range []isa.Class{isa.ClassAr, isa.ClassSh, isa.ClassLd, isa.ClassBrc} {
+		if mix.ByClass[c] == 0 {
+			t.Errorf("compiled loop produced no %v instructions", c)
+		}
+	}
+	if mix.ByClass[isa.ClassBrc] < 64 {
+		t.Errorf("loop branch count = %d, want >= 64", mix.ByClass[isa.ClassBrc])
+	}
+}
+
+func TestRecursionDepth(t *testing.T) {
+	// Deep recursion exercises frame push/pop balance; 10k frames fit the
+	// VM's stack quarter comfortably.
+	expectOut(t, `
+		func down(n) {
+			if (n == 0) { return 0; }
+			return down(n - 1) + 1;
+		}
+		func main() { out(down(10000)); }
+	`, 10000)
+}
+
+func TestMutualRecursion(t *testing.T) {
+	expectOut(t, `
+		func isEven(n) {
+			if (n == 0) { return 1; }
+			return isOdd(n - 1);
+		}
+		func isOdd(n) {
+			if (n == 0) { return 0; }
+			return isEven(n - 1);
+		}
+		func main() {
+			out(isEven(10));
+			out(isOdd(7));
+			out(isEven(101));
+		}
+	`, 1, 1, 0)
+}
+
+func TestExpressionComplexityLimit(t *testing.T) {
+	// Builds a right-nested expression that holds one live temporary per
+	// nesting level: more than 12 levels exhausts the temp registers.
+	deep := "f()"
+	for i := 0; i < 14; i++ {
+		deep = "f() + (" + deep + ")"
+	}
+	_, err := Compile("func f() { return 1; }\nfunc main() { out(" + deep + "); }")
+	if err == nil || !strings.Contains(err.Error(), "too complex") {
+		t.Errorf("err = %v, want expression-too-complex", err)
+	}
+}
+
+func TestAllocSequenceShape(t *testing.T) {
+	asmText := mustCompile(t, `
+		func main() {
+			var p = alloc(4);
+			out(p);
+		}
+	`)
+	if !strings.Contains(asmText, "[r0+__hp]") {
+		t.Errorf("alloc does not use the heap pointer:\n%s", asmText)
+	}
+	if !strings.Contains(asmText, ", 16") {
+		t.Errorf("alloc(4) should advance by 16 bytes:\n%s", asmText)
+	}
+}
+
+func TestGlobalAccessIdioms(t *testing.T) {
+	asmText := mustCompile(t, `
+		var g = 1;
+		var arr[4];
+		func main() {
+			g = g + 1;
+			out(g);
+			out(arr[0]);
+		}
+	`)
+	if !strings.Contains(asmText, "ld r") || !strings.Contains(asmText, "[r0+g_g]") {
+		t.Errorf("global scalar read should load [r0+g_g]:\n%s", asmText)
+	}
+	if !strings.Contains(asmText, "st r") || !strings.Contains(asmText, "ldi r") {
+		t.Errorf("global idioms missing:\n%s", asmText)
+	}
+}
+
+func TestFrameParamWhenAddressTaken(t *testing.T) {
+	expectOut(t, `
+		func inc(n) {
+			var p = &n;
+			*p = *p + 1;
+			return n;
+		}
+		func main() { out(inc(41)); }
+	`, 42)
+}

@@ -1,0 +1,195 @@
+package minic
+
+import "strconv"
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	line := l.line
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[text]; ok {
+			return token{kind: k, line: line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line}, nil
+
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isAlnum(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil || v < -(1<<31) || v > (1<<32)-1 {
+			return token{}, errf(line, "bad number %q", text)
+		}
+		return token{kind: tokNumber, val: int32(uint32(v)), line: line}, nil
+
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(l.src) {
+			return token{}, errf(line, "unterminated character literal")
+		}
+		var v int32
+		if l.src[l.pos] == '\\' {
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, errf(line, "unterminated character literal")
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return token{}, errf(line, "unknown escape '\\%c'", l.src[l.pos])
+			}
+		} else {
+			v = int32(l.src[l.pos])
+		}
+		l.pos++
+		if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+			return token{}, errf(line, "unterminated character literal")
+		}
+		l.pos++
+		return token{kind: tokChar, val: v, line: line}, nil
+	}
+
+	two := func(k tokKind) (token, error) {
+		l.pos += 2
+		return token{kind: k, line: line}, nil
+	}
+	one := func(k tokKind) (token, error) {
+		l.pos++
+		return token{kind: k, line: line}, nil
+	}
+	rest := l.src[l.pos:]
+	switch {
+	case hasPrefix(rest, "<<"):
+		return two(tokShl)
+	case hasPrefix(rest, ">>"):
+		return two(tokShr)
+	case hasPrefix(rest, "<="):
+		return two(tokLe)
+	case hasPrefix(rest, ">="):
+		return two(tokGe)
+	case hasPrefix(rest, "=="):
+		return two(tokEq)
+	case hasPrefix(rest, "!="):
+		return two(tokNe)
+	case hasPrefix(rest, "&&"):
+		return two(tokAndAnd)
+	case hasPrefix(rest, "||"):
+		return two(tokOrOr)
+	}
+	switch c {
+	case '(':
+		return one(tokLParen)
+	case ')':
+		return one(tokRParen)
+	case '{':
+		return one(tokLBrace)
+	case '}':
+		return one(tokRBrace)
+	case '[':
+		return one(tokLBracket)
+	case ']':
+		return one(tokRBracket)
+	case ',':
+		return one(tokComma)
+	case ';':
+		return one(tokSemi)
+	case '=':
+		return one(tokAssign)
+	case '+':
+		return one(tokPlus)
+	case '-':
+		return one(tokMinus)
+	case '*':
+		return one(tokStar)
+	case '/':
+		return one(tokSlash)
+	case '%':
+		return one(tokPercent)
+	case '&':
+		return one(tokAmp)
+	case '|':
+		return one(tokPipe)
+	case '^':
+		return one(tokCaret)
+	case '~':
+		return one(tokTilde)
+	case '!':
+		return one(tokBang)
+	case '<':
+		return one(tokLt)
+	case '>':
+		return one(tokGt)
+	}
+	return token{}, errf(line, "unexpected character %q", string(c))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

@@ -1,0 +1,677 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/vm"
+)
+
+// compileRun compiles MiniC source, assembles it, executes it, and returns
+// the out() stream.
+func compileRun(t *testing.T, src string) []int32 {
+	t.Helper()
+	asmText, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, asmText)
+	}
+	out, err := vm.Exec(prog, vm.WithMaxSteps(50_000_000))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func expectOut(t *testing.T, src string, want ...int32) {
+	t.Helper()
+	got := compileRun(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			out(1 + 2 * 3);
+			out((1 + 2) * 3);
+			out(10 - 4 / 2);
+			out(7 % 3);
+		}
+	`, 7, 9, 8, 1)
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var x = 10;
+			var y;
+			y = x * x;
+			x = x + 1;
+			out(x);
+			out(y);
+		}
+	`, 11, 100)
+}
+
+func TestGlobals(t *testing.T) {
+	expectOut(t, `
+		var counter = 5;
+		var limit;
+		func bump() { counter = counter + 1; }
+		func main() {
+			limit = 2;
+			bump();
+			bump();
+			out(counter);
+			out(limit);
+		}
+	`, 7, 2)
+}
+
+func TestIfElseChains(t *testing.T) {
+	expectOut(t, `
+		func classify(x) {
+			if (x < 0) { return -1; }
+			else if (x == 0) { return 0; }
+			else { return 1; }
+		}
+		func main() {
+			out(classify(-5));
+			out(classify(0));
+			out(classify(99));
+		}
+	`, -1, 0, 1)
+}
+
+func TestWhileLoop(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var sum = 0;
+			var i = 1;
+			while (i <= 100) {
+				sum = sum + i;
+				i = i + 1;
+			}
+			out(sum);
+		}
+	`, 5050)
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var sum = 0;
+			for (var i = 0; i < 10; i = i + 1) {
+				if (i == 3) { continue; }
+				if (i == 7) { break; }
+				sum = sum + i;
+			}
+			out(sum);  // 0+1+2+4+5+6 = 18
+		}
+	`, 18)
+}
+
+func TestNestedLoops(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var total = 0;
+			for (var i = 0; i < 5; i = i + 1) {
+				for (var j = 0; j < 5; j = j + 1) {
+					if (j > i) { break; }
+					total = total + 1;
+				}
+			}
+			out(total);  // 1+2+3+4+5 = 15
+		}
+	`, 15)
+}
+
+func TestRecursionFib(t *testing.T) {
+	expectOut(t, `
+		func fib(n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func main() { out(fib(15)); }
+	`, 610)
+}
+
+func TestLocalArrays(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var a[10];
+			for (var i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+			var sum = 0;
+			for (var i = 0; i < 10; i = i + 1) { sum = sum + a[i]; }
+			out(sum);  // 285
+			out(a[7]);
+		}
+	`, 285, 49)
+}
+
+func TestGlobalArrays(t *testing.T) {
+	expectOut(t, `
+		var squares[20];
+		var primes[] = { 2, 3, 5, 7, 11 };
+		func main() {
+			squares[3] = 9;
+			out(squares[3]);
+			out(squares[4]);   // zero-initialized
+			out(primes[0] + primes[4]);
+		}
+	`, 9, 0, 13)
+}
+
+func TestGlobalArraySizedWithInit(t *testing.T) {
+	expectOut(t, `
+		var t[8] = { 1, 2, 3 };
+		func main() { out(t[0] + t[2] + t[7]); }
+	`, 4)
+}
+
+func TestPointers(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var x = 42;
+			var p = &x;
+			out(*p);
+			*p = 13;
+			out(x);
+		}
+	`, 42, 13)
+}
+
+func TestPointerToGlobalAndArrayElement(t *testing.T) {
+	expectOut(t, `
+		var g = 7;
+		var arr[4];
+		func main() {
+			var p = &g;
+			*p = *p + 1;
+			out(g);
+			var q = &arr[2];
+			*q = 55;
+			out(arr[2]);
+		}
+	`, 8, 55)
+}
+
+func TestPassArrayToFunction(t *testing.T) {
+	expectOut(t, `
+		func sum(a, n) {
+			var s = 0;
+			for (var i = 0; i < n; i = i + 1) { s = s + a[i]; }
+			return s;
+		}
+		func main() {
+			var data[5];
+			for (var i = 0; i < 5; i = i + 1) { data[i] = i + 1; }
+			out(sum(data, 5));
+		}
+	`, 15)
+}
+
+func TestAllocLinkedList(t *testing.T) {
+	expectOut(t, `
+		// cons cells: cell[0] = value, cell[1] = next
+		func cons(v, next) {
+			var c = alloc(2);
+			c[0] = v;
+			c[1] = next;
+			return c;
+		}
+		func main() {
+			var list = 0;
+			for (var i = 1; i <= 5; i = i + 1) { list = cons(i, list); }
+			var sum = 0;
+			var p = list;
+			while (p != 0) {
+				sum = sum + p[0];
+				p = p[1];
+			}
+			out(sum);
+		}
+	`, 15)
+}
+
+func TestLogicalOperators(t *testing.T) {
+	expectOut(t, `
+		func side(x) { out(x); return x; }
+		func main() {
+			// && short-circuits: side(0) prevents side(99).
+			if (side(0) && side(99)) { out(-1); }
+			// || short-circuits: side(1) prevents side(98).
+			if (side(1) || side(98)) { out(2); }
+			out(3 && 0);
+			out(3 && 5);
+			out(0 || 0);
+			out(!7);
+			out(!0);
+		}
+	`, 0, 1, 2, 0, 1, 0, 0, 1)
+}
+
+func TestBitwiseAndShifts(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			out(12 & 10);
+			out(12 | 10);
+			out(12 ^ 10);
+			out(~0);
+			out(1 << 10);
+			out(-16 >> 2);
+			var x = 5;       // runtime, not folded
+			out(x << 3);
+			out((0 - x) >> 1);
+		}
+	`, 8, 14, 6, -1, 1024, -4, 40, -3)
+}
+
+func TestSignedDivisionSemantics(t *testing.T) {
+	// Division by powers of two uses the shift sequence: it must truncate
+	// toward zero exactly like the div instruction.
+	expectOut(t, `
+		func main() {
+			var a = 7;
+			var b = -7;
+			out(a / 2);
+			out(b / 2);
+			out(a % 4);
+			out(b % 4);
+			out(a / 8);
+			out(b / 8);
+			var c = -1;
+			out(c / 2);
+			out(c % 2);
+		}
+	`, 3, -3, 3, -3, 0, 0, 0, -1)
+}
+
+func TestDivisionByVariable(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var a = 100;
+			var b = 7;
+			out(a / b);
+			out(a % b);
+			out((0-a) / b);
+			out((0-a) % b);
+		}
+	`, 14, 2, -14, -2)
+}
+
+func TestMulStrengthReduction(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var x = 13;
+			out(x * 8);
+			out(x * 1);
+			out(x * 0);
+			out(x * 7);
+			out(4 * x);
+		}
+	`, 104, 13, 0, 91, 52)
+}
+
+func TestComparisonValues(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var a = 3;
+			var b = 5;
+			out(a < b);
+			out(a > b);
+			out(a == 3);
+			out((a < b) + (b > a));
+		}
+	`, 1, 0, 1, 2)
+}
+
+func TestScopeShadowing(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var x = 1;
+			{
+				var x = 2;
+				out(x);
+			}
+			out(x);
+			for (var x = 9; x < 10; x = x + 1) { out(x); }
+			out(x);
+		}
+	`, 2, 1, 9, 1)
+}
+
+func TestSixParams(t *testing.T) {
+	expectOut(t, `
+		func f(a, b, c, d, e, g) { return a + b*2 + c*4 + d*8 + e*16 + g*32; }
+		func main() { out(f(1, 1, 1, 1, 1, 1)); }
+	`, 63)
+}
+
+func TestCallsInsideExpressions(t *testing.T) {
+	expectOut(t, `
+		func sq(x) { return x * x; }
+		func main() {
+			out(sq(3) + sq(4));
+			out(sq(sq(2)));
+			var a = 2;
+			out(a + sq(a + 1) * 2);
+		}
+	`, 25, 16, 20)
+}
+
+func TestManyLocalsSpillToFrame(t *testing.T) {
+	// More scalars than saved registers: the rest live in the frame.
+	expectOut(t, `
+		func main() {
+			var a = 1; var b = 2; var c = 3; var d = 4; var e = 5;
+			var f = 6; var g = 7; var h = 8; var i = 9; var j = 10;
+			var k = 11; var l = 12;
+			out(a + b + c + d + e + f + g + h + i + j + k + l);
+		}
+	`, 78)
+}
+
+func TestCharLiterals(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			out('a');
+			out('\n');
+			out('z' - 'a');
+		}
+	`, 97, 10, 25)
+}
+
+func TestUnaryMinusAndComplexExprs(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var x = 10;
+			out(-x);
+			out(-(x * 2) + 5);
+			out(~x + 1);   // == -x
+		}
+	`, -10, -15, -10)
+}
+
+func TestReturnWithoutValue(t *testing.T) {
+	expectOut(t, `
+		var done = 0;
+		func f(x) {
+			if (x > 5) { done = 1; return; }
+			done = 2;
+		}
+		func main() {
+			f(10);
+			out(done);
+			f(1);
+			out(done);
+		}
+	`, 1, 2)
+}
+
+func TestCompileErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no main", "func f() {}", "no function named main"},
+		{"main with params", "func main(x) {}", "main must take no parameters"},
+		{"undefined var", "func main() { out(zzz); }", "undefined variable"},
+		{"undefined func", "func main() { frob(); }", "undefined function"},
+		{"dup global", "var a; var a; func main() {}", "duplicate global"},
+		{"dup local", "func main() { var a; var a; }", "duplicate variable"},
+		{"dup param", "func f(a, a) {} func main() {}", "duplicate parameter"},
+		{"break outside loop", "func main() { break; }", "break outside loop"},
+		{"continue outside loop", "func main() { continue; }", "continue outside loop"},
+		{"arity mismatch", "func f(a) {} func main() { f(); }", "takes 1 argument"},
+		{"out arity", "func main() { out(1, 2); }", "out takes 1 argument"},
+		{"too many params", "func f(a,b,c,d,e,g,h) {} func main() {}", "max 6"},
+		{"assign to array", "var a[3]; func main() { a = 1; }", "cannot assign to array"},
+		{"assign to literal", "func main() { 3 = 4; }", "invalid assignment target"},
+		{"reserved name", "func out(x) {} func main() {}", "reserved intrinsic"},
+		{"addr of literal", "func main() { var p = &3; }", "'&' requires"},
+		{"bad token", "func main() { var x = $; }", "unexpected character"},
+		{"unterminated block", "func main() { ", "unexpected end of input"},
+		{"bad global init", "var g = x; func main() {}", "expected constant"},
+		{"zero array", "var a[0]; func main() {}", "must be positive"},
+	}
+	for _, tt := range tests {
+		_, err := Compile(tt.src)
+		if err == nil {
+			t.Errorf("%s: compile succeeded, want error containing %q", tt.name, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: error %q does not contain %q", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectOut(t, `
+		// line comment
+		func main() {
+			/* block
+			   comment */
+			out(1); // trailing
+		}
+	`, 1)
+}
+
+func TestConstantFolding(t *testing.T) {
+	// Folded expressions should compile to a single ldi: check by counting
+	// instructions in the generated assembly for a pure-constant function.
+	asmText, err := Compile(`func main() { out(3*4+2-1); out(10/3); out(1<<4|1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(asmText, "mul") || strings.Contains(asmText, "div") {
+		t.Errorf("constant expressions were not folded:\n%s", asmText)
+	}
+}
+
+// Property: MiniC arithmetic agrees with Go int32 semantics for the
+// operators the compiler may strength-reduce.
+func TestDivModMatchesGoQuick(t *testing.T) {
+	src := `
+		var x;
+		func main() {
+			var v = x;
+			out(v / 2); out(v % 2);
+			out(v / 8); out(v % 8);
+			out(v / 16); out(v % 16);
+			out(v * 4);
+		}
+	`
+	asmText, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xAddr, ok := prog.DataSyms["g_x"]
+	if !ok {
+		t.Fatal("global x not found")
+	}
+	f := func(v int32) bool {
+		m, err := vm.New(prog)
+		if err != nil {
+			return false
+		}
+		// Poke the global before running.
+		prog.Data[(xAddr-prog.DataBase)/4] = v
+		m2, err := vm.New(prog)
+		if err != nil {
+			return false
+		}
+		_ = m
+		if err := m2.Run(); err != nil {
+			return false
+		}
+		want := []int32{v / 2, v % 2, v / 8, v % 8, v / 16, v % 16, v * 4}
+		out := m2.Output
+		if len(out) != len(want) {
+			return false
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratedAssemblyIsValid(t *testing.T) {
+	// Every fragment used in this file must produce assembly the assembler
+	// accepts; spot-check a composite program touching all features.
+	src := `
+		var g = 3;
+		var tbl[] = { 5, 6, 7 };
+		func helper(a, b) {
+			var t[4];
+			t[0] = a; t[1] = b;
+			return t[0] * t[1] + g;
+		}
+		func main() {
+			var p = alloc(4);
+			p[0] = helper(tbl[1], tbl[2]);
+			out(p[0]);
+			halt();
+		}
+	`
+	asmText, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asm.Assemble(asmText); err != nil {
+		t.Fatalf("generated assembly invalid: %v\n%s", err, asmText)
+	}
+	expectOut(t, src, 45)
+}
+
+// compileRunOpts mirrors compileRun with explicit codegen options.
+func compileRunOpts(t *testing.T, src string, opts Options) []int32 {
+	t.Helper()
+	asmText, err := CompileWithOptions(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, asmText)
+	}
+	out, err := vm.Exec(prog, vm.WithMaxSteps(50_000_000))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+// Semantics must be identical with and without DirectAssign; the optimized
+// build must be strictly smaller dynamically.
+func TestDirectAssignPreservesSemantics(t *testing.T) {
+	srcs := []string{
+		`func main() {
+			var x = 1;
+			for (var i = 0; i < 50; i = i + 1) { x = x + i; x = x ^ (i << 1); }
+			out(x);
+		}`,
+		`func f(a, b) { a = a - b; b = b & a; return a | b; }
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 20; i = i + 1) { s = s + f(i, s); }
+			out(s);
+		}`,
+		`var g = 3;
+		func main() {
+			var x = g;
+			x = x + g;     // mixed: global rhs operand
+			g = x + 1;     // global lhs stays generic
+			x = x;         // self-assignment
+			var y = x;
+			y = 7;         // constant direct
+			out(x + y + g);
+		}`,
+	}
+	for i, src := range srcs {
+		plain := compileRun(t, src)
+		opt := compileRunOpts(t, src, Options{DirectAssign: true})
+		if len(plain) != len(opt) {
+			t.Fatalf("src %d: output lengths differ: %v vs %v", i, plain, opt)
+		}
+		for j := range plain {
+			if plain[j] != opt[j] {
+				t.Fatalf("src %d: output[%d] = %d (plain) vs %d (direct)", i, j, plain[j], opt[j])
+			}
+		}
+	}
+}
+
+func TestDirectAssignShrinksCode(t *testing.T) {
+	src := `
+	func main() {
+		var x = 0;
+		for (var i = 0; i < 10; i = i + 1) { x = x + i; }
+		out(x);
+	}`
+	plain, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := CompileWithOptions(src, Options{DirectAssign: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(s string) int { return strings.Count(s, "\n") }
+	if count(opt) >= count(plain) {
+		t.Errorf("direct-assign code not smaller: %d vs %d lines", count(opt), count(plain))
+	}
+	// Register locals are written directly: no moves from temporaries into
+	// the home registers remain.
+	if strings.Contains(opt, "mov r20,") || strings.Contains(opt, "mov r21,") {
+		t.Errorf("direct-assign still moves through temporaries:\n%s", opt)
+	}
+}
+
+func TestDirectAssignConstStrengthReductionFallsBack(t *testing.T) {
+	// Multiply/divide by constants take the generic path (their expansions
+	// need temporaries) but must stay correct.
+	src := `
+	func main() {
+		var x = 100;
+		x = x * 8;
+		out(x);
+		x = x / 4;
+		out(x);
+		x = x % 8;
+		out(x);
+		x = x * 7;
+		out(x);
+	}`
+	out := compileRunOpts(t, src, Options{DirectAssign: true})
+	want := []int32{800, 200, 0, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,574 @@
+package minic
+
+type parser struct {
+	lex *lexer
+	tok token // current token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: newLexer(src)}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.tok
+	if t.kind != k {
+		return t, errf(t.line, "expected %v, got %v", k, t.kind)
+	}
+	return t, p.advance()
+}
+
+func (p *parser) accept(k tokKind) (bool, error) {
+	if p.tok.kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// parseProgram parses the whole translation unit.
+func (p *parser) parseProgram() (*program, error) {
+	prog := &program{}
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokVar:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, g)
+		case tokFunc:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			return nil, errf(p.tok.line, "expected 'var' or 'func' at top level, got %v", p.tok.kind)
+		}
+	}
+	return prog, nil
+}
+
+// parseGlobal parses: var name; | var name = const; | var name[N]; |
+// var name[] = {c, c, ...}; | var name[N] = {c, ...};
+func (p *parser) parseGlobal() (*globalDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'var'
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &globalDecl{name: name.text, line: line}
+
+	if ok, err := p.accept(tokLBracket); err != nil {
+		return nil, err
+	} else if ok {
+		g.isArray = true
+		if p.tok.kind == tokNumber || p.tok.kind == tokChar || p.tok.kind == tokMinus {
+			n, err := p.parseConst()
+			if err != nil {
+				return nil, err
+			}
+			if n <= 0 {
+				return nil, errf(line, "array size must be positive, got %d", n)
+			}
+			g.size = n
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+
+	if ok, err := p.accept(tokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		if g.isArray {
+			if _, err := p.expect(tokLBrace); err != nil {
+				return nil, err
+			}
+			for p.tok.kind != tokRBrace {
+				v, err := p.parseConst()
+				if err != nil {
+					return nil, err
+				}
+				g.init = append(g.init, v)
+				if ok, err := p.accept(tokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(tokRBrace); err != nil {
+				return nil, err
+			}
+			if g.size == 0 {
+				g.size = int32(len(g.init))
+			} else if int(g.size) < len(g.init) {
+				return nil, errf(line, "array %s has %d initializers for size %d", g.name, len(g.init), g.size)
+			}
+		} else {
+			v, err := p.parseConst()
+			if err != nil {
+				return nil, err
+			}
+			g.init = []int32{v}
+		}
+	}
+	if !g.isArray && g.init == nil {
+		g.init = []int32{0}
+	}
+	if g.isArray && g.size == 0 {
+		return nil, errf(line, "array %s needs a size or an initializer", g.name)
+	}
+	_, err = p.expect(tokSemi)
+	return g, err
+}
+
+// parseConst parses a (possibly negated) literal constant.
+func (p *parser) parseConst() (int32, error) {
+	neg := false
+	if ok, err := p.accept(tokMinus); err != nil {
+		return 0, err
+	} else if ok {
+		neg = true
+	}
+	t := p.tok
+	if t.kind != tokNumber && t.kind != tokChar {
+		return 0, errf(t.line, "expected constant, got %v", t.kind)
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if neg {
+		return -t.val, nil
+	}
+	return t.val, nil
+}
+
+func (p *parser) parseFunc() (*funcDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'func'
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	f := &funcDecl{name: name.text, line: line}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRParen {
+		param, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		f.params = append(f.params, param.text)
+		if ok, err := p.accept(tokComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() (*blockStmt, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{}
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind == tokEOF {
+			return nil, errf(p.tok.line, "unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, p.advance()
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tokLBrace:
+		return p.parseBlock()
+
+	case tokVar:
+		s, err := p.parseVarStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokSemi)
+		return s, err
+
+	case tokIf:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then, line: line}
+		if ok, err := p.accept(tokElse); err != nil {
+			return nil, err
+		} else if ok {
+			if s.els, err = p.parseStmt(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+
+	case tokWhile:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: line}, nil
+
+	case tokFor:
+		return p.parseFor()
+
+	case tokReturn:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &returnStmt{line: line}
+		if p.tok.kind != tokSemi {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.value = v
+		}
+		_, err := p.expect(tokSemi)
+		return s, err
+
+	case tokBreak:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(tokSemi)
+		return &breakStmt{line: line}, err
+
+	case tokContinue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(tokSemi)
+		return &continueStmt{line: line}, err
+
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokSemi)
+		return s, err
+	}
+}
+
+func (p *parser) parseVarStmt() (*varStmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'var'
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	s := &varStmt{name: name.text, line: line}
+	if ok, err := p.accept(tokLBracket); err != nil {
+		return nil, err
+	} else if ok {
+		n, err := p.parseConst()
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, errf(line, "local array size must be positive, got %d", n)
+		}
+		s.size = n
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if ok, err := p.accept(tokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		if s.init, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses an assignment or an expression statement (without
+// the trailing semicolon), for use both standalone and in for-headers.
+func (p *parser) parseSimpleStmt() (stmt, error) {
+	line := p.tok.line
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if ok, err := p.accept(tokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		switch x.(type) {
+		case *identExpr, *indexExpr, *derefExpr:
+		default:
+			return nil, errf(line, "invalid assignment target")
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{lhs: x, rhs: rhs, line: line}, nil
+	}
+	return &exprStmt{x: x, line: line}, nil
+}
+
+func (p *parser) parseFor() (stmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'for'
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	s := &forStmt{line: line}
+	var err error
+	if p.tok.kind != tokSemi {
+		if p.tok.kind == tokVar {
+			if s.init, err = p.parseVarStmt(); err != nil {
+				return nil, err
+			}
+		} else if s.init, err = p.parseSimpleStmt(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokSemi {
+		if s.cond, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokRParen {
+		if s.post, err = p.parseSimpleStmt(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if s.body, err = p.parseStmt(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Expression parsing: precedence climbing with C precedence.
+
+var binPrec = map[tokKind]int{
+	tokOrOr:   1,
+	tokAndAnd: 2,
+	tokPipe:   3,
+	tokCaret:  4,
+	tokAmp:    5,
+	tokEq:     6, tokNe: 6,
+	tokLt: 7, tokLe: 7, tokGt: 7, tokGe: 7,
+	tokShl: 8, tokShr: 8,
+	tokPlus: 9, tokMinus: 9,
+	tokStar: 10, tokSlash: 10, tokPercent: 10,
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBin(1) }
+
+func (p *parser) parseBin(minPrec int) (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.tok.kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.kind
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binExpr{op: op, l: lhs, r: rhs, line: line}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tokMinus, tokBang, tokTilde:
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: op, x: x, line: line}, nil
+	case tokStar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &derefExpr{ptr: x, line: line}, nil
+	case tokAmp:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch x.(type) {
+		case *identExpr, *indexExpr:
+		default:
+			return nil, errf(line, "'&' requires a variable or array element")
+		}
+		return &addrExpr{x: x, line: line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.tok.line
+		if ok, err := p.accept(tokLBracket); err != nil {
+			return nil, err
+		} else if ok {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			x = &indexExpr{base: x, index: idx, line: line}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.tok
+	switch t.kind {
+	case tokNumber, tokChar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &numExpr{val: t.val, line: t.line}, nil
+
+	case tokIdent:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if ok, err := p.accept(tokLParen); err != nil {
+			return nil, err
+		} else if ok {
+			call := &callExpr{name: t.text, line: t.line}
+			for p.tok.kind != tokRParen {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, arg)
+				if ok, err := p.accept(tokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &identExpr{name: t.text, line: t.line}, nil
+
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokRParen)
+		return x, err
+	}
+	return nil, errf(t.line, "expected expression, got %v", t.kind)
+}

@@ -1,0 +1,212 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// Parser-level tests: precedence and associativity are pinned down by
+// executing expressions (the VM is the oracle), grammar errors by message.
+
+func TestPrecedenceMatrix(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int32
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"20 - 8 - 4", 8},   // left associative
+		{"100 / 10 / 2", 5}, // left associative
+		{"2 * 3 % 4", 2},    // same precedence, left to right
+		{"1 << 2 + 1", 8},   // + binds tighter than <<
+		{"16 >> 1 + 1", 4},  //
+		{"1 | 2 ^ 3 & 2", 1 | (2 ^ (3 & 2))},
+		{"4 & 2 | 1", 1},   // & tighter than |
+		{"1 + 2 == 3", 1},  // arithmetic tighter than comparison
+		{"1 < 2 == 1", 1},  // comparison tighter than equality
+		{"0 || 1 && 0", 0}, // && tighter than ||
+		{"1 || 0 && 0", 1}, //
+		{"-2 * 3", -6},     // unary minus binds to the operand
+		{"~0 & 15", 15},    //
+		{"!0 + 1", 2},      // !0 == 1
+		{"- - 5", 5},       // nested unary
+		{"10 % 3 + 1", 2},
+		{"'b' - 'a' + 1", 2},
+	}
+	for _, c := range cases {
+		expectOut(t, "func main() { out("+c.expr+"); }", c.want)
+	}
+}
+
+func TestDanglingElseBindsToNearest(t *testing.T) {
+	expectOut(t, `
+		func f(a, b) {
+			if (a)
+				if (b) { return 1; }
+				else { return 2; }
+			return 3;
+		}
+		func main() {
+			out(f(1, 1));
+			out(f(1, 0));
+			out(f(0, 0));
+		}
+	`, 1, 2, 3)
+}
+
+func TestChainedIndexing(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var outer = alloc(2);
+			var inner = alloc(2);
+			inner[0] = 42;
+			outer[1] = inner;
+			out(outer[1][0]);
+		}
+	`, 42)
+}
+
+func TestForHeaderVariants(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var n = 0;
+			for (;;) {            // fully empty header
+				n = n + 1;
+				if (n == 3) { break; }
+			}
+			out(n);
+			var i = 10;
+			for (; i > 0;) { i = i - 2; }   // cond only
+			out(i);
+			for (i = 0; i < 4; ) { i = i + 1; }  // assignment init, no post
+			out(i);
+		}
+	`, 3, 0, 4)
+}
+
+func TestNestedCallsAndArgs(t *testing.T) {
+	expectOut(t, `
+		func add3(a, b, c) { return a + b + c; }
+		func main() {
+			out(add3(add3(1, 2, 3), add3(4, 5, 6), add3(7, 8, 9)));
+		}
+	`, 45)
+}
+
+func TestParserErrorMessages(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"func main() { if 1 { } }", "expected '('"},
+		{"func main() { var 3; }", "expected identifier"},
+		{"func main() { out(1; }", "expected ')'"},
+		{"func main() { x = ; }", "expected expression"},
+		{"func main() { return 1 }", "expected ';'"},
+		{"var a[3] = {1,2,3,4}; func main() {}", "has 4 initializers for size 3"},
+		{"var a[-2]; func main() {}", "must be positive"},
+		{"func main() { var x = (1 + ); }", "expected expression"},
+		{"func main() { while () {} }", "expected expression"},
+		{"func f(,) {} func main() {}", "expected identifier"},
+		{"func main() { a[1 = 2; }", "expected ']'"},
+		{"3 + 4;", "expected 'var' or 'func'"},
+		{"func main() { '  }", "unterminated character literal"},
+		{"func main() { /* unclosed", "unexpected end of input"},
+		{"func main() { var x = 99999999999999999999; }", "bad number"},
+		{"func main() { var x = 'ab'; }", "unterminated character literal"},
+		{"func main() { var x = '\\q'; }", "unknown escape"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("%q compiled, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	src := "func main() {\n\tvar x = 1;\n\tbogus???;\n}"
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatal("compiled")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q should reference line 3", err)
+	}
+}
+
+func TestHexAndCharLiterals(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			out(0xff);
+			out(0x7fffffff);
+			out('\t');
+			out('\0');
+			out('\'');
+			out('\\');
+		}
+	`, 255, 0x7fffffff, 9, 0, 39, 92)
+}
+
+func TestDeeplyNestedBlocksAndScopes(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var x = 0;
+			{ { { { { var x = 9; out(x); } } } } }
+			out(x);
+		}
+	`, 9, 0)
+}
+
+func TestEmptyFunctionAndEmptyBlocks(t *testing.T) {
+	expectOut(t, `
+		func noop() {}
+		func main() {
+			noop();
+			{}
+			if (1) {} else {}
+			out(noop());
+		}
+	`, 0)
+}
+
+func TestAssignToParameter(t *testing.T) {
+	expectOut(t, `
+		func dec(n) {
+			n = n - 1;
+			return n;
+		}
+		func main() { out(dec(5)); }
+	`, 4)
+}
+
+func TestWhileWithComplexCondition(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var i = 0;
+			var j = 10;
+			while (i < 5 && j > 6 || i == 0) {
+				i = i + 1;
+				j = j - 1;
+			}
+			out(i);
+			out(j);
+		}
+	`, 4, 6)
+}
+
+func TestUnaryOnCallsAndIndexing(t *testing.T) {
+	expectOut(t, `
+		func five() { return 5; }
+		var a[] = { 3 };
+		func main() {
+			out(-five());
+			out(!five());
+			out(~a[0]);
+		}
+	`, -5, 0, -4)
+}

@@ -1,0 +1,458 @@
+package minic
+
+import "fmt"
+
+// Semantic analysis: name resolution with block scoping, storage allocation
+// for locals (register vs stack frame), constant folding, and the checks
+// that make later codegen infallible (arity, assignability, intrinsic use).
+
+// storage describes where a local lives.
+type storage uint8
+
+const (
+	storeReg   storage = iota // one of the callee-saved registers
+	storeFrame                // a frame slot (scalars) or frame buffer (arrays)
+)
+
+// localInfo is the resolved storage of one local variable or parameter.
+type localInfo struct {
+	name      string
+	isArray   bool
+	size      int32 // words, for arrays
+	addrTaken bool
+	store     storage
+	reg       uint8 // storeReg: register number
+	offset    int32 // storeFrame: positive offset below fp (fp - offset)
+}
+
+// symbol is what an identifier resolves to.
+type symbol struct {
+	local  *localInfo  // non-nil for locals/params
+	global *globalDecl // non-nil for globals
+}
+
+// funcInfo is the analyzed form of a function.
+type funcInfo struct {
+	decl      *funcDecl
+	params    []*localInfo
+	locals    []*localInfo // all locals including params, in declaration order
+	frameSize int32        // bytes, computed by the compiler backend
+	usedSaved []uint8      // callee-saved registers this function uses
+}
+
+// analysis is the output of sema consumed by codegen.
+type analysis struct {
+	prog    *program
+	globals map[string]*globalDecl
+	funcs   map[string]*funcInfo
+	// Resolutions keyed by AST node.
+	idents map[*identExpr]symbol
+	vars   map[*varStmt]*localInfo
+}
+
+var intrinsics = map[string]int{"out": 1, "alloc": 1, "halt": 0}
+
+func analyze(prog *program) (*analysis, error) {
+	a := &analysis{
+		prog:    prog,
+		globals: make(map[string]*globalDecl),
+		funcs:   make(map[string]*funcInfo),
+		idents:  make(map[*identExpr]symbol),
+		vars:    make(map[*varStmt]*localInfo),
+	}
+	for _, g := range prog.globals {
+		if _, dup := a.globals[g.name]; dup {
+			return nil, errf(g.line, "duplicate global %q", g.name)
+		}
+		if _, bad := intrinsics[g.name]; bad {
+			return nil, errf(g.line, "%q is a reserved intrinsic name", g.name)
+		}
+		a.globals[g.name] = g
+	}
+	for _, f := range prog.funcs {
+		if _, dup := a.funcs[f.name]; dup {
+			return nil, errf(f.line, "duplicate function %q", f.name)
+		}
+		if _, bad := intrinsics[f.name]; bad {
+			return nil, errf(f.line, "%q is a reserved intrinsic name", f.name)
+		}
+		if _, clash := a.globals[f.name]; clash {
+			return nil, errf(f.line, "function %q collides with a global", f.name)
+		}
+		if len(f.params) > maxArgRegs {
+			return nil, errf(f.line, "function %q has %d parameters; max %d", f.name, len(f.params), maxArgRegs)
+		}
+		a.funcs[f.name] = &funcInfo{decl: f}
+	}
+	mainFn, ok := a.funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("minic: no function named main")
+	}
+	if len(mainFn.decl.params) != 0 {
+		return nil, errf(mainFn.decl.line, "main must take no parameters")
+	}
+
+	for _, f := range prog.funcs {
+		if err := a.analyzeFunc(a.funcs[f.name]); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// scope is a lexical scope during resolution.
+type scope struct {
+	parent *scope
+	names  map[string]*localInfo
+}
+
+func (s *scope) lookup(name string) *localInfo {
+	for cur := s; cur != nil; cur = cur.parent {
+		if l, ok := cur.names[name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+type funcWalker struct {
+	a         *analysis
+	fn        *funcInfo
+	scope     *scope
+	loopDepth int
+}
+
+func (a *analysis) analyzeFunc(fn *funcInfo) error {
+	w := &funcWalker{a: a, fn: fn, scope: &scope{names: make(map[string]*localInfo)}}
+	for _, p := range fn.decl.params {
+		if _, dup := w.scope.names[p]; dup {
+			return errf(fn.decl.line, "duplicate parameter %q", p)
+		}
+		l := &localInfo{name: p}
+		w.scope.names[p] = l
+		fn.params = append(fn.params, l)
+		fn.locals = append(fn.locals, l)
+	}
+	if err := w.walkStmt(fn.decl.body); err != nil {
+		return err
+	}
+	allocateLocals(fn)
+	return nil
+}
+
+// allocateLocals assigns storage: scalars that never have their address
+// taken go to callee-saved registers while available; everything else gets
+// a frame slot. Frame offsets are assigned below the saved-register area
+// (the backend finalizes the actual frame size).
+func allocateLocals(fn *funcInfo) {
+	nextReg := savedRegBase
+	var offset int32
+	for _, l := range fn.locals {
+		if !l.isArray && !l.addrTaken && nextReg < savedRegBase+numSavedRegs {
+			l.store = storeReg
+			l.reg = uint8(nextReg)
+			fn.usedSaved = append(fn.usedSaved, uint8(nextReg))
+			nextReg++
+			continue
+		}
+		l.store = storeFrame
+		words := l.size
+		if !l.isArray {
+			words = 1
+		}
+		offset += 4 * words
+		l.offset = offset
+	}
+	fn.frameSize = offset // local area only; backend adds save area
+}
+
+func (w *funcWalker) pushScope() {
+	w.scope = &scope{parent: w.scope, names: make(map[string]*localInfo)}
+}
+func (w *funcWalker) popScope() { w.scope = w.scope.parent }
+
+func (w *funcWalker) walkStmt(s stmt) error {
+	switch st := s.(type) {
+	case *blockStmt:
+		w.pushScope()
+		defer w.popScope()
+		for _, inner := range st.stmts {
+			if err := w.walkStmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *varStmt:
+		return w.declare(st)
+
+	case *assignStmt:
+		if err := w.walkExpr(st.lhs); err != nil {
+			return err
+		}
+		if ident, ok := st.lhs.(*identExpr); ok {
+			sym := w.a.idents[ident]
+			if sym.local != nil && sym.local.isArray {
+				return errf(st.line, "cannot assign to array %q", ident.name)
+			}
+			if sym.global != nil && sym.global.isArray {
+				return errf(st.line, "cannot assign to array %q", ident.name)
+			}
+		}
+		st.rhs = fold(st.rhs)
+		return w.walkExpr(st.rhs)
+
+	case *ifStmt:
+		st.cond = fold(st.cond)
+		if err := w.walkExpr(st.cond); err != nil {
+			return err
+		}
+		if err := w.walkStmt(st.then); err != nil {
+			return err
+		}
+		if st.els != nil {
+			return w.walkStmt(st.els)
+		}
+		return nil
+
+	case *whileStmt:
+		st.cond = fold(st.cond)
+		if err := w.walkExpr(st.cond); err != nil {
+			return err
+		}
+		w.loopDepth++
+		defer func() { w.loopDepth-- }()
+		return w.walkStmt(st.body)
+
+	case *forStmt:
+		w.pushScope() // the init declaration scopes over the loop
+		defer w.popScope()
+		if st.init != nil {
+			if err := w.walkStmt(st.init); err != nil {
+				return err
+			}
+		}
+		if st.cond != nil {
+			st.cond = fold(st.cond)
+			if err := w.walkExpr(st.cond); err != nil {
+				return err
+			}
+		}
+		if st.post != nil {
+			if err := w.walkStmt(st.post); err != nil {
+				return err
+			}
+		}
+		w.loopDepth++
+		defer func() { w.loopDepth-- }()
+		return w.walkStmt(st.body)
+
+	case *returnStmt:
+		if st.value != nil {
+			st.value = fold(st.value)
+			return w.walkExpr(st.value)
+		}
+		return nil
+
+	case *breakStmt:
+		if w.loopDepth == 0 {
+			return errf(st.line, "break outside loop")
+		}
+		return nil
+
+	case *continueStmt:
+		if w.loopDepth == 0 {
+			return errf(st.line, "continue outside loop")
+		}
+		return nil
+
+	case *exprStmt:
+		st.x = fold(st.x)
+		return w.walkExpr(st.x)
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (w *funcWalker) declare(st *varStmt) error {
+	if _, dup := w.scope.names[st.name]; dup {
+		return errf(st.line, "duplicate variable %q in this scope", st.name)
+	}
+	if st.init != nil {
+		st.init = fold(st.init)
+		if err := w.walkExpr(st.init); err != nil {
+			return err
+		}
+	}
+	l := &localInfo{name: st.name, isArray: st.size > 0, size: st.size}
+	w.scope.names[st.name] = l
+	w.fn.locals = append(w.fn.locals, l)
+	w.a.vars[st] = l
+	return nil
+}
+
+func (w *funcWalker) walkExpr(e expr) error {
+	switch x := e.(type) {
+	case *numExpr:
+		return nil
+
+	case *identExpr:
+		if l := w.scope.lookup(x.name); l != nil {
+			w.a.idents[x] = symbol{local: l}
+			return nil
+		}
+		if g, ok := w.a.globals[x.name]; ok {
+			w.a.idents[x] = symbol{global: g}
+			return nil
+		}
+		return errf(x.line, "undefined variable %q", x.name)
+
+	case *unaryExpr:
+		x.x = fold(x.x)
+		return w.walkExpr(x.x)
+
+	case *binExpr:
+		x.l, x.r = fold(x.l), fold(x.r)
+		if err := w.walkExpr(x.l); err != nil {
+			return err
+		}
+		return w.walkExpr(x.r)
+
+	case *indexExpr:
+		x.index = fold(x.index)
+		if err := w.walkExpr(x.base); err != nil {
+			return err
+		}
+		return w.walkExpr(x.index)
+
+	case *derefExpr:
+		x.ptr = fold(x.ptr)
+		return w.walkExpr(x.ptr)
+
+	case *addrExpr:
+		if err := w.walkExpr(x.x); err != nil {
+			return err
+		}
+		// Taking the address of a scalar local forces it into the frame.
+		if ident, ok := x.x.(*identExpr); ok {
+			if sym := w.a.idents[ident]; sym.local != nil && !sym.local.isArray {
+				sym.local.addrTaken = true
+			}
+		}
+		return nil
+
+	case *callExpr:
+		if want, ok := intrinsics[x.name]; ok {
+			if len(x.args) != want {
+				return errf(x.line, "%s takes %d argument(s), got %d", x.name, want, len(x.args))
+			}
+		} else if fn, ok := w.a.funcs[x.name]; ok {
+			if len(x.args) != len(fn.decl.params) {
+				return errf(x.line, "%s takes %d argument(s), got %d", x.name, len(fn.decl.params), len(x.args))
+			}
+		} else {
+			return errf(x.line, "undefined function %q", x.name)
+		}
+		for i := range x.args {
+			x.args[i] = fold(x.args[i])
+			if err := w.walkExpr(x.args[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("minic: unknown expression %T", e)
+}
+
+// fold performs constant folding on literal subexpressions.
+func fold(e expr) expr {
+	switch x := e.(type) {
+	case *unaryExpr:
+		x.x = fold(x.x)
+		if n, ok := x.x.(*numExpr); ok {
+			switch x.op {
+			case tokMinus:
+				return &numExpr{val: -n.val, line: x.line}
+			case tokTilde:
+				return &numExpr{val: ^n.val, line: x.line}
+			case tokBang:
+				v := int32(0)
+				if n.val == 0 {
+					v = 1
+				}
+				return &numExpr{val: v, line: x.line}
+			}
+		}
+		return x
+
+	case *binExpr:
+		x.l, x.r = fold(x.l), fold(x.r)
+		l, lok := x.l.(*numExpr)
+		r, rok := x.r.(*numExpr)
+		if !lok || !rok {
+			return x
+		}
+		b := func(cond bool) expr {
+			v := int32(0)
+			if cond {
+				v = 1
+			}
+			return &numExpr{val: v, line: x.line}
+		}
+		switch x.op {
+		case tokPlus:
+			return &numExpr{val: l.val + r.val, line: x.line}
+		case tokMinus:
+			return &numExpr{val: l.val - r.val, line: x.line}
+		case tokStar:
+			return &numExpr{val: l.val * r.val, line: x.line}
+		case tokSlash:
+			if r.val == 0 {
+				return x // leave the runtime fault to the VM
+			}
+			return &numExpr{val: l.val / r.val, line: x.line}
+		case tokPercent:
+			if r.val == 0 {
+				return x
+			}
+			return &numExpr{val: l.val % r.val, line: x.line}
+		case tokAmp:
+			return &numExpr{val: l.val & r.val, line: x.line}
+		case tokPipe:
+			return &numExpr{val: l.val | r.val, line: x.line}
+		case tokCaret:
+			return &numExpr{val: l.val ^ r.val, line: x.line}
+		case tokShl:
+			return &numExpr{val: l.val << (uint32(r.val) & 31), line: x.line}
+		case tokShr:
+			return &numExpr{val: l.val >> (uint32(r.val) & 31), line: x.line}
+		case tokEq:
+			return b(l.val == r.val)
+		case tokNe:
+			return b(l.val != r.val)
+		case tokLt:
+			return b(l.val < r.val)
+		case tokLe:
+			return b(l.val <= r.val)
+		case tokGt:
+			return b(l.val > r.val)
+		case tokGe:
+			return b(l.val >= r.val)
+		case tokAndAnd:
+			return b(l.val != 0 && r.val != 0)
+		case tokOrOr:
+			return b(l.val != 0 || r.val != 0)
+		}
+		return x
+
+	case *indexExpr:
+		x.base, x.index = fold(x.base), fold(x.index)
+		return x
+
+	case *derefExpr:
+		x.ptr = fold(x.ptr)
+		return x
+
+	default:
+		return e
+	}
+}

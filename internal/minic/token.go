@@ -1,0 +1,119 @@
+// Package minic implements a small C-like systems language and an
+// optimizing compiler from it to SV8 assembly. It is this repository's
+// substitute for the paper's gcc 2.6.3 -O4 toolchain: the six benchmark
+// workloads are written in MiniC so their dynamic traces exhibit compiled-
+// code idioms (address arithmetic, shift-scaled indexing, compare-and-
+// branch sequences, call frames) rather than hand-tuned assembly.
+//
+// The language in one paragraph: every value is a 32-bit word. Programs are
+// global variable and function declarations. Globals may be scalars with
+// constant initializers, arrays of fixed size, or arrays with initializer
+// lists. Functions take up to six word parameters and return one word.
+// Statements: var declarations, assignment, if/else, while, for, break,
+// continue, return, and expression statements. Expressions: integer and
+// character literals, variables, array indexing a[i] (word-granular),
+// dereference *p, address-of &x, function calls, the intrinsics out(x),
+// alloc(nwords) and halt(), and the usual C operators with C precedence:
+// ||, &&, |, ^, &, == !=, < <= > >=, << >>, + -, * / %, unary - ! ~.
+package minic
+
+import "fmt"
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokChar
+
+	// Keywords.
+	tokVar
+	tokFunc
+	tokIf
+	tokElse
+	tokWhile
+	tokFor
+	tokReturn
+	tokBreak
+	tokContinue
+
+	// Punctuation and operators.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+	tokAssign
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokAmp
+	tokPipe
+	tokCaret
+	tokTilde
+	tokBang
+	tokLt
+	tokGt
+	tokLe
+	tokGe
+	tokEq
+	tokNe
+	tokShl
+	tokShr
+	tokAndAnd
+	tokOrOr
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokNumber: "number",
+	tokChar: "character literal",
+	tokVar:  "'var'", tokFunc: "'func'", tokIf: "'if'", tokElse: "'else'",
+	tokWhile: "'while'", tokFor: "'for'", tokReturn: "'return'",
+	tokBreak: "'break'", tokContinue: "'continue'",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokLBracket: "'['", tokRBracket: "']'", tokComma: "','", tokSemi: "';'",
+	tokAssign: "'='", tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'",
+	tokSlash: "'/'", tokPercent: "'%'", tokAmp: "'&'", tokPipe: "'|'",
+	tokCaret: "'^'", tokTilde: "'~'", tokBang: "'!'",
+	tokLt: "'<'", tokGt: "'>'", tokLe: "'<='", tokGe: "'>='",
+	tokEq: "'=='", tokNe: "'!='", tokShl: "'<<'", tokShr: "'>>'",
+	tokAndAnd: "'&&'", tokOrOr: "'||'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+type token struct {
+	kind tokKind
+	text string // identifier text
+	val  int32  // number / char value
+	line int
+}
+
+var keywords = map[string]tokKind{
+	"var": tokVar, "func": tokFunc, "if": tokIf, "else": tokElse,
+	"while": tokWhile, "for": tokFor, "return": tokReturn,
+	"break": tokBreak, "continue": tokContinue,
+}
+
+// Error reports a compile failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

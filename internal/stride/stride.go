@@ -1,0 +1,141 @@
+// Package stride implements the paper's load-address predictor: a
+// 4096-entry direct-mapped table indexed by the low 14 bits (the paper's
+// figure; with 4-byte instructions the low 12 entry-selecting bits) of the
+// load's instruction address, running the *two-delta* stride algorithm of
+// Eickemeyer & Vassiliadis, extended with a 2-bit saturating confidence
+// counter per entry: +1 on a correct address prediction, -2 on a wrong one,
+// and a predicted address is used for speculative issue only when the
+// counter value is greater than 1.
+//
+// Two-delta stride prediction keeps the last address, the last delta, and a
+// candidate "stride" that is only replaced when the same new delta is seen
+// twice in a row; this filters the spurious deltas that a single
+// interleaved irregular access would otherwise inject.
+package stride
+
+// Table parameters from the paper (Section 3).
+const (
+	DefaultLogEntries = 12 // 4096-entry direct-mapped table
+	ConfidenceMax     = 3  // 2-bit saturating counter
+	ConfidenceUse     = 2  // "used only when the counter value is greater than 1"
+)
+
+type entry struct {
+	tag        uint32 // full PC, for stats only (direct-mapped: no tag match required)
+	lastAddr   uint32
+	stride     int32 // confirmed stride used for prediction
+	lastDelta  int32 // most recent delta (candidate stride)
+	confidence uint8
+	valid      bool
+}
+
+// Policy parameterizes the confidence mechanism. The paper notes that
+// "possible variations are currently being explored to determine even more
+// accurate confidence measurements"; these knobs enable that exploration
+// (see BenchmarkExtensionConfidenceSweep).
+type Policy struct {
+	Reward    uint8 // confidence increment on a correct prediction
+	Penalty   uint8 // confidence decrement on a wrong prediction
+	Threshold uint8 // predictions are used when confidence >= Threshold
+	Max       uint8 // saturation ceiling
+}
+
+// PaperPolicy is the paper's scheme: a 2-bit counter, +1 on correct, -2 on
+// wrong, used when the counter value is greater than 1.
+func PaperPolicy() Policy {
+	return Policy{Reward: 1, Penalty: 2, Threshold: ConfidenceUse, Max: ConfidenceMax}
+}
+
+// Predictor is the two-delta stride address predictor with confidence.
+// The zero value is not usable; create with New.
+type Predictor struct {
+	entries []entry
+	mask    uint32
+	policy  Policy
+}
+
+// New creates a predictor with 2^logEntries entries and the paper's
+// confidence policy.
+func New(logEntries uint) *Predictor { return NewWithPolicy(logEntries, PaperPolicy()) }
+
+// NewWithPolicy creates a predictor with a custom confidence policy.
+func NewWithPolicy(logEntries uint, policy Policy) *Predictor {
+	n := 1 << logEntries
+	return &Predictor{entries: make([]entry, n), mask: uint32(n - 1), policy: policy}
+}
+
+// NewPaper returns the paper's 4096-entry configuration.
+func NewPaper() *Predictor { return New(DefaultLogEntries) }
+
+// Prediction is the outcome of a table lookup.
+type Prediction struct {
+	Addr      uint32 // predicted effective address
+	Confident bool   // counter > 1: the prediction may be used for speculative issue
+	Valid     bool   // the entry has an address history at all
+}
+
+// Lookup returns the predicted address for the load at pc. It does not
+// modify the table.
+func (p *Predictor) Lookup(pc uint32) Prediction {
+	e := &p.entries[pc&p.mask]
+	if !e.valid {
+		return Prediction{}
+	}
+	return Prediction{
+		Addr:      uint32(int32(e.lastAddr) + e.stride),
+		Confident: e.confidence >= p.policy.Threshold,
+		Valid:     true,
+	}
+}
+
+// Update trains the table with the actual effective address of the load at
+// pc. All loads update the table, whether or not a prediction was used
+// (Section 3: "All loads update the table state"). It returns whether the
+// prediction the table would have made was correct, which the caller uses
+// for statistics.
+func (p *Predictor) Update(pc uint32, addr uint32) (wasCorrect bool) {
+	e := &p.entries[pc&p.mask]
+	if !e.valid {
+		*e = entry{tag: pc, lastAddr: addr, valid: true}
+		return false
+	}
+	predicted := uint32(int32(e.lastAddr) + e.stride)
+	wasCorrect = predicted == addr
+
+	// Confidence: +Reward on correct, -Penalty on wrong, saturating at
+	// [0, Max] (the paper: +1, -2, max 3).
+	if wasCorrect {
+		if e.confidence+p.policy.Reward <= p.policy.Max {
+			e.confidence += p.policy.Reward
+		} else {
+			e.confidence = p.policy.Max
+		}
+	} else {
+		if e.confidence >= p.policy.Penalty {
+			e.confidence -= p.policy.Penalty
+		} else {
+			e.confidence = 0
+		}
+	}
+
+	// Two-delta stride update: adopt a new stride only when the same delta
+	// repeats.
+	delta := int32(addr - e.lastAddr)
+	if delta == e.lastDelta {
+		e.stride = delta
+	}
+	e.lastDelta = delta
+	e.lastAddr = addr
+	e.tag = pc
+	return wasCorrect
+}
+
+// Reset clears the table.
+func (p *Predictor) Reset() {
+	for i := range p.entries {
+		p.entries[i] = entry{}
+	}
+}
+
+// Len reports the number of table entries.
+func (p *Predictor) Len() int { return len(p.entries) }

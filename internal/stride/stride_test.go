@@ -1,0 +1,266 @@
+package stride
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdTableDoesNotPredict(t *testing.T) {
+	p := New(4)
+	pred := p.Lookup(0x100)
+	if pred.Valid || pred.Confident {
+		t.Errorf("cold lookup = %+v, want invalid", pred)
+	}
+}
+
+func TestConstantAddressPrediction(t *testing.T) {
+	// A load hitting the same address repeatedly has stride 0; after enough
+	// correct predictions the confidence exceeds the use threshold.
+	p := New(4)
+	pc, addr := uint32(0x40), uint32(0x2000)
+	for i := 0; i < 4; i++ {
+		p.Update(pc, addr)
+	}
+	pred := p.Lookup(pc)
+	if !pred.Valid || !pred.Confident || pred.Addr != addr {
+		t.Errorf("constant-address prediction = %+v, want confident %#x", pred, addr)
+	}
+}
+
+func TestStridedSequencePrediction(t *testing.T) {
+	p := New(4)
+	pc := uint32(0x44)
+	// Addresses 0, 16, 32, 48, ...: stride 16.
+	for i := uint32(0); i < 6; i++ {
+		p.Update(pc, 0x1000+16*i)
+	}
+	pred := p.Lookup(pc)
+	if !pred.Confident {
+		t.Fatalf("strided sequence not confident after 6 updates: %+v", pred)
+	}
+	if pred.Addr != 0x1000+16*6 {
+		t.Errorf("predicted %#x, want %#x", pred.Addr, 0x1000+16*6)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(4)
+	pc := uint32(0x48)
+	for i := 0; i < 6; i++ {
+		p.Update(pc, uint32(0x8000-8*i))
+	}
+	pred := p.Lookup(pc)
+	if !pred.Confident || pred.Addr != uint32(0x8000-8*6) {
+		t.Errorf("negative stride prediction = %+v, want %#x", pred, uint32(0x8000-8*6))
+	}
+}
+
+func TestTwoDeltaFiltersGlitch(t *testing.T) {
+	// Two-delta: a single irregular address must not disturb the learned
+	// stride. Sequence: 0,4,8,12, 1000, 16, 20, 24 ... after the glitch the
+	// predictor should quickly resume stride-4 prediction because the
+	// confirmed stride is only replaced when a new delta repeats.
+	p := New(4)
+	pc := uint32(0x4c)
+	addrs := []uint32{0, 4, 8, 12, 1000, 16, 20, 24, 28}
+	for _, a := range addrs {
+		p.Update(pc, a)
+	}
+	pred := p.Lookup(pc)
+	if pred.Addr != 32 {
+		t.Errorf("after glitch predicted %d, want 32 (stride 4 retained)", pred.Addr)
+	}
+}
+
+func TestConfidencePenaltyIsAsymmetric(t *testing.T) {
+	// +1 on correct, -2 on wrong: after saturation (3), one wrong drops to
+	// 1 which is below the use threshold.
+	p := New(4)
+	pc := uint32(0x50)
+	for i := uint32(0); i < 8; i++ {
+		p.Update(pc, 0x100+4*i) // train to saturation
+	}
+	if !p.Lookup(pc).Confident {
+		t.Fatal("not confident after training")
+	}
+	p.Update(pc, 0x9999_0000) // one wrong prediction: 3 - 2 = 1
+	if p.Lookup(pc).Confident {
+		t.Error("still confident after a mispredict; -2 penalty not applied")
+	}
+}
+
+func TestConfidenceFloorsAtZero(t *testing.T) {
+	p := New(4)
+	pc := uint32(0x54)
+	addrs := []uint32{0, 5000, 3, 77777, 13} // chaos: every prediction wrong
+	for _, a := range addrs {
+		p.Update(pc, a)
+	}
+	pred := p.Lookup(pc)
+	if pred.Confident {
+		t.Error("chaotic address stream should never be confident")
+	}
+}
+
+func TestUpdateReportsCorrectness(t *testing.T) {
+	p := New(4)
+	pc := uint32(0x58)
+	p.Update(pc, 100) // cold: not correct
+	// stride still 0, so prediction after first update is lastAddr+0 = 100.
+	if !p.Update(pc, 100) {
+		t.Error("second update at same address should report correct")
+	}
+	if p.Update(pc, 200) {
+		t.Error("jump should report incorrect")
+	}
+}
+
+func TestDirectMappedAliasing(t *testing.T) {
+	p := New(2) // 4 entries; pcs 0 and 4 alias
+	for i := uint32(0); i < 6; i++ {
+		p.Update(0, 0x100+4*i)
+	}
+	if !p.Lookup(0).Confident {
+		t.Fatal("training failed")
+	}
+	// The aliasing pc sees the same entry.
+	pred := p.Lookup(4)
+	if !pred.Valid {
+		t.Error("aliased pc should see the shared entry")
+	}
+	// An aliased store of a different pattern destroys the entry for both.
+	p.Update(4, 0xdead0000)
+	if p.Lookup(0).Confident {
+		t.Error("alias interference should have dropped confidence")
+	}
+}
+
+func TestPaperConfiguration(t *testing.T) {
+	p := NewPaper()
+	if p.Len() != 4096 {
+		t.Errorf("paper table = %d entries, want 4096", p.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(4)
+	for i := uint32(0); i < 6; i++ {
+		p.Update(0, 4*i)
+	}
+	p.Reset()
+	if p.Lookup(0).Valid {
+		t.Error("entry valid after Reset")
+	}
+}
+
+// Property: for any pure strided stream the predictor becomes and stays
+// confident and correct after a warmup of 6 accesses (two to learn the
+// stride, then enough correct predictions to cross the confidence
+// threshold).
+func TestStridedStreamsConvergeQuick(t *testing.T) {
+	f := func(pc uint32, base uint32, strideSeed int16) bool {
+		stride := int32(strideSeed) &^ 3 // word-aligned stride
+		p := New(8)
+		addr := base &^ 3
+		for i := 0; i < 6; i++ {
+			p.Update(pc, addr)
+			addr = uint32(int32(addr) + stride)
+		}
+		for i := 0; i < 8; i++ {
+			pred := p.Lookup(pc)
+			if !pred.Confident || pred.Addr != addr {
+				return false
+			}
+			p.Update(pc, addr)
+			addr = uint32(int32(addr) + stride)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: confidence is always within [0, ConfidenceMax].
+func TestConfidenceBoundsQuick(t *testing.T) {
+	p := New(6)
+	f := func(pc uint32, addr uint32) bool {
+		p.Update(pc, addr&^3)
+		e := &p.entries[pc&p.mask]
+		return e.confidence <= ConfidenceMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointerChaseIsUnpredictable(t *testing.T) {
+	// Pseudo-random addresses (a hash chain) model pointer chasing: the
+	// predictor should rarely be confident, reproducing the paper's Table 3
+	// observation that pointer-chasing loads are mostly "not predicted".
+	p := NewPaper()
+	pc := uint32(0x60)
+	addr := uint32(12345)
+	confident := 0
+	n := 1000
+	for i := 0; i < n; i++ {
+		if p.Lookup(pc).Confident {
+			confident++
+		}
+		p.Update(pc, addr)
+		addr = (addr*1664525 + 1013904223) &^ 3
+	}
+	if frac := float64(confident) / float64(n); frac > 0.05 {
+		t.Errorf("confident on %.1f%% of chaotic accesses, want < 5%%", 100*frac)
+	}
+}
+
+func TestPolicyThresholdZeroAlwaysConfident(t *testing.T) {
+	p := NewWithPolicy(4, Policy{Reward: 1, Penalty: 2, Threshold: 0, Max: 3})
+	p.Update(0, 0x100)
+	if !p.Lookup(0).Confident {
+		t.Error("threshold-0 policy should be confident after one update")
+	}
+}
+
+func TestPolicyHighThresholdIsConservative(t *testing.T) {
+	// After 5 strided updates (two spent learning the stride, three correct
+	// predictions) the paper policy reaches confidence 2 — usable — while a
+	// policy requiring saturation (threshold 3) is still holding back.
+	strict := NewWithPolicy(4, Policy{Reward: 1, Penalty: 3, Threshold: 3, Max: 3})
+	paper := New(4)
+	pc := uint32(4)
+	for i := uint32(0); i < 5; i++ {
+		strict.Update(pc, 0x100+4*i)
+		paper.Update(pc, 0x100+4*i)
+	}
+	if !paper.Lookup(pc).Confident {
+		t.Fatal("paper policy should be confident after 5 updates")
+	}
+	if strict.Lookup(pc).Confident {
+		t.Error("strict policy confident too early")
+	}
+	// One more correct prediction saturates it.
+	strict.Update(pc, 0x114)
+	if !strict.Lookup(pc).Confident {
+		t.Error("strict policy never became confident")
+	}
+}
+
+func TestPolicyRewardSaturatesAtMax(t *testing.T) {
+	p := NewWithPolicy(4, Policy{Reward: 2, Penalty: 1, Threshold: 2, Max: 3})
+	pc := uint32(8)
+	for i := uint32(0); i < 10; i++ {
+		p.Update(pc, 0x200+4*i)
+	}
+	e := &p.entries[pc&p.mask]
+	if e.confidence > 3 {
+		t.Errorf("confidence %d exceeded Max 3", e.confidence)
+	}
+	// One mispredict with penalty 1 keeps it above threshold: a more
+	// forgiving policy than the paper's.
+	p.Update(pc, 0xdead0000)
+	if !p.Lookup(pc).Confident {
+		t.Error("penalty-1 policy should stay confident after one miss")
+	}
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Binary trace format: a fixed header followed by one fixed-size little-
+// endian record per instruction. Fixed-size records keep the reader
+// allocation-free; traces compress well externally if needed.
+//
+//	header:  magic "SV8T" | version u32 | count u64
+//	record:  pc u32 | op u8 | rd u8 | rs1 u8 | rs2 u8 |
+//	         imm i32 | target i32 | addr u32 | value i32 |
+//	         flags u8 (bit0 hasImm, bit1 taken)
+const (
+	binMagic   = "SV8T"
+	binVersion = 2
+	recSize    = 4 + 4 + 4 + 4 + 4 + 4 + 1
+)
+
+// Writer streams records to w in the binary trace format. Call Close to
+// flush and finalize. The record count is written up-front via Reserve-less
+// streaming, so the header count is patched only when w is an io.WriteSeeker;
+// otherwise the count field is zero and the reader streams until EOF.
+type Writer struct {
+	w     *bufio.Writer
+	seek  io.WriteSeeker
+	count uint64
+	buf   [recSize]byte
+}
+
+// NewWriter creates a trace writer on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	if ws, ok := w.(io.WriteSeeker); ok {
+		tw.seek = ws
+	}
+	var hdr [16]byte
+	copy(hdr[:4], binMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], binVersion)
+	// count (hdr[8:16]) patched on Close when seekable.
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Write appends one record.
+func (tw *Writer) Write(rec *Record) error {
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint32(b[0:4], rec.PC)
+	b[4] = uint8(rec.Instr.Op)
+	b[5] = rec.Instr.Rd
+	b[6] = rec.Instr.Rs1
+	b[7] = rec.Instr.Rs2
+	binary.LittleEndian.PutUint32(b[8:12], uint32(rec.Instr.Imm))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(rec.Instr.Target))
+	binary.LittleEndian.PutUint32(b[16:20], rec.Addr)
+	binary.LittleEndian.PutUint32(b[20:24], uint32(rec.Value))
+	var flags uint8
+	if rec.Instr.HasImm {
+		flags |= 1
+	}
+	if rec.Taken {
+		flags |= 2
+	}
+	b[24] = flags
+	tw.count++
+	_, err := tw.w.Write(b)
+	return err
+}
+
+// Close flushes buffered data and, when the underlying writer is seekable,
+// patches the record count into the header.
+func (tw *Writer) Close() error {
+	if err := tw.w.Flush(); err != nil {
+		return err
+	}
+	if tw.seek == nil {
+		return nil
+	}
+	if _, err := tw.seek.Seek(8, io.SeekStart); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], tw.count)
+	if _, err := tw.seek.Write(cnt[:]); err != nil {
+		return err
+	}
+	_, err := tw.seek.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Count reports the number of records written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Reader streams records from the binary trace format. It implements
+// Source; decoding errors surface through Err after Next returns false.
+type Reader struct {
+	r    *bufio.Reader
+	left uint64 // records remaining per header; ^0 means stream to EOF
+	err  error
+	buf  [recSize]byte
+}
+
+// NewReader opens a binary trace stream.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != binMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != binVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	left := binary.LittleEndian.Uint64(hdr[8:16])
+	if left == 0 {
+		left = ^uint64(0)
+	}
+	return &Reader{r: br, left: left}, nil
+}
+
+// Next implements Source.
+func (tr *Reader) Next(rec *Record) bool {
+	if tr.left == 0 || tr.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
+		if err != io.EOF {
+			tr.err = err
+		}
+		tr.left = 0
+		return false
+	}
+	b := tr.buf[:]
+	rec.PC = binary.LittleEndian.Uint32(b[0:4])
+	rec.Instr = isa.Instr{
+		Op:     isa.Op(b[4]),
+		Rd:     b[5],
+		Rs1:    b[6],
+		Rs2:    b[7],
+		Imm:    int32(binary.LittleEndian.Uint32(b[8:12])),
+		Target: int32(binary.LittleEndian.Uint32(b[12:16])),
+		HasImm: b[24]&1 != 0,
+	}
+	rec.Addr = binary.LittleEndian.Uint32(b[16:20])
+	rec.Value = int32(binary.LittleEndian.Uint32(b[20:24]))
+	rec.Taken = b[24]&2 != 0
+	if tr.left != ^uint64(0) {
+		tr.left--
+	}
+	return true
+}
+
+// Err reports the first decoding error encountered, if any.
+func (tr *Reader) Err() error { return tr.err }

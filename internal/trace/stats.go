@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Mix summarizes the operation-class composition of a trace. The paper's
+// Table 2 derives from this (percentage of conditional branches), the
+// collapsing discussion cites the shift fraction ("about 6%"), and the
+// Figure 10 discussion reasons from the dynamic basic-block size ("the
+// average basic block size is expected to be around 6 - 8 instructions").
+type Mix struct {
+	Total   int64
+	ByClass [isa.NumClasses]int64
+	ByOp    [isa.NumOps]int64
+
+	// Transfers counts dynamic control transfers (conditional branches and
+	// other jumps/calls/returns); each ends a dynamic basic block.
+	Transfers int64
+}
+
+// Observe accounts one record.
+func (m *Mix) Observe(rec *Record) {
+	m.Total++
+	m.ByClass[rec.Class()]++
+	m.ByOp[rec.Instr.Op]++
+	if rec.Instr.IsControl() {
+		m.Transfers++
+	}
+}
+
+// AvgBasicBlock reports the mean dynamic basic-block size in instructions.
+func (m *Mix) AvgBasicBlock() float64 {
+	if m.Transfers == 0 {
+		return float64(m.Total)
+	}
+	return float64(m.Total) / float64(m.Transfers)
+}
+
+// CollectMix drains src through a Mix.
+func CollectMix(src Source) *Mix {
+	var m Mix
+	var rec Record
+	for src.Next(&rec) {
+		m.Observe(&rec)
+	}
+	return &m
+}
+
+// Percent reports the percentage of the trace in class c.
+func (m *Mix) Percent(c isa.Class) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return 100 * float64(m.ByClass[c]) / float64(m.Total)
+}
+
+// CondBranchPercent reports the conditional-branch fraction of the trace
+// (Table 2, column "Conditional Branches (%)").
+func (m *Mix) CondBranchPercent() float64 { return m.Percent(isa.ClassBrc) }
+
+// String renders the mix as a sorted class table.
+func (m *Mix) String() string {
+	type row struct {
+		c isa.Class
+		n int64
+	}
+	rows := make([]row, 0, isa.NumClasses)
+	for c := 0; c < isa.NumClasses; c++ {
+		if m.ByClass[c] > 0 {
+			rows = append(rows, row{isa.Class(c), m.ByClass[c]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	var b strings.Builder
+	fmt.Fprintf(&b, "total %d, avg basic block %.1f\n", m.Total, m.AvgBasicBlock())
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %10d  %5.2f%%\n", r.c, r.n, 100*float64(r.n)/float64(m.Total))
+	}
+	return b.String()
+}

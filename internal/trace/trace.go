@@ -1,0 +1,99 @@
+// Package trace defines the dynamic instruction trace that connects the SV8
+// emulator to the dependence simulator. A trace is a stream of Records, one
+// per executed instruction (NOPs excluded, as in the paper), carrying the
+// static instruction, the effective address for memory operations, and the
+// outcome for branches.
+//
+// Traces are streamed through the Source interface so multi-million
+// instruction runs never need to be materialized; Buffer provides an
+// in-memory implementation for reuse across simulator configurations, and
+// the binary Writer/Reader pair provides a compact on-disk format.
+package trace
+
+import "repro/internal/isa"
+
+// Record is one dynamically executed instruction.
+type Record struct {
+	PC    uint32    // static instruction index
+	Instr isa.Instr // the executed instruction
+	Addr  uint32    // effective byte address (Ld/St only)
+	Value int32     // result value (register writers), or the stored value (St)
+	Taken bool      // branch outcome (conditional branches only)
+}
+
+// Class reports the record's operation class.
+func (r *Record) Class() isa.Class { return r.Instr.Class() }
+
+// Source is a stream of trace records. Next returns false when the trace is
+// exhausted. Implementations are not required to be safe for concurrent use.
+type Source interface {
+	// Next stores the next record into rec and reports whether one was
+	// available.
+	Next(rec *Record) bool
+}
+
+// Buffer is an in-memory trace that can be replayed any number of times.
+// The zero value is an empty trace ready for appending.
+type Buffer struct {
+	Records []Record
+}
+
+// Append adds a record to the buffer.
+func (b *Buffer) Append(rec Record) { b.Records = append(b.Records, rec) }
+
+// Len reports the number of records.
+func (b *Buffer) Len() int { return len(b.Records) }
+
+// Reader returns a Source that replays the buffer from the beginning.
+func (b *Buffer) Reader() *BufferReader { return &BufferReader{buf: b} }
+
+// BufferReader streams a Buffer.
+type BufferReader struct {
+	buf *Buffer
+	pos int
+}
+
+// Next implements Source.
+func (r *BufferReader) Next(rec *Record) bool {
+	if r.pos >= len(r.buf.Records) {
+		return false
+	}
+	*rec = r.buf.Records[r.pos]
+	r.pos++
+	return true
+}
+
+// Reset rewinds the reader to the start of the buffer.
+func (r *BufferReader) Reset() { r.pos = 0 }
+
+// Limit wraps src, ending the stream after at most n records. It mirrors the
+// paper's truncation of long benchmarks ("only the first 250 million
+// instructions ... were simulated").
+func Limit(src Source, n int64) Source { return &limited{src: src, left: n} }
+
+type limited struct {
+	src  Source
+	left int64
+}
+
+func (l *limited) Next(rec *Record) bool {
+	if l.left <= 0 {
+		return false
+	}
+	if !l.src.Next(rec) {
+		l.left = 0
+		return false
+	}
+	l.left--
+	return true
+}
+
+// Drain consumes src into a new Buffer.
+func Drain(src Source) *Buffer {
+	var b Buffer
+	var rec Record
+	for src.Next(&rec) {
+		b.Append(rec)
+	}
+	return &b
+}

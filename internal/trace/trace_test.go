@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func sampleRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			PC: uint32(i),
+			Instr: isa.Instr{
+				Op: isa.Add, Rd: uint8(i % 32), Rs1: uint8((i + 1) % 32),
+				Imm: int32(i * 3), HasImm: i%2 == 0,
+			},
+			Addr:  uint32(i * 4),
+			Value: int32(i * 7),
+			Taken: i%3 == 0,
+		}
+	}
+	return recs
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	var b Buffer
+	for _, r := range sampleRecords(10) {
+		b.Append(r)
+	}
+	if b.Len() != 10 {
+		t.Fatalf("len = %d, want 10", b.Len())
+	}
+	r := b.Reader()
+	var rec Record
+	for i := 0; i < 10; i++ {
+		if !r.Next(&rec) {
+			t.Fatalf("Next returned false at %d", i)
+		}
+		if rec.PC != uint32(i) {
+			t.Errorf("rec %d PC = %d", i, rec.PC)
+		}
+	}
+	if r.Next(&rec) {
+		t.Error("Next returned true past end")
+	}
+	r.Reset()
+	if !r.Next(&rec) || rec.PC != 0 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	var b Buffer
+	for _, r := range sampleRecords(10) {
+		b.Append(r)
+	}
+	src := Limit(b.Reader(), 4)
+	var rec Record
+	count := 0
+	for src.Next(&rec) {
+		count++
+	}
+	if count != 4 {
+		t.Errorf("limited count = %d, want 4", count)
+	}
+	// Limit larger than the trace.
+	src = Limit(b.Reader(), 100)
+	count = 0
+	for src.Next(&rec) {
+		count++
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var b Buffer
+	for _, r := range sampleRecords(5) {
+		b.Append(r)
+	}
+	b2 := Drain(b.Reader())
+	if b2.Len() != 5 {
+		t.Errorf("drained len = %d, want 5", b2.Len())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := sampleRecords(100)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 100 {
+		t.Errorf("count = %d, want 100", w.Count())
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	for i := 0; i < 100; i++ {
+		if !r.Next(&rec) {
+			t.Fatalf("Next false at %d (err %v)", i, r.Err())
+		}
+		if rec != recs[i] {
+			t.Fatalf("rec %d = %+v, want %+v", i, rec, recs[i])
+		}
+	}
+	if r.Next(&rec) {
+		t.Error("Next true past end")
+	}
+	if r.Err() != nil {
+		t.Errorf("Err = %v", r.Err())
+	}
+}
+
+func TestBinarySeekablePatchesCount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords(7)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	r, err := NewReader(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.left != 7 {
+		t.Errorf("header count = %d, want 7", r.left)
+	}
+	var rec Record
+	n := 0
+	for r.Next(&rec) {
+		n++
+	}
+	if n != 7 {
+		t.Errorf("read %d records, want 7", n)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX0123456789ab"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("SV8T"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+// Property: any record survives a binary round trip.
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(pc uint32, op, rd, rs1, rs2 uint8, imm, target int32, addr uint32, value int32, hasImm, taken bool) bool {
+		rec := Record{
+			PC: pc,
+			Instr: isa.Instr{
+				Op: isa.Op(op % uint8(isa.NumOps)), Rd: rd % 33, Rs1: rs1 % 33, Rs2: rs2 % 33,
+				Imm: imm, Target: target, HasImm: hasImm,
+			},
+			Addr: addr, Value: value, Taken: taken,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if err := w.Write(&rec); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		var got Record
+		return r.Next(&got) && got == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMix(t *testing.T) {
+	var b Buffer
+	b.Append(Record{Instr: isa.Instr{Op: isa.Add}})
+	b.Append(Record{Instr: isa.Instr{Op: isa.Add}})
+	b.Append(Record{Instr: isa.Instr{Op: isa.Beq}})
+	b.Append(Record{Instr: isa.Instr{Op: isa.Ld}})
+	m := CollectMix(b.Reader())
+	if m.Total != 4 {
+		t.Fatalf("total = %d, want 4", m.Total)
+	}
+	if m.ByClass[isa.ClassAr] != 2 {
+		t.Errorf("ar = %d, want 2", m.ByClass[isa.ClassAr])
+	}
+	if got := m.CondBranchPercent(); got != 25 {
+		t.Errorf("branch%% = %v, want 25", got)
+	}
+	if got := m.Percent(isa.ClassLd); got != 25 {
+		t.Errorf("ld%% = %v, want 25", got)
+	}
+	s := m.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMixBasicBlocks(t *testing.T) {
+	var b Buffer
+	// 3 instructions, branch, 2 instructions, jump: two blocks end in
+	// transfers -> 8 instructions / 2 transfers = 4.
+	for i := 0; i < 3; i++ {
+		b.Append(Record{Instr: isa.Instr{Op: isa.Add}})
+	}
+	b.Append(Record{Instr: isa.Instr{Op: isa.Bne}})
+	b.Append(Record{Instr: isa.Instr{Op: isa.Add}})
+	b.Append(Record{Instr: isa.Instr{Op: isa.Add}})
+	b.Append(Record{Instr: isa.Instr{Op: isa.Jmp}})
+	b.Append(Record{Instr: isa.Instr{Op: isa.Add}})
+	m := CollectMix(b.Reader())
+	if m.Transfers != 2 {
+		t.Errorf("transfers = %d, want 2", m.Transfers)
+	}
+	if got := m.AvgBasicBlock(); got != 4 {
+		t.Errorf("avg block = %v, want 4", got)
+	}
+	var empty Mix
+	empty.Total = 7
+	if empty.AvgBasicBlock() != 7 {
+		t.Errorf("transfer-free trace block size = %v, want 7", empty.AvgBasicBlock())
+	}
+}
+
+func TestMixEmpty(t *testing.T) {
+	var m Mix
+	if got := m.Percent(isa.ClassAr); got != 0 {
+		t.Errorf("empty mix percent = %v, want 0", got)
+	}
+}

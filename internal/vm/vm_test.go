@@ -1,0 +1,567 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, src string, opts ...Option) []int32 {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Exec(p, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestArithmetic(t *testing.T) {
+	out := run(t, `
+	main:
+		ldi r8, 7
+		ldi r9, 3
+		add r10, r8, r9
+		out r10
+		sub r10, r8, r9
+		out r10
+		mul r10, r8, r9
+		out r10
+		div r10, r8, r9
+		out r10
+		rem r10, r8, r9
+		out r10
+		halt
+	`)
+	want := []int32{10, 4, 21, 2, 1}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestLogicalAndShifts(t *testing.T) {
+	out := run(t, `
+	main:
+		ldi r8, 0xf0
+		ldi r9, 0x3c
+		and r10, r8, r9
+		out r10
+		or  r10, r8, r9
+		out r10
+		xor r10, r8, r9
+		out r10
+		andn r10, r8, r9
+		out r10
+		orn r10, r8, 0
+		out r10
+		xnor r10, r8, r8
+		out r10
+		sll r10, r9, 2
+		out r10
+		srl r10, r9, 2
+		out r10
+		ldi r8, -8
+		sra r10, r8, 1
+		out r10
+		srl r10, r8, 28
+		out r10
+		halt
+	`)
+	want := []int32{0x30, 0xfc, 0xcc, 0xc0, -1, -1, 0xf0, 0xf, -4, 0xf}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %#x, want %#x", i, out[i], want[i])
+		}
+	}
+}
+
+func TestR0IsAlwaysZero(t *testing.T) {
+	out := run(t, `
+	main:
+		ldi r0, 99
+		add r8, r0, 5
+		out r8
+		out r0
+		halt
+	`)
+	if out[0] != 5 || out[1] != 0 {
+		t.Errorf("out = %v, want [5 0]", out)
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	out := run(t, `
+	.data
+	arr: .word 10, 20, 30
+	.text
+	main:
+		ldi r8, arr
+		ld  r9, [r8+8]
+		out r9
+		ldi r10, 77
+		st  r10, [r8+4]
+		ld  r11, [r8+4]
+		out r11
+		ldi r12, 1       ; word index
+		sll r13, r12, 2
+		ld  r14, [r8+r13]
+		out r14
+		halt
+	`)
+	want := []int32{30, 77, 77}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	// Each comparison outputs 1 when the branch is taken, 0 otherwise.
+	cases := []struct {
+		op   string
+		a, b int32
+		want int32
+	}{
+		{"beq", 5, 5, 1}, {"beq", 5, 6, 0},
+		{"bne", 5, 6, 1}, {"bne", 5, 5, 0},
+		{"blt", -1, 0, 1}, {"blt", 0, 0, 0},
+		{"ble", 0, 0, 1}, {"ble", 1, 0, 0},
+		{"bgt", 1, 0, 1}, {"bgt", 0, 0, 0},
+		{"bge", 0, 0, 1}, {"bge", -1, 0, 0},
+		{"bltu", -1, 0, 0}, // 0xffffffff is large unsigned
+		{"bltu", 1, 2, 1},
+		{"bgeu", -1, 0, 1}, {"bgeu", 1, 2, 0},
+	}
+	for _, c := range cases {
+		src := `
+		main:
+			ldi r8, ` + itoa(c.a) + `
+			ldi r9, ` + itoa(c.b) + `
+			cmp r8, r9
+			` + c.op + ` yes
+			out r0
+			halt
+		yes:
+			ldi r10, 1
+			out r10
+			halt
+		`
+		out := run(t, src)
+		if out[0] != c.want {
+			t.Errorf("%s %d,%d = %d, want %d", c.op, c.a, c.b, out[0], c.want)
+		}
+	}
+}
+
+func itoa(v int32) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestCallRet(t *testing.T) {
+	out := run(t, `
+	main:
+		ldi r2, 5
+		call double
+		out r1
+		ldi r2, 21
+		call double
+		out r1
+		halt
+	double:
+		add r1, r2, r2
+		ret
+	`)
+	if out[0] != 10 || out[1] != 42 {
+		t.Errorf("out = %v, want [10 42]", out)
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	out := run(t, `
+	.data
+	table: .word case0, case1
+	.text
+	main:
+		ldi r8, 1         ; select case1
+		sll r9, r8, 2
+		ld  r10, [r9+table]
+		jr  r10
+	case0:
+		ldi r1, 100
+		out r1
+		halt
+	case1:
+		ldi r1, 200
+		out r1
+		halt
+	`)
+	if out[0] != 200 {
+		t.Errorf("out = %v, want [200]", out)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	out := run(t, `
+	main:
+		ldi r8, 0     ; sum
+		ldi r9, 1     ; i
+	loop:
+		add r8, r8, r9
+		add r9, r9, 1
+		cmp r9, 100
+		ble loop
+		out r8
+		halt
+	`)
+	if out[0] != 5050 {
+		t.Errorf("sum = %d, want 5050", out[0])
+	}
+}
+
+func TestStackConvention(t *testing.T) {
+	out := run(t, `
+	main:
+		add sp, sp, -8
+		ldi r8, 1234
+		st  r8, [sp+0]
+		ldi r8, 0
+		ld  r9, [sp+0]
+		out r9
+		add sp, sp, 8
+		halt
+	`)
+	if out[0] != 1234 {
+		t.Errorf("out = %v, want [1234]", out)
+	}
+}
+
+func TestHeapRegisters(t *testing.T) {
+	// r2 = heap base, r3 = heap limit at startup.
+	p := asm.MustAssemble(`
+	main:
+		out r2
+		out r3
+		cmp r2, r3
+		blt ok
+		halt
+	ok:
+		ldi r8, 1
+		out r8
+		halt
+	`)
+	out, err := Exec(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[2] != 1 {
+		t.Fatalf("heap base %d not below limit %d", out[0], out[1])
+	}
+	if out[0]%16 != 0 {
+		t.Errorf("heap base %d not 16-aligned", out[0])
+	}
+}
+
+func TestDivisionByZeroFaults(t *testing.T) {
+	p := asm.MustAssemble("main:\n\tdiv r1, r2, r0\n\thalt\n")
+	_, err := Exec(p)
+	var rte *RuntimeError
+	if !errors.As(err, &rte) {
+		t.Fatalf("err = %v, want RuntimeError", err)
+	}
+}
+
+func TestUnalignedAccessFaults(t *testing.T) {
+	p := asm.MustAssemble("main:\n\tldi r1, 3\n\tld r2, [r1+0]\n\thalt\n")
+	if _, err := Exec(p); err == nil {
+		t.Fatal("unaligned load did not fault")
+	}
+}
+
+func TestOutOfRangeAccessFaults(t *testing.T) {
+	p := asm.MustAssemble("main:\n\tldi r1, -4\n\tld r2, [r1+0]\n\thalt\n")
+	if _, err := Exec(p); err == nil {
+		t.Fatal("out-of-range load did not fault")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := asm.MustAssemble("main:\n\tjmp main\n")
+	_, err := Exec(p, WithMaxSteps(100))
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	p := asm.MustAssemble(`
+	main:
+		nop
+		ldi r8, 2
+		cmp r8, 2
+		beq done
+		nop
+	done:
+		ld r9, [r0+0x1000]
+		halt
+	`)
+	buf, _, err := Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NOPs are excluded: ldi, cmp, beq, ld, halt = 5 records.
+	if buf.Len() != 5 {
+		t.Fatalf("trace length = %d, want 5", buf.Len())
+	}
+	recs := buf.Records
+	if recs[0].Instr.Op != isa.Ldi {
+		t.Errorf("rec 0 = %v, want ldi", recs[0].Instr)
+	}
+	if !recs[2].Taken {
+		t.Error("beq should be recorded taken")
+	}
+	if recs[3].Addr != 0x1000 {
+		t.Errorf("load addr = %#x, want 0x1000", recs[3].Addr)
+	}
+	if recs[2].PC != 3 {
+		t.Errorf("branch PC = %d, want 3", recs[2].PC)
+	}
+}
+
+func TestTraceStoreAddress(t *testing.T) {
+	p := asm.MustAssemble(`
+	main:
+		ldi r8, 0x2000
+		st  r8, [r8+4]
+		halt
+	`)
+	buf, _, err := Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Records[1].Addr != 0x2004 {
+		t.Errorf("store addr = %#x, want 0x2004", buf.Records[1].Addr)
+	}
+}
+
+// Property: VM 32-bit arithmetic matches Go int32 semantics.
+func TestArithmeticMatchesGo(t *testing.T) {
+	p := asm.MustAssemble(`
+	main:
+		add r10, r8, r9
+		out r10
+		sub r10, r8, r9
+		out r10
+		mul r10, r8, r9
+		out r10
+		xor r10, r8, r9
+		out r10
+		halt
+	`)
+	f := func(a, b int32) bool {
+		m, err := New(p)
+		if err != nil {
+			return false
+		}
+		m.regs[8], m.regs[9] = a, b
+		if err := m.Run(); err != nil {
+			return false
+		}
+		want := []int32{a + b, a - b, a * b, a ^ b}
+		for i, w := range want {
+			if m.Output[i] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shift semantics use the low five bits of the distance.
+func TestShiftMatchesGo(t *testing.T) {
+	p := asm.MustAssemble(`
+	main:
+		sll r10, r8, r9
+		out r10
+		srl r10, r8, r9
+		out r10
+		sra r10, r8, r9
+		out r10
+		halt
+	`)
+	f := func(a int32, dist uint8) bool {
+		m, err := New(p)
+		if err != nil {
+			return false
+		}
+		m.regs[8], m.regs[9] = a, int32(dist)
+		if err := m.Run(); err != nil {
+			return false
+		}
+		s := uint32(dist) & 31
+		return m.Output[0] == a<<s &&
+			m.Output[1] == int32(uint32(a)>>s) &&
+			m.Output[2] == a>>s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepsCountsNops(t *testing.T) {
+	p := asm.MustAssemble("main:\n\tnop\n\tnop\n\thalt\n")
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != 3 {
+		t.Errorf("steps = %d, want 3", m.Steps())
+	}
+}
+
+func TestDataSegmentTooLarge(t *testing.T) {
+	p := &isa.Program{
+		Code:     []isa.Instr{{Op: isa.Halt}},
+		Data:     make([]int32, 100),
+		DataBase: 0x1000,
+	}
+	if _, err := New(p, WithMemWords(64)); err == nil {
+		t.Fatal("oversized data segment accepted")
+	}
+}
+
+func TestSinkRecordReuse(t *testing.T) {
+	// The sink receives a reused record pointer; Trace must copy.
+	p := asm.MustAssemble(`
+	main:
+		ldi r8, 1
+		ldi r9, 2
+		halt
+	`)
+	var pcs []uint32
+	m, err := New(p, WithSink(func(r *trace.Record) { pcs = append(pcs, r.PC) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != 3 || pcs[0] != 0 || pcs[1] != 1 || pcs[2] != 2 {
+		t.Errorf("pcs = %v, want [0 1 2]", pcs)
+	}
+}
+
+func TestRuntimeErrorMessage(t *testing.T) {
+	p := asm.MustAssemble("main:\n\tdiv r1, r2, r0\n\thalt\n")
+	_, err := Exec(p)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"vm:", "pc 0", "division by zero"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestUnalignedStoreFaults(t *testing.T) {
+	p := asm.MustAssemble("main:\n\tldi r1, 2\n\tst r1, [r1+0]\n\thalt\n")
+	if _, err := Exec(p); err == nil {
+		t.Fatal("unaligned store did not fault")
+	}
+}
+
+func TestOutOfRangeStoreFaults(t *testing.T) {
+	p := asm.MustAssemble("main:\n\tldi r1, -8\n\tst r1, [r1+0]\n\thalt\n")
+	if _, err := Exec(p); err == nil {
+		t.Fatal("out-of-range store did not fault")
+	}
+}
+
+func TestTracePropagatesErrors(t *testing.T) {
+	p := asm.MustAssemble("main:\n\tjmp main\n")
+	if _, _, err := Trace(p, WithMaxSteps(10)); err == nil {
+		t.Fatal("Trace did not surface the step-limit error")
+	}
+	bad := &isa.Program{Code: []isa.Instr{{Op: isa.Halt}}, Entry: 7}
+	if _, _, err := Trace(bad); err == nil {
+		t.Fatal("Trace accepted an invalid program")
+	}
+	if _, err := Exec(bad); err == nil {
+		t.Fatal("Exec accepted an invalid program")
+	}
+}
+
+func TestRemainderSemantics(t *testing.T) {
+	out := run(t, `
+	main:
+		ldi r8, -7
+		ldi r9, 3
+		rem r10, r8, r9
+		out r10
+		rem r11, r9, r9
+		out r11
+		halt
+	`)
+	if out[0] != -1 || out[1] != 0 {
+		t.Errorf("rem results = %v, want [-1 0]", out)
+	}
+}
+
+func TestValueRecordedInTrace(t *testing.T) {
+	p := asm.MustAssemble(`
+	main:
+		ldi r8, 42
+		add r9, r8, 8
+		st  r9, [r0+0x1000]
+		ld  r10, [r0+0x1000]
+		out r10
+		halt
+	`)
+	buf, _, err := Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := buf.Records
+	if recs[0].Value != 42 {
+		t.Errorf("ldi value = %d, want 42", recs[0].Value)
+	}
+	if recs[1].Value != 50 {
+		t.Errorf("add value = %d, want 50", recs[1].Value)
+	}
+	if recs[2].Value != 50 { // store records the stored value
+		t.Errorf("st value = %d, want 50", recs[2].Value)
+	}
+	if recs[3].Value != 50 { // load records the loaded value
+		t.Errorf("ld value = %d, want 50", recs[3].Value)
+	}
+	if recs[4].Value != 50 { // out records the emitted value
+		t.Errorf("out value = %d, want 50", recs[4].Value)
+	}
+}

@@ -1,0 +1,92 @@
+// Package vpred implements a last-value load-value predictor in the style
+// of Lipasti, Wilkerson & Shen (ASPLOS 1996), the "value locality" work the
+// paper cites as its reference [9] and names as the other face of data
+// dependence speculation: instead of predicting a load's *address*, predict
+// the *value* it will return, removing the load-use dependence entirely
+// when correct.
+//
+// The table mirrors the stride predictor's organization so the two
+// mechanisms are comparable: direct-mapped, indexed by the load's
+// instruction address, with a 2-bit saturating confidence counter per entry
+// (+1 on a correct prediction, -2 on a wrong one; predictions are used only
+// when the counter value is greater than 1).
+package vpred
+
+// Table parameters mirroring internal/stride.
+const (
+	DefaultLogEntries = 12
+	ConfidenceMax     = 3
+	ConfidenceUse     = 2
+)
+
+type entry struct {
+	value      int32
+	confidence uint8
+	valid      bool
+}
+
+// Predictor is the last-value predictor. Create with New.
+type Predictor struct {
+	entries []entry
+	mask    uint32
+}
+
+// New creates a predictor with 2^logEntries entries.
+func New(logEntries uint) *Predictor {
+	n := 1 << logEntries
+	return &Predictor{entries: make([]entry, n), mask: uint32(n - 1)}
+}
+
+// NewDefault returns the 4096-entry configuration matching the paper's
+// stride table budget.
+func NewDefault() *Predictor { return New(DefaultLogEntries) }
+
+// Prediction is the outcome of a lookup.
+type Prediction struct {
+	Value     int32
+	Confident bool
+	Valid     bool
+}
+
+// Lookup returns the predicted value for the load at pc without training.
+func (p *Predictor) Lookup(pc uint32) Prediction {
+	e := &p.entries[pc&p.mask]
+	if !e.valid {
+		return Prediction{}
+	}
+	return Prediction{Value: e.value, Confident: e.confidence >= ConfidenceUse, Valid: true}
+}
+
+// Update trains the table with the value the load actually returned and
+// reports whether the table's prediction was correct.
+func (p *Predictor) Update(pc uint32, value int32) (wasCorrect bool) {
+	e := &p.entries[pc&p.mask]
+	if !e.valid {
+		*e = entry{value: value, valid: true}
+		return false
+	}
+	wasCorrect = e.value == value
+	if wasCorrect {
+		if e.confidence < ConfidenceMax {
+			e.confidence++
+		}
+	} else {
+		if e.confidence >= 2 {
+			e.confidence -= 2
+		} else {
+			e.confidence = 0
+		}
+		e.value = value
+	}
+	return wasCorrect
+}
+
+// Reset clears the table.
+func (p *Predictor) Reset() {
+	for i := range p.entries {
+		p.entries[i] = entry{}
+	}
+}
+
+// Len reports the number of table entries.
+func (p *Predictor) Len() int { return len(p.entries) }

@@ -1,0 +1,101 @@
+package vpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdTable(t *testing.T) {
+	p := New(4)
+	if pred := p.Lookup(0x10); pred.Valid || pred.Confident {
+		t.Errorf("cold lookup = %+v", pred)
+	}
+}
+
+func TestInvariantValueLearned(t *testing.T) {
+	// The canonical value-locality case: a load that keeps returning the
+	// same value (e.g. a global constant reloaded in a loop).
+	p := New(4)
+	pc := uint32(0x40)
+	for i := 0; i < 4; i++ {
+		p.Update(pc, 77)
+	}
+	pred := p.Lookup(pc)
+	if !pred.Confident || pred.Value != 77 {
+		t.Errorf("invariant value not learned: %+v", pred)
+	}
+}
+
+func TestChangingValueDropsConfidence(t *testing.T) {
+	p := New(4)
+	pc := uint32(0x44)
+	for i := 0; i < 6; i++ {
+		p.Update(pc, 5)
+	}
+	if !p.Lookup(pc).Confident {
+		t.Fatal("not confident after training")
+	}
+	p.Update(pc, 6) // one change: -2 drops below the use threshold
+	if p.Lookup(pc).Confident {
+		t.Error("confident after value change")
+	}
+	if got := p.Lookup(pc).Value; got != 6 {
+		t.Errorf("table did not adopt new value: %d", got)
+	}
+}
+
+func TestAlternatingValuesNeverConfident(t *testing.T) {
+	p := New(4)
+	pc := uint32(0x48)
+	for i := 0; i < 100; i++ {
+		p.Update(pc, int32(i&1))
+	}
+	if p.Lookup(pc).Confident {
+		t.Error("alternating values should never reach confidence")
+	}
+}
+
+func TestUpdateReportsCorrectness(t *testing.T) {
+	p := New(4)
+	pc := uint32(0x4c)
+	if p.Update(pc, 9) {
+		t.Error("cold update reported correct")
+	}
+	if !p.Update(pc, 9) {
+		t.Error("repeat value reported incorrect")
+	}
+	if p.Update(pc, 10) {
+		t.Error("changed value reported correct")
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	if got := NewDefault().Len(); got != 4096 {
+		t.Errorf("default size = %d, want 4096", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(4)
+	p.Update(3, 1)
+	p.Reset()
+	if p.Lookup(3).Valid {
+		t.Error("valid after reset")
+	}
+}
+
+// Property: confidence stays within bounds and a constant stream converges
+// within 3 updates after first touch.
+func TestConstantStreamsConvergeQuick(t *testing.T) {
+	f := func(pc uint32, v int32) bool {
+		p := New(6)
+		for i := 0; i < 3; i++ {
+			p.Update(pc, v)
+		}
+		pred := p.Lookup(pc)
+		return pred.Valid && pred.Confident && pred.Value == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

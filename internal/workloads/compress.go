@@ -1,0 +1,71 @@
+package workloads
+
+import "fmt"
+
+// compress: LZW compression of a synthetic text, the analogue of
+// 026.compress. The dictionary is an open-addressed hash table probed with
+// a fixed displacement; accesses mix hashed (irregular) and sequential
+// (input scan) patterns, giving the stride predictor a partial win, like
+// the paper's non-pointer-chasing class.
+var compressWorkload = &Workload{
+	Name:           "compress",
+	Description:    "LZW compression with an open-addressed hash dictionary",
+	PointerChasing: false,
+	DefaultScale:   5000,
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+var N = %d;
+var htab[4096];     // packed key (prefix<<8|char)+1; 0 = empty
+var codetab[4096];  // dictionary code for the key
+var MAXENT = 3400;  // dictionary capacity (keeps probe chains bounded)
+
+// inchar produces text-like bytes: lowercase letters with a skewed
+// distribution plus occasional spaces.
+func inchar() {
+	var r = rnd() & 63;
+	if (r > 25) { r = r & 15; }
+	if ((rnd() & 15) == 0) { return 32; }
+	return r + 97;
+}
+
+func main() {
+	var nextcode = 256;
+	var checksum = 0;
+	var ncodes = 0;
+	var probes = 0;
+
+	var ent = inchar();
+	for (var i = 1; i < N; i = i + 1) {
+		var c = inchar();
+		var key = (ent << 8) | c;
+		var h = ((c << 6) ^ ent) & 4095;
+		var found = 0;
+		while (htab[h] != 0) {
+			if (htab[h] == key + 1) {
+				ent = codetab[h];
+				found = 1;
+				break;
+			}
+			h = (h + 61) & 4095;
+			probes = probes + 1;
+		}
+		if (found == 0) {
+			checksum = checksum ^ (ent + i);
+			checksum = (checksum << 1) | ((checksum >> 31) & 1);
+			ncodes = ncodes + 1;
+			if (nextcode < MAXENT) {
+				htab[h] = key + 1;
+				codetab[h] = nextcode;
+				nextcode = nextcode + 1;
+			}
+			ent = c;
+		}
+	}
+	out(ncodes);
+	out(nextcode);
+	out(probes);
+	out(checksum);
+}
+`, scale)
+	},
+}

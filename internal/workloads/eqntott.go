@@ -1,0 +1,80 @@
+package workloads
+
+import "fmt"
+
+// eqntott: truth-table generation and comparison-driven quicksort, the
+// analogue of 023.eqntott, whose execution time is dominated by the cmppt
+// comparison routine. The trace is branch- and call-heavy, with strided
+// array access from partitioning — a favourable case for stride-based load
+// speculation, as in the paper's non-pointer-chasing results.
+var eqntottWorkload = &Workload{
+	Name:           "eqntott",
+	Description:    "truth-table construction and comparison-driven quicksort",
+	PointerChasing: false,
+	DefaultScale:   900,
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+var N = %d;
+var tab[8192];
+
+// cmppt compares two packed product terms the way eqntott's cmppt walks
+// two-bit fields: from the most significant two-bit literal down.
+func cmppt(a, b) {
+	for (var shift = 24; shift >= 0; shift = shift - 2) {
+		var la = (a >> shift) & 3;
+		var lb = (b >> shift) & 3;
+		if (la < lb) { return -1; }
+		if (la > lb) { return 1; }
+	}
+	return 0;
+}
+
+func quicksort(lo, hi) {
+	while (lo < hi) {
+		var pivot = tab[(lo + hi) / 2];
+		var i = lo;
+		var j = hi;
+		while (i <= j) {
+			while (cmppt(tab[i], pivot) < 0) { i = i + 1; }
+			while (cmppt(tab[j], pivot) > 0) { j = j - 1; }
+			if (i <= j) {
+				var t = tab[i];
+				tab[i] = tab[j];
+				tab[j] = t;
+				i = i + 1;
+				j = j - 1;
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if (j - lo < hi - i) {
+			quicksort(lo, j);
+			lo = i;
+		} else {
+			quicksort(i, hi);
+			hi = j;
+		}
+	}
+}
+
+func main() {
+	if (N > 8192) { N = 8192; }
+	// Build the truth table: each term packs 13 two-bit literals.
+	for (var i = 0; i < N; i = i + 1) {
+		tab[i] = (rnd() | (rnd() << 13)) & 67108863;
+	}
+	quicksort(0, N - 1);
+
+	// Verify sortedness and fold a checksum.
+	var sorted = 1;
+	var checksum = 0;
+	for (var i = 1; i < N; i = i + 1) {
+		if (cmppt(tab[i-1], tab[i]) > 0) { sorted = 0; }
+		checksum = checksum ^ (tab[i] + i);
+		checksum = (checksum << 1) | ((checksum >> 31) & 1);
+	}
+	out(sorted);
+	out(checksum);
+}
+`, scale)
+	},
+}

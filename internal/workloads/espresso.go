@@ -1,0 +1,113 @@
+package workloads
+
+import "fmt"
+
+// espresso: boolean cube-cover minimization in the spirit of 008.espresso.
+// Cubes over 30 variables are bitmask pairs (value, care); repeated passes
+// merge distance-1 cubes and absorb covered ones. The instruction mix is
+// dominated by logical operations over arrays — the lgXX signatures that
+// fill the paper's Tables 5 and 6.
+var espressoWorkload = &Workload{
+	Name:           "espresso",
+	Description:    "boolean cube-cover minimization (bitmask logic)",
+	PointerChasing: false,
+	DefaultScale:   280,
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+var NC = %d;
+var val[1024];
+var care[1024];
+
+func onebit(d) {
+	if (d == 0) { return 0; }
+	if ((d & (d - 1)) == 0) { return 1; }
+	return 0;
+}
+
+// covers(i, j) reports whether cube i covers cube j.
+func covers(i, j) {
+	if ((care[i] & care[j]) != care[i]) { return 0; }
+	if (((val[i] ^ val[j]) & care[i]) != 0) { return 0; }
+	return 1;
+}
+
+var protoval[16];
+var protocare[16];
+
+func main() {
+	if (NC > 1024) { NC = 1024; }
+	// Prototype cubes over 20 variables; the cover derives each cube from
+	// a prototype by flipping or widening a literal, so merge and
+	// absorption relations actually occur (random cubes almost never
+	// relate).
+	for (var p = 0; p < 16; p = p + 1) {
+		protocare[p] = (rnd() | (rnd() << 15)) & 1048575;
+		protoval[p] = (rnd() | (rnd() << 15)) & protocare[p];
+	}
+	for (var i = 0; i < NC; i = i + 1) {
+		var p = rnd() & 15;
+		var cc = protocare[p];
+		var cv = protoval[p];
+		var bit = 1 << (rnd() %% 20);
+		var mode = rnd() & 3;
+		if (mode == 0) { cv = (cv ^ bit) & cc; }        // flip a literal
+		else if (mode == 1) { cc = cc & ~bit; cv = cv & cc; } // widen
+		else if (mode == 2) { cc = cc | bit; }           // narrow (value 0)
+		care[i] = cc;
+		val[i] = cv;
+	}
+
+	var merges = 0;
+	var absorbs = 0;
+	var changed = 1;
+	var passes = 0;
+	while (changed && passes < 8) {
+		changed = 0;
+		passes = passes + 1;
+		for (var i = 0; i < NC; i = i + 1) {
+			if (care[i] == 0) { continue; }
+			for (var j = i + 1; j < NC; j = j + 1) {
+				if (care[j] == 0) { continue; }
+				if (care[i] == care[j]) {
+					var d = (val[i] ^ val[j]) & care[i];
+					if (onebit(d)) {
+						care[i] = care[i] & ~d;
+						val[i] = val[i] & care[i];
+						care[j] = 0;
+						merges = merges + 1;
+						changed = 1;
+						continue;
+					}
+				}
+				if (covers(i, j)) {
+					care[j] = 0;
+					absorbs = absorbs + 1;
+					changed = 1;
+				} else if (covers(j, i)) {
+					care[i] = 0;
+					absorbs = absorbs + 1;
+					changed = 1;
+					break;
+				}
+			}
+		}
+	}
+
+	var live = 0;
+	var checksum = 0;
+	for (var i = 0; i < NC; i = i + 1) {
+		if (care[i] != 0) {
+			live = live + 1;
+			checksum = checksum ^ (val[i] + care[i]);
+			checksum = (checksum << 3) | ((checksum >> 29) & 7);
+		}
+	}
+	out(passes);
+	out(merges);
+	out(absorbs);
+	out(live);
+	out(checksum);
+}
+`, scale)
+	},
+}

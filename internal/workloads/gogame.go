@@ -1,0 +1,161 @@
+package workloads
+
+import "fmt"
+
+// go: the analogue of 099.go — a territory game playing random legal moves
+// on a 19x19 board, flood-filling groups to count liberties and capturing
+// dead groups. Control flow is highly data-dependent (the paper reports
+// go's branch prediction rate at just 83.7%%), and the flood-fill frontier
+// behaves like pointer chasing through board-dependent addresses.
+var goWorkload = &Workload{
+	Name:           "go",
+	Description:    "territory game: random moves, flood-fill liberty counting",
+	PointerChasing: true,
+	DefaultScale:   1500,
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+var MOVES = %d;
+
+// Board: 21x21 with a border of 3s. 0 empty, 1 black, 2 white, 3 edge.
+var board[441];
+var mark[441];   // visited generation stamps
+var stack[441];  // flood-fill frontier
+var gen = 0;
+
+func reset() {
+	for (var i = 0; i < 441; i = i + 1) {
+		board[i] = 0;
+		mark[i] = 0;
+	}
+	for (var i = 0; i < 21; i = i + 1) {
+		board[i] = 3;
+		board[420 + i] = 3;
+		board[i * 21] = 3;
+		board[i * 21 + 20] = 3;
+	}
+	gen = 0;
+}
+
+// liberties flood-fills the group containing pos and returns its liberty
+// count; the group's stones are left marked with the current generation.
+func liberties(pos) {
+	var color = board[pos];
+	gen = gen + 1;
+	var libs = 0;
+	var sp = 0;
+	stack[0] = pos;
+	sp = 1;
+	mark[pos] = gen;
+	while (sp > 0) {
+		sp = sp - 1;
+		var p = stack[sp];
+		var d = 0;
+		for (var k = 0; k < 4; k = k + 1) {
+			if (k == 0) { d = 1; }
+			if (k == 1) { d = -1; }
+			if (k == 2) { d = 21; }
+			if (k == 3) { d = -21; }
+			var q = p + d;
+			if (mark[q] != gen) {
+				if (board[q] == 0) {
+					mark[q] = gen;
+					libs = libs + 1;
+				} else if (board[q] == color) {
+					mark[q] = gen;
+					stack[sp] = q;
+					sp = sp + 1;
+				}
+			}
+		}
+	}
+	return libs;
+}
+
+// capture removes the group at pos and returns the stones taken.
+func capture(pos) {
+	var color = board[pos];
+	var taken = 0;
+	var sp = 0;
+	stack[0] = pos;
+	sp = 1;
+	board[pos] = 0;
+	taken = 1;
+	while (sp > 0) {
+		sp = sp - 1;
+		var p = stack[sp];
+		var d = 0;
+		for (var k = 0; k < 4; k = k + 1) {
+			if (k == 0) { d = 1; }
+			if (k == 1) { d = -1; }
+			if (k == 2) { d = 21; }
+			if (k == 3) { d = -21; }
+			var q = p + d;
+			if (board[q] == color) {
+				board[q] = 0;
+				taken = taken + 1;
+				stack[sp] = q;
+				sp = sp + 1;
+			}
+		}
+	}
+	return taken;
+}
+
+func main() {
+	reset();
+	var captures = 0;
+	var suicides = 0;
+	var placed = 0;
+	var checksum = 0;
+	var color = 1;
+
+	for (var mv = 0; mv < MOVES; mv = mv + 1) {
+		// Pick a random empty point.
+		var tries = 0;
+		var pos = 0;
+		while (tries < 12) {
+			var r = rnd();
+			var x = 1 + (r & 31);
+			var y = 1 + ((r >> 5) & 31);
+			if (x <= 19 && y <= 19) {
+				var cand = y * 21 + x;
+				if (board[cand] == 0) { pos = cand; break; }
+			}
+			tries = tries + 1;
+		}
+		if (pos == 0) { reset(); color = 1; continue; }
+
+		board[pos] = color;
+		placed = placed + 1;
+		var enemy = 3 - color;
+
+		// Capture adjacent enemy groups left without liberties.
+		var d = 0;
+		for (var k = 0; k < 4; k = k + 1) {
+			if (k == 0) { d = 1; }
+			if (k == 1) { d = -1; }
+			if (k == 2) { d = 21; }
+			if (k == 3) { d = -21; }
+			var q = pos + d;
+			if (board[q] == enemy) {
+				if (liberties(q) == 0) {
+					captures = captures + capture(q);
+				}
+			}
+		}
+		// Suicide: remove own group if it has no liberties.
+		if (liberties(pos) == 0) {
+			suicides = suicides + capture(pos);
+		}
+		checksum = checksum ^ (pos + mv + captures);
+		checksum = (checksum << 1) | ((checksum >> 31) & 1);
+		color = enemy;
+	}
+	out(placed);
+	out(captures);
+	out(suicides);
+	out(checksum);
+}
+`, scale)
+	},
+}

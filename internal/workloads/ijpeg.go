@@ -1,0 +1,99 @@
+package workloads
+
+import "fmt"
+
+// ijpeg: the analogue of 132.ijpeg — forward 8x8 integer DCT plus
+// quantization over a synthetic image, block after block. The trace is
+// arithmetic- and shift-heavy with long strided scans, the best case for
+// both dependence collapsing (deep add/shift chains) and stride-based load
+// speculation.
+var ijpegWorkload = &Workload{
+	Name:           "ijpeg",
+	Description:    "8x8 integer DCT with quantization over a synthetic image",
+	PointerChasing: false,
+	DefaultScale:   100,
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+var BLOCKS = %d;
+var blk[64];
+// Quantization shift table (coarser for high frequencies).
+var qshift[] = {
+	3, 3, 3, 4, 4, 5, 5, 6,
+	3, 3, 4, 4, 5, 5, 6, 6,
+	3, 4, 4, 5, 5, 6, 6, 7,
+	4, 4, 5, 5, 6, 6, 7, 7,
+	4, 5, 5, 6, 6, 7, 7, 8,
+	5, 5, 6, 6, 7, 7, 8, 8,
+	5, 6, 6, 7, 7, 8, 8, 9,
+	6, 6, 7, 7, 8, 8, 9, 9
+};
+
+// dct8 runs a scaled integer 8-point DCT in place over blk[base],
+// blk[base+stride], ..., using the even/odd butterfly decomposition.
+func dct8(base, stride) {
+	var i0 = base;
+	var i1 = base + stride;
+	var i2 = i1 + stride;
+	var i3 = i2 + stride;
+	var i4 = i3 + stride;
+	var i5 = i4 + stride;
+	var i6 = i5 + stride;
+	var i7 = i6 + stride;
+
+	var s07 = blk[i0] + blk[i7];
+	var d07 = blk[i0] - blk[i7];
+	var s16 = blk[i1] + blk[i6];
+	var d16 = blk[i1] - blk[i6];
+	var s25 = blk[i2] + blk[i5];
+	var d25 = blk[i2] - blk[i5];
+	var s34 = blk[i3] + blk[i4];
+	var d34 = blk[i3] - blk[i4];
+
+	var e0 = s07 + s34;
+	var e3 = s07 - s34;
+	var e1 = s16 + s25;
+	var e2 = s16 - s25;
+
+	blk[i0] = e0 + e1;
+	blk[i4] = e0 - e1;
+	// Fixed-point multiplies by cos/sin constants (scaled by 256).
+	blk[i2] = (e3 * 237 + e2 * 98) >> 8;
+	blk[i6] = (e3 * 98 - e2 * 237) >> 8;
+	blk[i1] = (d07 * 251 + d16 * 142 + d25 * 71 + d34 * 25) >> 8;
+	blk[i3] = (d07 * 213 - d16 * 50 - d25 * 251 - d34 * 142) >> 8;
+	blk[i5] = (d07 * 142 - d16 * 251 + d25 * 25 + d34 * 213) >> 8;
+	blk[i7] = (d07 * 71 - d16 * 213 + d25 * 142 - d34 * 251) >> 8;
+}
+
+func main() {
+	var checksum = 0;
+	var nonzero = 0;
+	for (var b = 0; b < BLOCKS; b = b + 1) {
+		// Synthesize a block: smooth gradient plus texture noise.
+		for (var y = 0; y < 8; y = y + 1) {
+			for (var x = 0; x < 8; x = x + 1) {
+				var v = (x * (b & 15)) + (y * ((b >> 4) & 15)) + ((rnd() >> 8) & 31);
+				blk[y * 8 + x] = v - 128;
+			}
+		}
+		// 2D DCT: rows then columns.
+		for (var r = 0; r < 8; r = r + 1) { dct8(r * 8, 1); }
+		for (var c = 0; c < 8; c = c + 1) { dct8(c, 8); }
+		// Quantize with rounding shifts.
+		for (var i = 0; i < 64; i = i + 1) {
+			var q = qshift[i];
+			var v = blk[i];
+			var bias = (1 << q) >> 1;
+			if (v < 0) { v = 0 - ((bias - v) >> q); } else { v = (v + bias) >> q; }
+			blk[i] = v;
+			if (v != 0) { nonzero = nonzero + 1; }
+			checksum = checksum ^ (v + i);
+			checksum = (checksum << 1) | ((checksum >> 31) & 1);
+		}
+	}
+	out(nonzero);
+	out(checksum);
+}
+`, scale)
+	},
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import "fmt"
+
+// li: a cons-cell list workload in the spirit of 022.li (xlisp). Heap cells
+// come from the bump allocator; the program builds sorted lists by linked
+// insertion, maintains an association list, and folds over the structures.
+// Every inner-loop load chases a pointer whose next address depends on the
+// loaded value — exactly the access pattern the paper identifies as
+// hostile to stride-based load speculation.
+var liWorkload = &Workload{
+	Name:           "li",
+	Description:    "cons-cell list interpreter: sorted insertion and assoc lookups",
+	PointerChasing: true,
+	DefaultScale:   220,
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+var N = %d;
+var ROUNDS = 6;
+
+// cons cells: c[0] = car, c[1] = cdr.
+func cons(v, nxt) {
+	var c = alloc(2);
+	c[0] = v;
+	c[1] = nxt;
+	return c;
+}
+
+// insert keeps the list sorted ascending; returns the new head.
+func insert(lst, v) {
+	if (lst == 0 || lst[0] >= v) { return cons(v, lst); }
+	var p = lst;
+	while (p[1] != 0 && p[1][0] < v) { p = p[1]; }
+	p[1] = cons(v, p[1]);
+	return lst;
+}
+
+func sum(lst) {
+	var s = 0;
+	while (lst != 0) {
+		s = s + lst[0];
+		lst = lst[1];
+	}
+	return s;
+}
+
+func length(lst) {
+	var n = 0;
+	while (lst != 0) {
+		n = n + 1;
+		lst = lst[1];
+	}
+	return n;
+}
+
+// assoc list: cell[0] = key, cell[1] = value, cell[2] = next.
+func acons(k, v, nxt) {
+	var c = alloc(3);
+	c[0] = k;
+	c[1] = v;
+	c[2] = nxt;
+	return c;
+}
+
+func assq(al, k) {
+	while (al != 0) {
+		if (al[0] == k) { return al[1]; }
+		al = al[2];
+	}
+	return -1;
+}
+
+func reverse(lst) {
+	var r = 0;
+	while (lst != 0) {
+		r = cons(lst[0], r);
+		lst = lst[1];
+	}
+	return r;
+}
+
+func main() {
+	var checksum = 0;
+	var al = 0;
+	for (var round = 0; round < ROUNDS; round = round + 1) {
+		var lst = 0;
+		for (var i = 0; i < N; i = i + 1) {
+			lst = insert(lst, rnd() & 1023);
+		}
+		var s = sum(lst);
+		var rev = reverse(lst);
+		checksum = checksum ^ (s + rev[0] + length(rev));
+		checksum = (checksum << 1) | ((checksum >> 31) & 1);
+		al = acons(round, s, al);
+	}
+	var total = 0;
+	for (var round = 0; round < ROUNDS; round = round + 1) {
+		total = total + assq(al, round);
+	}
+	out(total);
+	out(checksum);
+}
+`, scale)
+	},
+}

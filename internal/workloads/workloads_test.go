@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Golden outputs at default scale. These depend only on MiniC semantics
+// (not on codegen details), so they pin down both the workload logic and
+// the whole compiler/assembler/VM stack end to end.
+var golden = map[string][]int32{
+	"compress": {2714, 2970, 26452, 1851184341},
+	"espresso": {2, 5, 218, 57, -829117240},
+	"eqntott":  {1, 1070424988},
+	"li":       {692144, 6185674},
+	"go":       {1479, 1, 0, -1103541413},
+	"ijpeg":    {3134, -1220333040},
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			_, out, err := w.TraceCached(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := golden[w.Name]
+			if len(out) != len(want) {
+				t.Fatalf("output = %v, want %v", out, want)
+			}
+			for i := range want {
+				if out[i] != want[i] {
+					t.Errorf("output[%d] = %d, want %d", i, out[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTraceSizes(t *testing.T) {
+	// Each workload must produce a substantial trace (the limit-study
+	// statistics need populations, not toys) without exploding the test
+	// suite's runtime.
+	for _, w := range All() {
+		buf, _, err := w.TraceCached(0)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if buf.Len() < 100_000 {
+			t.Errorf("%s: trace only %d instructions; want >= 100k", w.Name, buf.Len())
+		}
+		if buf.Len() > 20_000_000 {
+			t.Errorf("%s: trace %d instructions; too large for the suite", w.Name, buf.Len())
+		}
+	}
+}
+
+func TestScaleGrowsTrace(t *testing.T) {
+	for _, w := range All() {
+		small, _, err := w.Run(w.DefaultScale / 4)
+		if err != nil {
+			t.Fatalf("%s small: %v", w.Name, err)
+		}
+		large, _, err := w.TraceCached(0)
+		if err != nil {
+			t.Fatalf("%s large: %v", w.Name, err)
+		}
+		if small.Len() >= large.Len() {
+			t.Errorf("%s: scale %d gave %d instrs, scale %d gave %d; expected growth",
+				w.Name, w.DefaultScale/4, small.Len(), w.DefaultScale, large.Len())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w, err := ByName("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out1, err := w.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out2, err := w.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1) != len(out2) {
+		t.Fatal("nondeterministic output length")
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("nondeterministic output at %d: %d vs %d", i, out1[i], out2[i])
+		}
+	}
+}
+
+func TestPointerChasingSplit(t *testing.T) {
+	pc := PointerChasingSet()
+	if len(pc) != 2 || pc[0].Name != "li" || pc[1].Name != "go" {
+		t.Errorf("pointer-chasing set = %v, want [li go]", names(pc))
+	}
+	npc := NonPointerChasingSet()
+	if len(npc) != 4 {
+		t.Errorf("non-pointer set has %d entries, want 4", len(npc))
+	}
+	if len(All()) != 6 {
+		t.Errorf("total workloads = %d, want 6", len(All()))
+	}
+}
+
+func names(ws []*Workload) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+func TestByName(t *testing.T) {
+	for _, w := range All() {
+		got, err := ByName(w.Name)
+		if err != nil || got != w {
+			t.Errorf("ByName(%q) failed: %v", w.Name, err)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName(nosuch) should fail")
+	}
+}
+
+func TestTraceCachedReturnsSameBuffer(t *testing.T) {
+	w := All()[0]
+	b1, _, err := w.TraceCached(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := w.TraceCached(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("TraceCached regenerated the trace")
+	}
+}
+
+func TestMixesMatchCharacterization(t *testing.T) {
+	// The paper's narrative depends on instruction-mix properties: li is
+	// load-heavy (pointer chasing), ijpeg is shift/arith heavy with few
+	// branches, and every workload contains conditional branches and
+	// loads. Guard those shape properties.
+	type bounds struct {
+		class isa.Class
+		min   float64
+	}
+	checks := map[string][]bounds{
+		"li":    {{isa.ClassLd, 25}},
+		"ijpeg": {{isa.ClassSh, 8}},
+		"go":    {{isa.ClassBrc, 8}},
+	}
+	for _, w := range All() {
+		buf, _, err := w.TraceCached(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix := trace.CollectMix(buf.Reader())
+		// The paper reasons from ~6-8 instruction basic blocks; compiled
+		// MiniC should land in the same regime.
+		if bb := mix.AvgBasicBlock(); bb < 3 || bb > 20 {
+			t.Errorf("%s: avg basic block %.1f outside [3, 20]", w.Name, bb)
+		}
+		if mix.Percent(isa.ClassBrc) < 2 {
+			t.Errorf("%s: conditional branches %.1f%% < 2%%", w.Name, mix.Percent(isa.ClassBrc))
+		}
+		if mix.Percent(isa.ClassLd) < 5 {
+			t.Errorf("%s: loads %.1f%% < 5%%", w.Name, mix.Percent(isa.ClassLd))
+		}
+		for _, b := range checks[w.Name] {
+			if got := mix.Percent(b.class); got < b.min {
+				t.Errorf("%s: class %v = %.1f%%, want >= %.1f%%", w.Name, b.class, got, b.min)
+			}
+		}
+	}
+}

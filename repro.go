@@ -1,0 +1,236 @@
+// Package repro reproduces "The Performance Potential of Data Dependence
+// Speculation & Collapsing" (Sazeides, Vassiliadis & Smith, MICRO-29,
+// 1996): a trace-driven limit study of two hardware techniques that
+// restructure a program's dynamic data-dependence graph.
+//
+//   - Load speculation predicts load addresses with a two-delta stride
+//     table plus confidence counters, letting loads issue before their
+//     address operands resolve.
+//   - Dependence collapsing executes dependent pairs and triples of simple
+//     operations in a single 3-1 / 4-1 interlock-collapsing device with
+//     zero-operand detection, so consumers issue alongside their producers.
+//
+// The package is a facade over the full stack this repository implements
+// from scratch: a SPARC-v8-inspired ISA (internal/isa), an assembler
+// (internal/asm), a MiniC compiler standing in for gcc (internal/minic), a
+// functional emulator that streams dynamic traces (internal/vm), the
+// McFarling branch predictor (internal/bpred), the stride address predictor
+// (internal/stride), the collapsing model (internal/collapse), the windowed
+// limit scheduler (internal/core), and the six benchmark workloads
+// mirroring the paper's SPECINT set (internal/workloads).
+//
+// # Quick start
+//
+//	w, _ := repro.WorkloadByName("compress")
+//	tr, _, _ := w.Run(0) // compile, execute, trace
+//	res := repro.Run(tr.Reader(), repro.ConfigD, repro.Params{Width: 8})
+//	fmt.Printf("IPC %.2f, %.0f%% of instructions collapsed\n",
+//		res.IPC(), res.CollapsedPercent())
+//
+// See examples/ for complete programs and DESIGN.md for the experiment
+// index covering every table and figure in the paper.
+package repro
+
+import (
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/collapse"
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/minic"
+	"repro/internal/stride"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/vpred"
+	"repro/internal/workloads"
+)
+
+// --- Simulation ---------------------------------------------------------------
+
+// Config selects the speculation and collapsing mechanisms of a simulated
+// machine; see ConfigA through ConfigE for the paper's five configurations.
+type Config = core.Config
+
+// Params fixes machine dimensions (issue width, window size) and predictor
+// implementations for a run.
+type Params = core.Params
+
+// Result carries every statistic a simulation run produces: IPC, branch
+// prediction accuracy, the four load-speculation categories, and the full
+// collapsing breakdown (categories, distances, signatures).
+type Result = core.Result
+
+// The paper's machine configurations: A base superscalar, B adds real
+// load-speculation, C adds d-collapsing, D both, E collapsing plus ideal
+// load-speculation.
+var (
+	ConfigA = core.ConfigA
+	ConfigB = core.ConfigB
+	ConfigC = core.ConfigC
+	ConfigD = core.ConfigD
+	ConfigE = core.ConfigE
+
+	// ConfigF extends configuration D with last-value load-value
+	// prediction, the future-work direction the paper attributes to
+	// Lipasti, Wilkerson & Shen (reference [9]).
+	ConfigF = core.ConfigF
+)
+
+// Widths are the paper's issue widths: 4, 8, 16, 32 and 2048.
+var Widths = core.Widths
+
+// Configs returns the five paper configurations in order.
+func Configs() []Config { return core.Configs() }
+
+// ConfigByName resolves "A".."E".
+func ConfigByName(name string) (Config, error) { return core.ConfigByName(name) }
+
+// Run schedules a dynamic trace on the simulated machine and returns its
+// statistics. The same trace can be replayed under many configurations.
+func Run(src TraceSource, cfg Config, params Params) *Result {
+	return core.Run(src, cfg, params)
+}
+
+// AddrPredictor abstracts the load-address predictor so custom predictors
+// can be plugged into Params.Addr; see examples/custompredictor.
+type AddrPredictor = core.AddrPredictor
+
+// AddrPrediction is the outcome of an address-predictor lookup.
+type AddrPrediction = stride.Prediction
+
+// NewStridePredictor returns the paper's 4096-entry two-delta stride
+// predictor with 2-bit confidence counters.
+func NewStridePredictor() *stride.Predictor { return stride.NewPaper() }
+
+// BranchPredictor abstracts the conditional-branch predictor for
+// Params.Branch.
+type BranchPredictor = bpred.Predictor
+
+// NewMcFarlingPredictor returns the paper's 8 kB bimodal/gshare combining
+// predictor.
+func NewMcFarlingPredictor() *bpred.Combining { return bpred.NewPaper8KB() }
+
+// ValuePredictor abstracts the load-value predictor for Params.Value
+// (configuration F).
+type ValuePredictor = core.ValuePredictor
+
+// NewLastValuePredictor returns the 4096-entry last-value predictor used by
+// configuration F.
+func NewLastValuePredictor() *vpred.Predictor { return vpred.NewDefault() }
+
+// Collapse categories reported in Result.Groups (Figure 9's mechanisms).
+const (
+	Collapse31  = collapse.Cat31
+	Collapse41  = collapse.Cat41
+	Collapse0Op = collapse.Cat0Op
+)
+
+// TopSigs returns the n most frequent collapse signatures from a Result's
+// PairSigs or TripleSigs map.
+func TopSigs(m map[string]int64, n int) []core.SigCount { return core.TopSigs(m, n) }
+
+// --- Realistic memory (extension) ------------------------------------------------
+
+// CacheConfig dimensions the optional L1 data cache; Cache is its
+// simulation model (set Params.Cache to enable).
+type (
+	CacheConfig = mem.CacheConfig
+	Cache       = mem.Cache
+)
+
+// NewCache builds an L1 cache model; DefaultL1Cache returns a 16 KiB
+// 2-way configuration with a 20-cycle miss penalty.
+func NewCache(cfg CacheConfig) *Cache { return mem.NewCache(cfg) }
+
+// DefaultL1Cache returns the default cache configuration.
+func DefaultL1Cache() CacheConfig { return mem.DefaultL1() }
+
+// --- Dependence-graph limits -------------------------------------------------------
+
+// LimitReport is the dependence-graph limit analysis of a trace: the
+// critical-path length through true data dependences under infinite
+// resources, and the instruction-class composition of one critical path.
+type LimitReport = depgraph.Report
+
+// LimitOptions selects the constraint model for AnalyzeLimits.
+type LimitOptions = depgraph.Options
+
+// AnalyzeLimits computes the dataflow critical path of a trace — the
+// theoretical bound the paper's introduction defines the study against.
+func AnalyzeLimits(src TraceSource, opts LimitOptions) *LimitReport {
+	return depgraph.Analyze(src, opts)
+}
+
+// --- Traces --------------------------------------------------------------------
+
+// TraceSource is a stream of dynamic instructions; TraceBuffer provides a
+// replayable in-memory implementation.
+type TraceSource = trace.Source
+
+// TraceBuffer is an in-memory dynamic trace.
+type TraceBuffer = trace.Buffer
+
+// TraceRecord is one dynamically executed instruction.
+type TraceRecord = trace.Record
+
+// --- Toolchain -------------------------------------------------------------------
+
+// Program is a loaded SV8 program (code, data segment, entry point).
+type Program = isa.Program
+
+// Instr is one SV8 instruction.
+type Instr = isa.Instr
+
+// CompileMiniC compiles MiniC source to SV8 assembly text. MiniC is the
+// repository's C-like benchmark language; see internal/minic for the
+// language reference.
+func CompileMiniC(src string) (string, error) { return minic.Compile(src) }
+
+// CompilerOptions selects optional MiniC code-generation behaviour (e.g.
+// DirectAssign, the move-eliminating mode measured by
+// BenchmarkExtensionCompilerILP).
+type CompilerOptions = minic.Options
+
+// CompileMiniCWithOptions compiles with explicit codegen options.
+func CompileMiniCWithOptions(src string, opts CompilerOptions) (string, error) {
+	return minic.CompileWithOptions(src, opts)
+}
+
+// Assemble translates SV8 assembly text into a Program.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// BuildMiniC compiles and assembles MiniC source in one step.
+func BuildMiniC(src string) (*Program, error) {
+	asmText, err := minic.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(asmText)
+}
+
+// Execute runs a program on the emulator and returns its out() stream.
+func Execute(prog *Program) ([]int32, error) { return vm.Exec(prog) }
+
+// TraceProgram runs a program and returns its dynamic trace along with the
+// out() stream.
+func TraceProgram(prog *Program) (*TraceBuffer, []int32, error) { return vm.Trace(prog) }
+
+// --- Workloads --------------------------------------------------------------------
+
+// Workload is one of the six benchmark programs mirroring the paper's
+// SPECINT set.
+type Workload = workloads.Workload
+
+// Workloads returns the six benchmarks in the paper's Table 1 order:
+// compress, espresso, eqntott, li, go, ijpeg.
+func Workloads() []*Workload { return workloads.All() }
+
+// WorkloadByName resolves a benchmark by name.
+func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
+
+// PointerChasingWorkloads returns {li, go}, the paper's pointer-chasing
+// subset; NonPointerChasingWorkloads returns the other four.
+func PointerChasingWorkloads() []*Workload    { return workloads.PointerChasingSet() }
+func NonPointerChasingWorkloads() []*Workload { return workloads.NonPointerChasingSet() }

@@ -1,0 +1,164 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// End-to-end tests of the public API: MiniC source through the compiler,
+// assembler, emulator and simulator.
+
+const testKernel = `
+var table[64];
+
+func fill(n) {
+	for (var i = 0; i < n; i = i + 1) {
+		table[i] = i * 3 + 1;
+	}
+}
+
+func main() {
+	fill(64);
+	var sum = 0;
+	for (var i = 0; i < 64; i = i + 1) {
+		sum = sum + table[i];
+	}
+	out(sum);
+}
+`
+
+func buildTestTrace(t *testing.T) *TraceBuffer {
+	t.Helper()
+	prog, err := BuildMiniC(testKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, out, err := TraceProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int32(64*1 + 3*(64*63)/2) // sum of 3i+1, i<64
+	if len(out) != 1 || out[0] != want {
+		t.Fatalf("kernel output = %v, want [%d]", out, want)
+	}
+	return tr
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	tr := buildTestTrace(t)
+	if tr.Len() < 500 {
+		t.Fatalf("trace too short: %d", tr.Len())
+	}
+	var last float64
+	for _, cfg := range Configs() {
+		res := Run(tr.Reader(), cfg, Params{Width: 8})
+		if res.Instructions != int64(tr.Len()) {
+			t.Errorf("%s: scheduled %d of %d instructions", cfg.Name, res.Instructions, tr.Len())
+		}
+		if res.IPC() <= 0 || res.IPC() > 8 {
+			t.Errorf("%s: IPC %v out of range", cfg.Name, res.IPC())
+		}
+		if cfg.Name == "A" {
+			last = res.IPC()
+		}
+	}
+	// Collapsing must beat the base on this dependent kernel.
+	resC := Run(tr.Reader(), ConfigC, Params{Width: 8})
+	if resC.IPC() <= last {
+		t.Errorf("collapsing IPC %v did not beat base %v", resC.IPC(), last)
+	}
+}
+
+func TestCompileErrorSurfaces(t *testing.T) {
+	_, err := BuildMiniC("func main() { undefined(); }")
+	if err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Errorf("err = %v, want undefined function", err)
+	}
+}
+
+func TestAssembleAPI(t *testing.T) {
+	prog, err := Assemble("main:\n\tldi r1, 5\n\tout r1\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Execute(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 5 {
+		t.Errorf("out = %v, want [5]", out)
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	if len(Workloads()) != 6 {
+		t.Errorf("workloads = %d, want 6", len(Workloads()))
+	}
+	if len(PointerChasingWorkloads()) != 2 || len(NonPointerChasingWorkloads()) != 4 {
+		t.Error("pointer-chasing split wrong")
+	}
+	if _, err := WorkloadByName("li"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigFIsExtension(t *testing.T) {
+	if !ConfigF.LoadValuePred || !ConfigF.Collapse || !ConfigF.LoadSpec {
+		t.Errorf("ConfigF = %+v", ConfigF)
+	}
+	// The paper's set stays five-strong; F is the extension.
+	if len(Configs()) != 5 {
+		t.Errorf("Configs() = %d entries, want the paper's 5", len(Configs()))
+	}
+}
+
+func TestCustomPredictorPluggable(t *testing.T) {
+	tr := buildTestTrace(t)
+	oracle := oracleAddr{}
+	res := Run(tr.Reader(), ConfigB, Params{Width: 8, Addr: oracle})
+	if res.LoadPredIncorrect != 0 {
+		t.Errorf("oracle predictor mispredicted %d loads", res.LoadPredIncorrect)
+	}
+	base := Run(tr.Reader(), ConfigB, Params{Width: 8})
+	if res.IPC() < base.IPC() {
+		t.Errorf("oracle predictor IPC %v below stride %v", res.IPC(), base.IPC())
+	}
+}
+
+// oracleAddr is deliberately trivial: it never predicts, so every not-ready
+// load falls into the not-predicted category and nothing can mispredict.
+type oracleAddr struct{}
+
+func (oracleAddr) Lookup(uint32) AddrPrediction { return AddrPrediction{} }
+func (oracleAddr) Update(uint32, uint32) bool   { return false }
+
+func TestStridePredictorPublicAPI(t *testing.T) {
+	p := NewStridePredictor()
+	for i := uint32(0); i < 6; i++ {
+		p.Update(7, 0x100+8*i)
+	}
+	pred := p.Lookup(7)
+	if !pred.Confident || pred.Addr != 0x100+8*6 {
+		t.Errorf("prediction = %+v", pred)
+	}
+}
+
+func TestValuePredictorPublicAPI(t *testing.T) {
+	p := NewLastValuePredictor()
+	for i := 0; i < 4; i++ {
+		p.Update(3, 99)
+	}
+	if pred := p.Lookup(3); !pred.Confident || pred.Value != 99 {
+		t.Errorf("prediction = %+v", pred)
+	}
+}
+
+func TestMcFarlingPublicAPI(t *testing.T) {
+	p := NewMcFarlingPredictor()
+	for i := 0; i < 100; i++ {
+		p.Update(5, true)
+	}
+	if !p.Predict(5) {
+		t.Error("always-taken branch predicted not-taken")
+	}
+}
