@@ -2,7 +2,12 @@
 // emulator and reports its output and dynamic trace statistics.
 //
 //	ddrun prog.mc
-//	ddrun -mix prog.s     # also print the instruction-class mix
+//	ddrun -mix prog.s          # also print the instruction-class mix
+//	ddrun -timeout 10s prog.mc # bound wall-clock time
+//	ddrun -selfcheck prog.mc   # simulate the trace with invariant sweeps
+//
+// Exit codes: 0 ok, 1 execution failure, 2 usage, 130 canceled (see
+// docs/robustness.md).
 package main
 
 import (
@@ -10,8 +15,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
+	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/minic"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -19,51 +27,67 @@ import (
 
 func main() {
 	var (
-		mixFlag  = flag.Bool("mix", false, "print the instruction-class mix of the dynamic trace")
-		maxSteps = flag.Int64("maxsteps", 1<<30, "execution step limit")
+		mixFlag   = flag.Bool("mix", false, "print the instruction-class mix of the dynamic trace")
+		maxSteps  = flag.Int64("maxsteps", 1<<30, "execution step limit")
+		timeout   = flag.Duration("timeout", 0, "bound the run's wall-clock time (0 = none)")
+		selfCheck = flag.Bool("selfcheck", false, "simulate the dynamic trace (config D, width 8) with scheduler invariant sweeps")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ddrun [-mix] prog.{mc,s}")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: ddrun [-mix] [-selfcheck] [-timeout d] prog.{mc,s}")
+		os.Exit(cli.ExitUsage)
 	}
-	path := flag.Arg(0)
+	cli.Exit("ddrun", run(flag.Arg(0), *mixFlag, *selfCheck, *maxSteps, *timeout))
+}
+
+func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Duration) error {
+	ctx, stop := cli.Context(timeout)
+	defer stop()
+
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	asmText := string(src)
 	if strings.HasSuffix(path, ".mc") {
 		asmText, err = minic.Compile(string(src))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	prog, err := asm.Assemble(asmText)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	buf, out, err := func() (*trace.Buffer, []int32, error) {
-		if *mixFlag {
-			return vm.Trace(prog, vm.WithMaxSteps(*maxSteps))
-		}
-		o, err := vm.Exec(prog, vm.WithMaxSteps(*maxSteps))
-		return nil, o, err
-	}()
+
+	needTrace := mixFlag || selfCheck
+	var buf *trace.Buffer
+	var out []int32
+	if needTrace {
+		buf, out, err = vm.Trace(prog, vm.WithMaxSteps(maxSteps), vm.WithContext(ctx))
+	} else {
+		out, err = vm.Exec(prog, vm.WithMaxSteps(maxSteps), vm.WithContext(ctx))
+	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, v := range out {
 		fmt.Println(v)
 	}
-	if buf != nil {
+	if mixFlag {
 		fmt.Fprintf(os.Stderr, "%d dynamic instructions\n", buf.Len())
 		mix := trace.CollectMix(buf.Reader())
 		fmt.Fprint(os.Stderr, mix.String())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ddrun:", err)
-	os.Exit(1)
+	if selfCheck {
+		res, err := core.RunChecked(ctx, buf.Reader(), core.ConfigD, core.Params{
+			Width: 8, SelfCheck: true,
+		})
+		if err != nil {
+			return fmt.Errorf("self-check failed: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "self-check ok: %d invariant sweeps over %d instructions, 0 violations\n",
+			res.SelfChecks, res.Instructions)
+	}
+	return nil
 }

@@ -12,15 +12,23 @@
 //
 // Configurations: A base, B +load-speculation, C +collapsing, D both,
 // E collapsing + ideal speculation.
+//
+// Robustness: -timeout bounds the whole invocation, SIGINT/SIGTERM cancel
+// in-flight simulations but keep the experiments already printed, and
+// -selfcheck runs every simulation with scheduler invariant sweeps. Exit
+// codes: 0 ok, 1 simulation failure, 2 usage, 3 corrupt trace input,
+// 130 canceled (see docs/robustness.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/collapse"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -40,6 +48,8 @@ func main() {
 		widths     = flag.String("widths", "", "comma-separated issue widths for experiments (default 4,8,16,32,2048)")
 		listFlag   = flag.Bool("list", false, "list experiments and benchmarks")
 		csvFlag    = flag.Bool("csv", false, "emit experiment data as CSV instead of tables")
+		timeout    = flag.Duration("timeout", 0, "bound the whole run (0 = none); exceeding it cancels like SIGINT")
+		selfCheck  = flag.Bool("selfcheck", false, "run scheduler invariant sweeps during every simulation")
 	)
 	flag.Parse()
 
@@ -47,28 +57,23 @@ func main() {
 		list()
 		return
 	}
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	var err error
 	switch {
 	case *experiment != "":
-		if err := runExperiments(*experiment, *scale, *widths, *csvFlag); err != nil {
-			fatal(err)
-		}
+		err = runExperiments(ctx, *experiment, *scale, *widths, *csvFlag, *selfCheck)
 	case *traceFile != "":
-		if err := runTraceFile(*traceFile, *config, *width, *window); err != nil {
-			fatal(err)
-		}
+		err = runTraceFile(ctx, *traceFile, *config, *width, *window, *selfCheck)
 	case *benchmark != "":
-		if err := runSingle(*benchmark, *config, *width, *window, *scale); err != nil {
-			fatal(err)
-		}
+		err = runSingle(ctx, *benchmark, *config, *width, *window, *scale, *selfCheck)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ddsim:", err)
-	os.Exit(1)
+	cli.Exit("ddsim", err)
 }
 
 func list() {
@@ -86,13 +91,14 @@ func list() {
 	}
 }
 
-func runExperiments(id string, scale int, widthsArg string, csv bool) error {
-	r := experiments.NewRunner(scale)
+func runExperiments(ctx context.Context, id string, scale int, widthsArg string, csv, selfCheck bool) error {
+	r := experiments.NewRunner(scale).WithContext(ctx)
+	r.SelfCheck = selfCheck
 	if widthsArg != "" {
 		for _, part := range strings.Split(widthsArg, ",") {
 			w, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || w <= 0 {
-				return fmt.Errorf("bad width %q", part)
+				return cli.Usagef("bad width %q", part)
 			}
 			r.Widths = append(r.Widths, w)
 		}
@@ -109,16 +115,26 @@ func runExperiments(id string, scale int, widthsArg string, csv bool) error {
 	if id != "all" {
 		e, err := experiments.ByID(id)
 		if err != nil {
-			return err
+			return cli.Usagef("%v", err)
 		}
 		entries = []experiments.RegistryEntry{e}
 	}
-	for _, e := range entries {
+	degraded := 0
+	for i, e := range entries {
 		rep, err := e.Run(r)
 		if err != nil {
+			// Only cancellation aborts an experiment; everything printed so
+			// far is complete. Note how far we got before bailing out.
+			fmt.Fprintf(os.Stderr, "ddsim: completed %d/%d experiments\n", i, len(entries))
 			return err
 		}
+		if rep.Degraded() {
+			degraded++
+		}
 		printReport(rep, csv)
+	}
+	if degraded > 0 {
+		return fmt.Errorf("%d/%d experiment(s) degraded (cells rendered as n/a)", degraded, len(entries))
 	}
 	return nil
 }
@@ -132,10 +148,10 @@ func printReport(rep *experiments.Report, csv bool) {
 }
 
 // runTraceFile simulates a saved binary trace under one configuration.
-func runTraceFile(path, config string, width, window int) error {
+func runTraceFile(ctx context.Context, path, config string, width, window int, selfCheck bool) error {
 	cfg, err := core.ConfigByName(config)
 	if err != nil {
-		return err
+		return cli.Usagef("%v", err)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -146,40 +162,50 @@ func runTraceFile(path, config string, width, window int) error {
 	if err != nil {
 		return err
 	}
-	res := core.Run(r, cfg, core.Params{Width: width, WindowSize: window})
-	if err := r.Err(); err != nil {
+	res, err := core.RunChecked(ctx, r, cfg, core.Params{
+		Width: width, WindowSize: window, SelfCheck: selfCheck,
+	})
+	if err != nil {
 		return err
 	}
 	fmt.Printf("trace        %s\n", path)
-	printResult(cfg, res)
+	printResult(cfg, res, selfCheck)
 	return nil
 }
 
-func runSingle(benchmark, config string, width, window, scale int) error {
+func runSingle(ctx context.Context, benchmark, config string, width, window, scale int, selfCheck bool) error {
 	w, err := workloads.ByName(benchmark)
 	if err != nil {
-		return err
+		return cli.Usagef("%v", err)
 	}
 	cfg, err := core.ConfigByName(config)
 	if err != nil {
-		return err
+		return cli.Usagef("%v", err)
 	}
-	buf, _, err := w.TraceCached(scale)
+	buf, _, err := w.TraceCachedCtx(ctx, scale)
 	if err != nil {
 		return err
 	}
-	res := core.Run(buf.Reader(), cfg, core.Params{Width: width, WindowSize: window})
+	res, err := core.RunChecked(ctx, buf.Reader(), cfg, core.Params{
+		Width: width, WindowSize: window, SelfCheck: selfCheck,
+	})
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("benchmark    %s (%s)\n", w.Name, w.Description)
-	printResult(cfg, res)
+	printResult(cfg, res, selfCheck)
 	return nil
 }
 
-func printResult(cfg core.Config, res *core.Result) {
+func printResult(cfg core.Config, res *core.Result, selfCheck bool) {
 	fmt.Printf("config       %s  width %d  window %d\n", cfg.Name, res.Width, res.Window)
 	fmt.Printf("instructions %d\n", res.Instructions)
 	fmt.Printf("cycles       %d\n", res.Cycles)
 	fmt.Printf("IPC          %.3f\n", res.IPC())
+	if selfCheck {
+		fmt.Printf("self-check   %d invariant sweeps, 0 violations\n", res.SelfChecks)
+	}
 	fmt.Printf("branches     %d conditional, %.2f%% predicted correctly\n",
 		res.CondBranches, res.BranchAccuracy())
 	if cfg.LoadSpec || cfg.IdealLoadSpec {

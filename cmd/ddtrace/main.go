@@ -5,17 +5,26 @@
 //	ddtrace -benchmark li -scale 500 -o li.trace       # bigger run
 //	ddtrace -program prog.mc -o prog.trace             # trace any MiniC program
 //	ddtrace -info compress.trace                       # header + mix
+//	ddtrace -selfcheck -info compress.trace            # also simulate with invariant sweeps
 //
 // Simulate a saved trace with ddsim -trace compress.trace.
+//
+// Robustness: -timeout and SIGINT/SIGTERM cancel generation; a canceled or
+// failed generation deletes the partial output file instead of leaving a
+// truncated trace behind. Exit codes: 0 ok, 1 failure, 2 usage, 3 corrupt
+// trace input, 130 canceled (see docs/robustness.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/asm"
+	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/minic"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -29,38 +38,36 @@ func main() {
 		scale     = flag.Int("scale", 0, "workload scale (0 = default)")
 		output    = flag.String("o", "", "output trace file")
 		info      = flag.String("info", "", "print a trace file's statistics instead of generating")
+		timeout   = flag.Duration("timeout", 0, "bound the run's wall-clock time (0 = none)")
+		selfCheck = flag.Bool("selfcheck", false, "with -info: also simulate the trace (config D, width 8) with invariant sweeps")
 	)
 	flag.Parse()
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	var err error
 	switch {
 	case *info != "":
-		if err := printInfo(*info); err != nil {
-			fatal(err)
-		}
+		err = printInfo(ctx, *info, *selfCheck)
 	case (*benchmark != "" || *program != "") && *output != "":
-		if err := generate(*benchmark, *program, *scale, *output); err != nil {
-			fatal(err)
-		}
+		err = generate(ctx, *benchmark, *program, *scale, *output)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
+	cli.Exit("ddtrace", err)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ddtrace:", err)
-	os.Exit(1)
-}
-
-func generate(benchmark, program string, scale int, output string) error {
+func generate(ctx context.Context, benchmark, program string, scale int, output string) error {
 	var src trace.Source
 	switch {
 	case benchmark != "":
 		w, err := workloads.ByName(benchmark)
 		if err != nil {
-			return err
+			return cli.Usagef("%v", err)
 		}
-		buf, _, err := w.Run(scale)
+		buf, _, err := w.RunCtx(ctx, scale)
 		if err != nil {
 			return err
 		}
@@ -80,7 +87,7 @@ func generate(benchmark, program string, scale int, output string) error {
 		if err != nil {
 			return err
 		}
-		buf, _, err := vm.Trace(prog)
+		buf, _, err := vm.Trace(prog, vm.WithContext(ctx))
 		if err != nil {
 			return err
 		}
@@ -91,25 +98,45 @@ func generate(benchmark, program string, scale int, output string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Never leave a partial trace behind: any failure (including
+	// cancellation mid-write) removes the output file.
+	keep := false
+	defer func() {
+		f.Close()
+		if !keep {
+			os.Remove(output)
+		}
+	}()
 	w, err := trace.NewWriter(f)
 	if err != nil {
 		return err
 	}
 	var rec trace.Record
-	for src.Next(&rec) {
+	for i := 0; src.Next(&rec); i++ {
+		if i&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("writing %s canceled after %d records: %w", output, w.Count(), err)
+			}
+		}
 		if err := w.Write(&rec); err != nil {
 			return err
 		}
 	}
+	if err := trace.SourceErr(src); err != nil {
+		return fmt.Errorf("trace source failed after %d records: %w", w.Count(), err)
+	}
 	if err := w.Close(); err != nil {
 		return err
 	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	keep = true
 	fmt.Printf("wrote %d records to %s\n", w.Count(), output)
 	return nil
 }
 
-func printInfo(path string) error {
+func printInfo(ctx context.Context, path string, selfCheck bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -124,5 +151,23 @@ func printInfo(path string) error {
 		return err
 	}
 	fmt.Printf("%s:\n%s", path, mix.String())
+	if !selfCheck {
+		return nil
+	}
+	// Re-read the file and run the checked simulator over it: one command
+	// that validates both the trace's encoding and the scheduler.
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	r2, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	res, err := core.RunChecked(ctx, r2, core.ConfigD, core.Params{Width: 8, SelfCheck: true})
+	if err != nil {
+		return fmt.Errorf("self-check failed: %w", err)
+	}
+	fmt.Printf("self-check ok: %d invariant sweeps over %d instructions, 0 violations\n",
+		res.SelfChecks, res.Instructions)
 	return nil
 }

@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"plain", errors.New("simulation blew up"), ExitSim},
+		{"usage", Usagef("bad width %q", "x"), ExitUsage},
+		{"canceled", context.Canceled, ExitCanceled},
+		{"deadline", fmt.Errorf("run canceled: %w", context.DeadlineExceeded), ExitCanceled},
+		{"truncated", fmt.Errorf("reading trace: %w", trace.ErrTruncated), ExitCorrupt},
+		{"bad magic", trace.ErrBadMagic, ExitCorrupt},
+		{"corrupt record", fmt.Errorf("deep: %w", trace.ErrCorruptRecord), ExitCorrupt},
+		{"wrapped usage", fmt.Errorf("outer: %w", Usagef("inner")), ExitUsage},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.want {
+			t.Errorf("%s: Code = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestUsagefMessage(t *testing.T) {
+	err := Usagef("bad width %q", "zz")
+	if err.Error() != `bad width "zz"` {
+		t.Fatalf("message = %q", err.Error())
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	ctx, stop := Context(10 * time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout context never expired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+	if Code(ctx.Err()) != ExitCanceled {
+		t.Fatalf("deadline maps to exit %d, want %d", Code(ctx.Err()), ExitCanceled)
+	}
+}
+
+func TestContextNoTimeout(t *testing.T) {
+	ctx, stop := Context(0)
+	if ctx.Err() != nil {
+		t.Fatalf("fresh context already done: %v", ctx.Err())
+	}
+	stop()
+}

@@ -122,7 +122,22 @@ type Params struct {
 	// data cache model: loads that miss pay the configured extra latency
 	// (the "more realistic environments" extension; see internal/mem).
 	Cache *mem.Cache
+
+	// SelfCheck makes RunChecked sweep the scheduler invariants (window
+	// occupancy, issue bandwidth, heap order and monotone completion, IPC
+	// bound, collapse-counter consistency) every SelfCheckEvery
+	// instructions, failing the run with an *InvariantError on the first
+	// violation. Each sweep costs O(window + issued cycles); see
+	// docs/robustness.md.
+	SelfCheck bool
+	// SelfCheckEvery is the instruction interval between invariant sweeps;
+	// 0 means the default of 4096.
+	SelfCheckEvery int
 }
+
+// DefaultSelfCheckEvery is the invariant-sweep interval used when
+// Params.SelfCheckEvery is zero.
+const DefaultSelfCheckEvery = 4096
 
 func (p Params) withDefaults() Params {
 	if p.Width <= 0 {
@@ -130,6 +145,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.WindowSize <= 0 {
 		p.WindowSize = 2 * p.Width
+	}
+	if p.SelfCheckEvery <= 0 {
+		p.SelfCheckEvery = DefaultSelfCheckEvery
 	}
 	if p.Branch == nil {
 		p.Branch = bpred.NewPaper8KB()

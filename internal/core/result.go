@@ -21,6 +21,11 @@ type Result struct {
 	Instructions int64
 	Cycles       int64
 
+	// SelfChecks counts the invariant sweeps performed (Params.SelfCheck
+	// runs only); a completed run with SelfChecks > 0 and a nil error had
+	// zero invariant violations.
+	SelfChecks int64
+
 	// Conditional-branch prediction (Table 2).
 	CondBranches int64
 	Mispredicts  int64

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/bpred"
 	"repro/internal/collapse"
+	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/trace"
 )
@@ -15,13 +19,15 @@ import (
 // at or after max(entry, misprediction barrier, operand readiness, memory
 // dependence). A result issued at cycle t with latency L is readable by
 // instructions issuing at cycle >= t+L.
+//
+// Run is a thin wrapper over RunChecked that discards the error for
+// callers that control their trace end-to-end (in-memory buffers the VM
+// just produced). Anything consuming external input — trace files, network
+// streams — must use RunChecked: a truncated or corrupt source otherwise
+// yields a plausible-but-wrong partial Result.
 func Run(src trace.Source, cfg Config, params Params) *Result {
-	s := newSched(cfg, params)
-	var rec trace.Record
-	for src.Next(&rec) {
-		s.visit(&rec)
-	}
-	return s.finish()
+	res, _ := RunChecked(context.Background(), src, cfg, params)
+	return res
 }
 
 // srcSnap is a snapshot of one source operand's defining instruction, taken
@@ -111,7 +117,27 @@ type sched struct {
 	readBuf []uint8
 	optBuf  [2][]slotOption
 	prodBuf []srcSnap
+
+	// Sparse fallback for the static-analysis cache: PCs beyond
+	// maxDenseInfos (possible only with corrupt or adversarial traces) go
+	// through a map so a wild 32-bit PC cannot force a multi-gigabyte
+	// dense-table allocation.
+	infoMap map[uint32]*collapse.Info
+
+	// err carries a failure raised mid-visit (e.g. an injected cache
+	// fault); RunChecked surfaces it after the visit completes.
+	err error
+
+	// Self-check state: the last cycle popped off the window heap, for the
+	// monotone-completion invariant, and the first detected violation.
+	lastPop  int64
+	heapMono *InvariantError
 }
+
+// maxDenseInfos bounds the dense static-analysis cache; production traces
+// have static program sizes in the thousands, so only corrupt input ever
+// crosses it.
+const maxDenseInfos = 1 << 22
 
 func newSched(cfg Config, params Params) *sched {
 	params = params.withDefaults()
@@ -148,18 +174,33 @@ func newSched(cfg Config, params Params) *sched {
 }
 
 func (s *sched) info(pc uint32, in *isa.Instr) *collapse.Info {
+	if pc >= maxDenseInfos {
+		if s.infoMap == nil {
+			s.infoMap = make(map[uint32]*collapse.Info)
+		}
+		if inf := s.infoMap[pc]; inf != nil {
+			return inf
+		}
+		inf := s.analyze(in)
+		s.infoMap[pc] = inf
+		return inf
+	}
 	for int(pc) >= len(s.infos) {
 		s.infos = append(s.infos, nil)
 	}
 	if s.infos[pc] == nil {
-		inf := collapse.Analyze(in)
-		if s.cfg.NoShiftCollapse && inf.Class == isa.ClassSh {
-			inf.Producer = false
-			inf.Consumer = false
-		}
-		s.infos[pc] = &inf
+		s.infos[pc] = s.analyze(in)
 	}
 	return s.infos[pc]
+}
+
+func (s *sched) analyze(in *isa.Instr) *collapse.Info {
+	inf := collapse.Analyze(in)
+	if s.cfg.NoShiftCollapse && inf.Class == isa.ClassSh {
+		inf.Producer = false
+		inf.Consumer = false
+	}
+	return &inf
 }
 
 // --- window heap ---------------------------------------------------------
@@ -179,6 +220,19 @@ func (s *sched) heapPush(v int64) {
 
 func (s *sched) heapPop() int64 {
 	top := s.heap[0]
+	if s.p.SelfCheck {
+		// Window slots must free in monotone non-decreasing cycle order:
+		// every push is at least the last popped entry cycle + 1.
+		if top < s.lastPop && s.heapMono == nil {
+			s.heapMono = &InvariantError{
+				Invariant: "window-heap-monotone",
+				Cycle:     s.maxIssue,
+				Seq:       s.seq,
+				Detail:    fmt.Sprintf("popped cycle %d after %d", top, s.lastPop),
+			}
+		}
+		s.lastPop = top
+	}
 	last := len(s.heap) - 1
 	s.heap[0] = s.heap[last]
 	s.heap = s.heap[:last]
@@ -365,8 +419,15 @@ func (s *sched) scheduleLoad(rec *trace.Record, inf *collapse.Info, seq, lower, 
 	// Realistic memory: a load that misses in the cache delivers its data
 	// late. The access happens once, with the correct address (the paper
 	// accounts the verification access only).
-	if s.p.Cache != nil && !s.p.Cache.Access(rec.Addr) {
-		s.loadExtra = int64(s.p.Cache.Config().MissLatency)
+	if s.p.Cache != nil {
+		if faultinject.Enabled() {
+			if err := faultinject.Check(faultinject.PointCacheSim); err != nil {
+				s.err = fmt.Errorf("core: cache simulation at instruction %d: %w", seq, err)
+			}
+		}
+		if !s.p.Cache.Access(rec.Addr) {
+			s.loadExtra = int64(s.p.Cache.Config().MissLatency)
+		}
 	}
 
 	// Value prediction (configuration F): a confidently and correctly

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -13,6 +14,53 @@ import (
 	"repro/internal/workloads"
 )
 
+// --- Graceful degradation helpers ---------------------------------------------
+
+// collector accumulates cell failures, deduplicated by message (the same
+// broken workload surfaces once, not once per width and config).
+type collector struct {
+	seen map[string]bool
+	errs []error
+}
+
+func (c *collector) add(err error) {
+	if err == nil {
+		return
+	}
+	if c.seen == nil {
+		c.seen = map[string]bool{}
+	}
+	msg := err.Error()
+	if c.seen[msg] {
+		return
+	}
+	c.seen[msg] = true
+	c.errs = append(c.errs, err)
+}
+
+// naCell renders a possibly-missing metric: NaN marks a cell whose every
+// contributing run failed and renders as "n/a".
+func naCell(v float64) any {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return v
+}
+
+// errSummary renders the trailing failure summary appended to degraded
+// reports.
+func errSummary(errs []error) string {
+	if len(errs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n%d failure(s); affected cells render as n/a:\n", len(errs))
+	for _, e := range errs {
+		fmt.Fprintf(&b, "  ! %v\n", e)
+	}
+	return b.String()
+}
+
 // --- Table 1: benchmark characteristics --------------------------------------
 
 // Table1Row describes one benchmark like the paper's Table 1.
@@ -23,13 +71,20 @@ type Table1Row struct {
 	Instructions   int64
 }
 
-// Table1Data computes the benchmark characteristics.
-func Table1Data(r *Runner) ([]Table1Row, error) {
+// Table1Data computes the benchmark characteristics. A workload whose
+// trace fails is omitted from rows and reported in the second return; only
+// cancellation is a hard error.
+func Table1Data(r *Runner) ([]Table1Row, []error, error) {
 	var rows []Table1Row
+	var c collector
 	for _, w := range workloads.All() {
 		buf, _, err := r.traceOf(w)
 		if err != nil {
-			return nil, err
+			if canceled(err) {
+				return nil, nil, err
+			}
+			c.add(fmt.Errorf("experiments: tracing %s: %w", w.Name, err))
+			continue
 		}
 		scale := r.Scale
 		if scale <= 0 {
@@ -42,12 +97,12 @@ func Table1Data(r *Runner) ([]Table1Row, error) {
 			Instructions:   int64(buf.Len()),
 		})
 	}
-	return rows, nil
+	return rows, c.errs, nil
 }
 
 // Table1 renders Table 1.
 func Table1(r *Runner) (*Report, error) {
-	rows, err := Table1Data(r)
+	rows, errs, err := Table1Data(r)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +114,8 @@ func Table1(r *Runner) (*Report, error) {
 		}
 		t.AddRowf(row.Name, class, row.Scale, row.Instructions)
 	}
-	return &Report{ID: "table1", Title: "Benchmark Characteristics", Text: t.String(), CSV: t.CSV()}, nil
+	return &Report{ID: "table1", Title: "Benchmark Characteristics",
+		Text: t.String() + errSummary(errs), CSV: t.CSV(), Errs: errs}, nil
 }
 
 // --- Table 2: branch characteristics ------------------------------------------
@@ -73,12 +129,18 @@ type Table2Row struct {
 
 // Table2Data measures the conditional-branch fraction and the 8 kB
 // McFarling predictor's accuracy per benchmark, as in the paper's Table 2.
-func Table2Data(r *Runner) ([]Table2Row, error) {
+// Failed workloads degrade to the error list instead of aborting.
+func Table2Data(r *Runner) ([]Table2Row, []error, error) {
 	var rows []Table2Row
+	var c collector
 	for _, w := range workloads.All() {
 		buf, _, err := r.traceOf(w)
 		if err != nil {
-			return nil, err
+			if canceled(err) {
+				return nil, nil, err
+			}
+			c.add(fmt.Errorf("experiments: tracing %s: %w", w.Name, err))
+			continue
 		}
 		mix := trace.CollectMix(buf.Reader())
 		pred := bpred.NewPaper8KB()
@@ -96,12 +158,12 @@ func Table2Data(r *Runner) ([]Table2Row, error) {
 			PredictedPct:    acc.Rate(),
 		})
 	}
-	return rows, nil
+	return rows, c.errs, nil
 }
 
 // Table2 renders Table 2.
 func Table2(r *Runner) (*Report, error) {
-	rows, err := Table2Data(r)
+	rows, errs, err := Table2Data(r)
 	if err != nil {
 		return nil, err
 	}
@@ -109,24 +171,31 @@ func Table2(r *Runner) (*Report, error) {
 	for _, row := range rows {
 		t.AddRowf(row.Name, row.CondBranchesPct, row.PredictedPct)
 	}
-	return &Report{ID: "table2", Title: "Benchmark Branch Characteristics", Text: t.String(), CSV: t.CSV()}, nil
+	return &Report{ID: "table2", Title: "Benchmark Branch Characteristics",
+		Text: t.String() + errSummary(errs), CSV: t.CSV(), Errs: errs}, nil
 }
 
 // --- Figures 2-7: IPC and speedup ---------------------------------------------
 
 // PerfData holds harmonic-mean IPC and speedup for one benchmark set,
 // indexed by configuration name then width (the contents of Figures 2-7).
+// A NaN mean marks a cell whose every contributing run failed; Errs lists
+// the deduplicated failures behind any NaN (the report renders them after
+// the table).
 type PerfData struct {
 	Widths  []int
 	IPC     map[string]map[int]float64
 	Speedup map[string]map[int]float64 // relative to configuration A
+	Errs    []error
 }
 
 // Performance runs configurations A-E across the widths for one set and
-// summarizes with harmonic means, as in Figures 2-7.
+// summarizes with harmonic means, as in Figures 2-7. Failed cells degrade
+// to means over the surviving benchmarks (NaN when none survive); only
+// cancellation aborts.
 func Performance(r *Runner, set []*workloads.Workload) (*PerfData, error) {
 	widths := r.widths()
-	if err := r.Prefetch(set, core.Configs(), widths); err != nil {
+	if err := r.Prefetch(set, core.Configs(), widths); err != nil && canceled(err) {
 		return nil, err
 	}
 	d := &PerfData{
@@ -134,6 +203,7 @@ func Performance(r *Runner, set []*workloads.Workload) (*PerfData, error) {
 		IPC:     make(map[string]map[int]float64),
 		Speedup: make(map[string]map[int]float64),
 	}
+	var c collector
 	for _, cfg := range core.Configs() {
 		d.IPC[cfg.Name] = make(map[int]float64)
 		d.Speedup[cfg.Name] = make(map[int]float64)
@@ -142,20 +212,38 @@ func Performance(r *Runner, set []*workloads.Workload) (*PerfData, error) {
 			for _, w := range set {
 				res, err := r.Result(w, cfg, width)
 				if err != nil {
-					return nil, err
+					if canceled(err) {
+						return nil, err
+					}
+					c.add(err)
+					continue
 				}
 				base, err := r.Result(w, core.ConfigA, width)
 				if err != nil {
-					return nil, err
+					if canceled(err) {
+						return nil, err
+					}
+					c.add(err)
+					continue
 				}
 				ipcs = append(ipcs, res.IPC())
 				speedups = append(speedups, res.SpeedupOver(base))
 			}
-			d.IPC[cfg.Name][width] = stats.HarmonicMean(ipcs)
-			d.Speedup[cfg.Name][width] = stats.HarmonicMean(speedups)
+			d.IPC[cfg.Name][width] = degradedMean(ipcs)
+			d.Speedup[cfg.Name][width] = degradedMean(speedups)
 		}
 	}
+	d.Errs = c.errs
 	return d, nil
+}
+
+// degradedMean is the harmonic mean over the surviving benchmarks, NaN
+// when none survived.
+func degradedMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return stats.HarmonicMean(xs)
 }
 
 // FigureIPC renders the IPC data (Figures 2, 4, 6) as a table plus an
@@ -169,12 +257,18 @@ func FigureIPC(r *Runner, id string, set []*workloads.Workload) (*Report, error)
 	for _, cfg := range core.Configs() {
 		cells := []any{cfg.Name}
 		for _, width := range d.Widths {
-			cells = append(cells, d.IPC[cfg.Name][width])
+			cells = append(cells, naCell(d.IPC[cfg.Name][width]))
 		}
 		t.AddRowf(cells...)
 	}
-	text := t.String() + "\n" + perfChart("IPC", d.Widths, d.IPC)
-	return &Report{ID: id, Title: "Harmonic mean IPC (" + setName(set) + ")", Text: text, CSV: t.CSV()}, nil
+	text := t.String()
+	if len(d.Errs) == 0 {
+		// The chart's y-axis scaling cannot place NaN cells; degraded
+		// reports keep the table (with n/a) and drop the chart.
+		text += "\n" + perfChart("IPC", d.Widths, d.IPC)
+	}
+	text += errSummary(d.Errs)
+	return &Report{ID: id, Title: "Harmonic mean IPC (" + setName(set) + ")", Text: text, CSV: t.CSV(), Errs: d.Errs}, nil
 }
 
 // FigureSpeedup renders the speedup data (Figures 3, 5, 7) as a table plus
@@ -188,12 +282,16 @@ func FigureSpeedup(r *Runner, id string, set []*workloads.Workload) (*Report, er
 	for _, cfg := range core.Configs() {
 		cells := []any{cfg.Name}
 		for _, width := range d.Widths {
-			cells = append(cells, d.Speedup[cfg.Name][width])
+			cells = append(cells, naCell(d.Speedup[cfg.Name][width]))
 		}
 		t.AddRowf(cells...)
 	}
-	text := t.String() + "\n" + perfChart("SpeedUp", d.Widths, d.Speedup)
-	return &Report{ID: id, Title: "Harmonic mean speedup over A (" + setName(set) + ")", Text: text, CSV: t.CSV()}, nil
+	text := t.String()
+	if len(d.Errs) == 0 {
+		text += "\n" + perfChart("SpeedUp", d.Widths, d.Speedup)
+	}
+	text += errSummary(d.Errs)
+	return &Report{ID: id, Title: "Harmonic mean speedup over A (" + setName(set) + ")", Text: text, CSV: t.CSV(), Errs: d.Errs}, nil
 }
 
 // perfChart renders one config-per-series chart over the width axis.
@@ -248,19 +346,26 @@ type LoadRow struct {
 }
 
 // LoadBehavior aggregates configuration D's load categories over a set,
-// reproducing Tables 3 and 4.
-func LoadBehavior(r *Runner, set []*workloads.Workload) ([]LoadRow, error) {
+// reproducing Tables 3 and 4. Failed runs degrade: a width with no
+// surviving loads reports NaN percentages and the failures come back in the
+// second return; only cancellation aborts.
+func LoadBehavior(r *Runner, set []*workloads.Workload) ([]LoadRow, []error, error) {
 	widths := r.widths()
-	if err := r.Prefetch(set, []core.Config{core.ConfigD}, widths); err != nil {
-		return nil, err
+	if err := r.Prefetch(set, []core.Config{core.ConfigD}, widths); err != nil && canceled(err) {
+		return nil, nil, err
 	}
 	var rows []LoadRow
+	var c collector
 	for _, width := range widths {
 		var loads, ready, correct, incorrect, notPred int64
 		for _, w := range set {
 			res, err := r.Result(w, core.ConfigD, width)
 			if err != nil {
-				return nil, err
+				if canceled(err) {
+					return nil, nil, err
+				}
+				c.add(err)
+				continue
 			}
 			loads += res.Loads
 			ready += res.LoadReady
@@ -270,7 +375,7 @@ func LoadBehavior(r *Runner, set []*workloads.Workload) ([]LoadRow, error) {
 		}
 		pct := func(n int64) float64 {
 			if loads == 0 {
-				return 0
+				return math.NaN()
 			}
 			return 100 * float64(n) / float64(loads)
 		}
@@ -279,21 +384,23 @@ func LoadBehavior(r *Runner, set []*workloads.Workload) ([]LoadRow, error) {
 			IncorrectPct: pct(incorrect), NotPredPct: pct(notPred),
 		})
 	}
-	return rows, nil
+	return rows, c.errs, nil
 }
 
 // LoadTable renders Table 3 or Table 4.
 func LoadTable(r *Runner, id string, set []*workloads.Workload) (*Report, error) {
-	rows, err := LoadBehavior(r, set)
+	rows, errs, err := LoadBehavior(r, set)
 	if err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Issue Width", "Ready (%)", "Predicted Correctly (%)",
 		"Predicted Incorrectly (%)", "Not Predicted (%)")
 	for _, row := range rows {
-		t.AddRowf(widthName(row.Width), row.ReadyPct, row.CorrectPct, row.IncorrectPct, row.NotPredPct)
+		t.AddRowf(widthName(row.Width), naCell(row.ReadyPct), naCell(row.CorrectPct),
+			naCell(row.IncorrectPct), naCell(row.NotPredPct))
 	}
-	return &Report{ID: id, Title: "Load-Speculation Behavior (" + setName(set) + ", config D)", Text: t.String(), CSV: t.CSV()}, nil
+	return &Report{ID: id, Title: "Load-Speculation Behavior (" + setName(set) + ", config D)",
+		Text: t.String() + errSummary(errs), CSV: t.CSV(), Errs: errs}, nil
 }
 
 // --- Figures 8-10: collapsing behaviour -----------------------------------------
@@ -308,23 +415,32 @@ type CollapseRow struct {
 }
 
 // CollapseBehavior aggregates configuration D's collapse statistics over
-// all benchmarks.
-func CollapseBehavior(r *Runner) ([]CollapseRow, error) {
+// all benchmarks. Failed runs degrade: a width with no surviving runs
+// reports NaN statistics, failures come back in the second return, and only
+// cancellation aborts.
+func CollapseBehavior(r *Runner) ([]CollapseRow, []error, error) {
 	set := workloads.All()
 	widths := r.widths()
-	if err := r.Prefetch(set, []core.Config{core.ConfigD}, widths); err != nil {
-		return nil, err
+	if err := r.Prefetch(set, []core.Config{core.ConfigD}, widths); err != nil && canceled(err) {
+		return nil, nil, err
 	}
 	var rows []CollapseRow
+	var c collector
 	for _, width := range widths {
 		var instrs, collapsed, groups, distCount, distSum int64
 		var cats [collapse.NumCategories]int64
 		var dists [core.DistBuckets]int64
+		survivors := 0
 		for _, w := range set {
 			res, err := r.Result(w, core.ConfigD, width)
 			if err != nil {
-				return nil, err
+				if canceled(err) {
+					return nil, nil, err
+				}
+				c.add(err)
+				continue
 			}
+			survivors++
 			instrs += res.Instructions
 			collapsed += res.CollapsedInstrs
 			groups += res.TotalGroups()
@@ -338,6 +454,20 @@ func CollapseBehavior(r *Runner) ([]CollapseRow, error) {
 			}
 		}
 		row := CollapseRow{Width: width}
+		if survivors == 0 {
+			// Nothing ran at this width; every statistic is unknown, not
+			// zero.
+			row.CollapsedPct = math.NaN()
+			row.MeanDistance = math.NaN()
+			for i := range row.CategoryPct {
+				row.CategoryPct[i] = math.NaN()
+			}
+			for i := range row.DistancePct {
+				row.DistancePct[i] = math.NaN()
+			}
+			rows = append(rows, row)
+			continue
+		}
 		if instrs > 0 {
 			row.CollapsedPct = 100 * float64(collapsed) / float64(instrs)
 		}
@@ -356,41 +486,43 @@ func CollapseBehavior(r *Runner) ([]CollapseRow, error) {
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, c.errs, nil
 }
 
 // Figure8 renders the collapsed-instruction fractions.
 func Figure8(r *Runner) (*Report, error) {
-	rows, err := CollapseBehavior(r)
+	rows, errs, err := CollapseBehavior(r)
 	if err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Issue Width", "Instructions Collapsed (%)")
 	for _, row := range rows {
-		t.AddRowf(widthName(row.Width), row.CollapsedPct)
+		t.AddRowf(widthName(row.Width), naCell(row.CollapsedPct))
 	}
-	return &Report{ID: "figure8", Title: "Instructions D-Collapsed (config D)", Text: t.String(), CSV: t.CSV()}, nil
+	return &Report{ID: "figure8", Title: "Instructions D-Collapsed (config D)",
+		Text: t.String() + errSummary(errs), CSV: t.CSV(), Errs: errs}, nil
 }
 
 // Figure9 renders the 3-1 / 4-1 / 0-op contribution split.
 func Figure9(r *Runner) (*Report, error) {
-	rows, err := CollapseBehavior(r)
+	rows, errs, err := CollapseBehavior(r)
 	if err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Issue Width", "3-1 (%)", "4-1 (%)", "0-op (%)")
 	for _, row := range rows {
 		t.AddRowf(widthName(row.Width),
-			row.CategoryPct[collapse.Cat31],
-			row.CategoryPct[collapse.Cat41],
-			row.CategoryPct[collapse.Cat0Op])
+			naCell(row.CategoryPct[collapse.Cat31]),
+			naCell(row.CategoryPct[collapse.Cat41]),
+			naCell(row.CategoryPct[collapse.Cat0Op]))
 	}
-	return &Report{ID: "figure9", Title: "Contribution of the Three Collapsing Mechanisms (config D)", Text: t.String(), CSV: t.CSV()}, nil
+	return &Report{ID: "figure9", Title: "Contribution of the Three Collapsing Mechanisms (config D)",
+		Text: t.String() + errSummary(errs), CSV: t.CSV(), Errs: errs}, nil
 }
 
 // Figure10 renders the collapse-distance distribution.
 func Figure10(r *Runner) (*Report, error) {
-	rows, err := CollapseBehavior(r)
+	rows, errs, err := CollapseBehavior(r)
 	if err != nil {
 		return nil, err
 	}
@@ -403,12 +535,13 @@ func Figure10(r *Runner) (*Report, error) {
 	for _, row := range rows {
 		cells := []any{widthName(row.Width)}
 		for b := 0; b < core.DistBuckets; b++ {
-			cells = append(cells, row.DistancePct[b])
+			cells = append(cells, naCell(row.DistancePct[b]))
 		}
-		cells = append(cells, row.MeanDistance)
+		cells = append(cells, naCell(row.MeanDistance))
 		t.AddRowf(cells...)
 	}
-	return &Report{ID: "figure10", Title: "Distance between D-Collapsed Instructions (config D)", Text: t.String(), CSV: t.CSV()}, nil
+	return &Report{ID: "figure10", Title: "Distance between D-Collapsed Instructions (config D)",
+		Text: t.String() + errSummary(errs), CSV: t.CSV(), Errs: errs}, nil
 }
 
 // --- Tables 5-6: collapsed dependence signatures ---------------------------------
@@ -420,24 +553,32 @@ type SigTable struct {
 	Widths []int
 	Rows   []string
 	Pct    map[string]map[int]float64 // sig -> width -> percent
+	Errs   []error                    // cell failures behind missing counts
 }
 
 // Signatures aggregates pair or triple signature frequencies under
-// configuration D.
+// configuration D. Failed runs degrade — their signatures are simply
+// missing from the counts and the failures come back in SigTable.Errs;
+// only cancellation aborts.
 func Signatures(r *Runner, triples bool, topN int) (*SigTable, error) {
 	set := workloads.All()
 	widths := r.widths()
-	if err := r.Prefetch(set, []core.Config{core.ConfigD}, widths); err != nil {
+	if err := r.Prefetch(set, []core.Config{core.ConfigD}, widths); err != nil && canceled(err) {
 		return nil, err
 	}
 	st := &SigTable{Widths: widths, Pct: make(map[string]map[int]float64)}
 	perWidthTotals := make(map[int]int64)
 	counts := make(map[string]map[int]int64)
+	var c collector
 	for _, width := range widths {
 		for _, w := range set {
 			res, err := r.Result(w, core.ConfigD, width)
 			if err != nil {
-				return nil, err
+				if canceled(err) {
+					return nil, err
+				}
+				c.add(err)
+				continue
 			}
 			sigs := res.PairSigs
 			if triples {
@@ -475,6 +616,7 @@ func Signatures(r *Runner, triples bool, topN int) (*SigTable, error) {
 	if len(st.Rows) > topN {
 		st.Rows = st.Rows[:topN]
 	}
+	st.Errs = c.errs
 	return st, nil
 }
 
@@ -495,7 +637,8 @@ func sigTableReport(r *Runner, id, title string, triples bool) (*Report, error) 
 		}
 		t.AddRowf(cells...)
 	}
-	return &Report{ID: id, Title: title, Text: t.String(), CSV: t.CSV()}, nil
+	return &Report{ID: id, Title: title, Text: t.String() + errSummary(st.Errs),
+		CSV: t.CSV(), Errs: st.Errs}, nil
 }
 
 // Table5 renders the most frequently collapsed pair signatures.
@@ -519,30 +662,37 @@ type PerBenchRow struct {
 }
 
 // PerBenchmark computes per-benchmark IPCs for all configurations at the
-// given width.
-func PerBenchmark(r *Runner, width int) ([]PerBenchRow, error) {
+// given width. Failed cells report NaN and come back in the second return;
+// only cancellation aborts.
+func PerBenchmark(r *Runner, width int) ([]PerBenchRow, []error, error) {
 	set := workloads.All()
-	if err := r.Prefetch(set, core.Configs(), []int{width}); err != nil {
-		return nil, err
+	if err := r.Prefetch(set, core.Configs(), []int{width}); err != nil && canceled(err) {
+		return nil, nil, err
 	}
 	var rows []PerBenchRow
+	var c collector
 	for _, w := range set {
 		row := PerBenchRow{Name: w.Name, IPC: make(map[string]float64)}
 		for _, cfg := range core.Configs() {
 			res, err := r.Result(w, cfg, width)
 			if err != nil {
-				return nil, err
+				if canceled(err) {
+					return nil, nil, err
+				}
+				c.add(err)
+				row.IPC[cfg.Name] = math.NaN()
+				continue
 			}
 			row.IPC[cfg.Name] = res.IPC()
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, c.errs, nil
 }
 
 // PerBenchmarkReport renders the per-benchmark table.
 func PerBenchmarkReport(r *Runner, width int) (*Report, error) {
-	rows, err := PerBenchmark(r, width)
+	rows, errs, err := PerBenchmark(r, width)
 	if err != nil {
 		return nil, err
 	}
@@ -554,14 +704,15 @@ func PerBenchmarkReport(r *Runner, width int) (*Report, error) {
 	for _, row := range rows {
 		cells := []any{row.Name}
 		for _, cfg := range core.Configs() {
-			cells = append(cells, row.IPC[cfg.Name])
+			cells = append(cells, naCell(row.IPC[cfg.Name]))
 		}
 		t.AddRowf(cells...)
 	}
 	return &Report{
 		ID:    "perbench",
 		Title: fmt.Sprintf("Per-benchmark IPC at width %d (detail behind the harmonic means)", width),
-		Text:  t.String(),
+		Text:  t.String() + errSummary(errs),
 		CSV:   t.CSV(),
+		Errs:  errs,
 	}, nil
 }

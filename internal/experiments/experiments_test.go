@@ -19,9 +19,12 @@ func testRunner() *Runner {
 }
 
 func TestTable1(t *testing.T) {
-	rows, err := Table1Data(testRunner())
+	rows, errs, err := Table1Data(testRunner())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("unexpected cell failures: %v", errs)
 	}
 	if len(rows) != 6 {
 		t.Fatalf("%d rows, want 6", len(rows))
@@ -34,9 +37,12 @@ func TestTable1(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
-	rows, err := Table2Data(testRunner())
+	rows, errs, err := Table2Data(testRunner())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("unexpected cell failures: %v", errs)
 	}
 	for _, row := range rows {
 		if row.CondBranchesPct <= 0 || row.CondBranchesPct > 50 {
@@ -112,9 +118,12 @@ func TestLoadBehaviorPartitions(t *testing.T) {
 	for _, set := range [][]*workloads.Workload{
 		workloads.PointerChasingSet(), workloads.NonPointerChasingSet(),
 	} {
-		rows, err := LoadBehavior(r, set)
+		rows, errs, err := LoadBehavior(r, set)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if len(errs) != 0 {
+			t.Fatalf("unexpected cell failures: %v", errs)
 		}
 		for _, row := range rows {
 			sum := row.ReadyPct + row.CorrectPct + row.IncorrectPct + row.NotPredPct
@@ -129,11 +138,11 @@ func TestPointerChasingLoadsLessPredictable(t *testing.T) {
 	// Table 3 vs Table 4: among not-ready loads, the pointer-chasing set
 	// must have a worse predicted-correct share than the array benchmarks.
 	r := testRunner()
-	pc, err := LoadBehavior(r, workloads.PointerChasingSet())
+	pc, _, err := LoadBehavior(r, workloads.PointerChasingSet())
 	if err != nil {
 		t.Fatal(err)
 	}
-	npc, err := LoadBehavior(r, workloads.NonPointerChasingSet())
+	npc, _, err := LoadBehavior(r, workloads.NonPointerChasingSet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,9 +157,12 @@ func TestPointerChasingLoadsLessPredictable(t *testing.T) {
 }
 
 func TestCollapseBehavior(t *testing.T) {
-	rows, err := CollapseBehavior(testRunner())
+	rows, errs, err := CollapseBehavior(testRunner())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("unexpected cell failures: %v", errs)
 	}
 	for _, row := range rows {
 		if row.CollapsedPct <= 0 || row.CollapsedPct > 100 {
@@ -287,9 +299,12 @@ func TestRunnerCaching(t *testing.T) {
 
 func TestPerBenchmark(t *testing.T) {
 	r := testRunner()
-	rows, err := PerBenchmark(r, 8)
+	rows, perrs, err := PerBenchmark(r, 8)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(perrs) != 0 {
+		t.Fatalf("unexpected cell failures: %v", perrs)
 	}
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d, want 6", len(rows))

@@ -3,27 +3,42 @@
 // experiment returns typed data plus a rendered text table shaped like the
 // paper's; the Registry maps experiment identifiers ("table1".."figure10")
 // to runners for the ddsim command line and the benchmark harness.
+//
+// The pipeline degrades gracefully: a failed (workload, config, width) cell
+// renders as "n/a" with a trailing error summary instead of aborting the
+// whole experiment, and only context cancellation is fatal. See
+// docs/robustness.md for the full contract.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 // Runner executes and caches simulation runs. Results are keyed by
 // (workload, config, width) at the Runner's scale, so experiments sharing
-// runs (all the figures share the A-E sweep) pay for them once.
+// runs (all the figures share the A-E sweep) pay for them once. Failures
+// are cached alongside results: a failed cell fails fast on re-query
+// instead of re-running, and its error degrades the reports that need it.
 type Runner struct {
 	Scale  int   // workload scale; 0 = each workload's default
 	Widths []int // issue widths; nil = the paper's {4, 8, 16, 32, 2048}
 
+	// SelfCheck runs every simulation with scheduler invariant sweeps
+	// (core.Params.SelfCheck); violations surface as cell failures.
+	SelfCheck bool
+
+	ctx   context.Context
 	mu    sync.Mutex
-	cache map[runKey]*core.Result
+	cache map[runKey]*cacheEntry
 }
 
 type runKey struct {
@@ -32,9 +47,30 @@ type runKey struct {
 	width    int
 }
 
+type cacheEntry struct {
+	res *core.Result
+	err error
+}
+
 // NewRunner creates a Runner at the given scale (0 = workload defaults).
 func NewRunner(scale int) *Runner {
-	return &Runner{Scale: scale, cache: make(map[runKey]*core.Result)}
+	return &Runner{Scale: scale, cache: make(map[runKey]*cacheEntry)}
+}
+
+// WithContext sets the context that bounds every simulation this Runner
+// performs; cancellation aborts in-flight runs and fails subsequent ones.
+// It returns the Runner for chaining.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r.ctx = ctx
+	return r
+}
+
+// Context returns the Runner's context (Background if none was set).
+func (r *Runner) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
 }
 
 func (r *Runner) widths() []int {
@@ -44,26 +80,55 @@ func (r *Runner) widths() []int {
 	return core.Widths
 }
 
+// canceled reports whether err stems from context cancellation or a
+// deadline — the only error class that aborts a whole experiment rather
+// than degrading one cell.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Result returns the simulation result for one (workload, config, width),
-// computing and caching it on first use.
+// computing and caching it on first use. Errors other than cancellation are
+// cached too, so a broken cell fails fast everywhere it is needed.
 func (r *Runner) Result(w *workloads.Workload, cfg core.Config, width int) (*core.Result, error) {
 	key := runKey{w.Name, cfg.Name + ablationSuffix(cfg), width}
 	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
+	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		return res, nil
+		return e.res, e.err
 	}
 	r.mu.Unlock()
 
-	buf, _, err := w.TraceCached(r.Scale)
-	if err != nil {
+	res, err := r.compute(w, cfg, width)
+	if canceled(err) {
+		// A canceled run says nothing about the cell itself; leave the
+		// cache empty so a later run with a live context can succeed.
 		return nil, err
 	}
-	res := core.Run(buf.Reader(), cfg, core.Params{Width: width})
 
 	r.mu.Lock()
-	r.cache[key] = res
+	r.cache[key] = &cacheEntry{res: res, err: err}
 	r.mu.Unlock()
+	return res, err
+}
+
+func (r *Runner) compute(w *workloads.Workload, cfg core.Config, width int) (*core.Result, error) {
+	cell := func(err error) error {
+		return fmt.Errorf("experiments: %s/config %s/width %d: %w", w.Name, cfg.Name, width, err)
+	}
+	if faultinject.Enabled() {
+		if err := faultinject.Check(faultinject.PointExperiment); err != nil {
+			return nil, cell(err)
+		}
+	}
+	buf, _, err := w.TraceCachedCtx(r.Context(), r.Scale)
+	if err != nil {
+		return nil, cell(err)
+	}
+	res, err := core.RunChecked(r.Context(), buf.Reader(), cfg, core.Params{Width: width, SelfCheck: r.SelfCheck})
+	if err != nil {
+		return nil, cell(err)
+	}
 	return res, nil
 }
 
@@ -89,19 +154,30 @@ func ablationSuffix(cfg core.Config) string {
 }
 
 // Prefetch computes all (workload, config, width) results for the given
-// sets in parallel, bounded by GOMAXPROCS workers.
+// sets on a fixed worker pool bounded by GOMAXPROCS goroutines, and
+// returns the errors.Join of every failed cell (nil when all succeeded).
+// Cancellation drains the remaining jobs without starting them.
 func (r *Runner) Prefetch(set []*workloads.Workload, cfgs []core.Config, widths []int) error {
 	type job struct {
 		w     *workloads.Workload
 		cfg   core.Config
 		width int
 	}
+	ctx := r.Context()
+	var errs []error
 	var jobs []job
 	for _, w := range set {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			return errors.Join(errs...)
+		}
 		// Generate traces serially first: trace generation is also cached
-		// and must not race heap-heavy VM runs against each other.
-		if _, _, err := w.TraceCached(r.Scale); err != nil {
-			return err
+		// and must not race heap-heavy VM runs against each other. A
+		// workload whose trace fails contributes one error, not one per
+		// (config, width) cell.
+		if _, _, err := w.TraceCachedCtx(ctx, r.Scale); err != nil {
+			errs = append(errs, fmt.Errorf("experiments: tracing %s: %w", w.Name, err))
+			continue
 		}
 		for _, cfg := range cfgs {
 			for _, width := range widths {
@@ -109,39 +185,69 @@ func (r *Runner) Prefetch(set []*workloads.Workload, cfgs []core.Config, widths 
 			}
 		}
 	}
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	errCh := make(chan error, len(jobs))
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if _, err := r.Result(j.w, j.cfg, j.width); err != nil {
-				errCh <- err
-			}
-		}(j)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	if workers < 1 {
+		return errors.Join(errs...)
+	}
+	jobCh := make(chan job)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var es []error
+			for j := range jobCh {
+				if ctx.Err() != nil {
+					continue // drain without starting new runs
+				}
+				if _, err := r.Result(j.w, j.cfg, j.width); err != nil {
+					es = append(es, err)
+				}
+			}
+			errCh <- errors.Join(es...)
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
 	wg.Wait()
 	close(errCh)
-	return <-errCh
+	for err := range errCh {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // traceOf is a small helper for the trace-level experiments (Tables 1-2).
 func (r *Runner) traceOf(w *workloads.Workload) (*trace.Buffer, []int32, error) {
-	return w.TraceCached(r.Scale)
+	return w.TraceCachedCtx(r.Context(), r.Scale)
 }
 
 // Report is one experiment's rendered output. CSV, when non-empty, holds
 // the same data in comma-separated form for plotting pipelines
-// (ddsim -csv).
+// (ddsim -csv). Errs lists the cell failures behind any "n/a" entries: a
+// report with a non-empty Errs is degraded but still useful.
 type Report struct {
 	ID    string
 	Title string
 	Text  string
 	CSV   string
+	Errs  []error
 }
+
+// Degraded reports whether any cell of the report failed.
+func (rep *Report) Degraded() bool { return len(rep.Errs) > 0 }
 
 // Registry maps experiment identifiers to their runners, in the paper's
 // order.

@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// ByteFault enumerates the binary-image corruption classes that the trace
+// reader's validation (header checks, per-record checksums, count and
+// trailing-data accounting) is expected to detect.
+type ByteFault int
+
+const (
+	// CorruptMagic damages the 4-byte magic → trace.ErrBadMagic.
+	CorruptMagic ByteFault = iota
+	// CorruptVersion damages the version word → trace.ErrBadVersion.
+	CorruptVersion
+	// CorruptHeaderShort cuts the image inside the header → trace.ErrBadHeader.
+	CorruptHeaderShort
+	// CorruptTruncateMidRecord cuts the image inside a record →
+	// trace.ErrTruncated (mid-record).
+	CorruptTruncateMidRecord
+	// CorruptTruncateRecordBoundary cuts the image exactly between records →
+	// trace.ErrTruncated (header count mismatch).
+	CorruptTruncateRecordBoundary
+	// CorruptDropRecord removes one whole record → trace.ErrTruncated
+	// (one record missing against the header count).
+	CorruptDropRecord
+	// CorruptDuplicateRecord inserts a second copy of one record →
+	// trace.ErrTrailingData.
+	CorruptDuplicateRecord
+	// CorruptRecordBit flips a single seeded bit inside one record →
+	// trace.ErrCorruptRecord (checksum mismatch).
+	CorruptRecordBit
+)
+
+// ByteFaults lists every byte-level corruption class, for table-driven
+// detection suites.
+var ByteFaults = []ByteFault{
+	CorruptMagic, CorruptVersion, CorruptHeaderShort,
+	CorruptTruncateMidRecord, CorruptTruncateRecordBoundary,
+	CorruptDropRecord, CorruptDuplicateRecord, CorruptRecordBit,
+}
+
+// String names the corruption class.
+func (f ByteFault) String() string {
+	switch f {
+	case CorruptMagic:
+		return "corrupt-magic"
+	case CorruptVersion:
+		return "corrupt-version"
+	case CorruptHeaderShort:
+		return "short-header"
+	case CorruptTruncateMidRecord:
+		return "truncate-mid-record"
+	case CorruptTruncateRecordBoundary:
+		return "truncate-record-boundary"
+	case CorruptDropRecord:
+		return "drop-record"
+	case CorruptDuplicateRecord:
+		return "duplicate-record"
+	case CorruptRecordBit:
+		return "record-bit-flip"
+	}
+	return fmt.Sprintf("bytefault(%d)", int(f))
+}
+
+// Corrupt returns a corrupted copy of a binary trace image. The corruption
+// site is chosen deterministically from seed; img is never modified. It
+// panics if img is smaller than a header plus one record, since every class
+// needs at least one record to strike.
+func Corrupt(img []byte, f ByteFault, seed int64) []byte {
+	const hdr, rec = trace.HeaderSize, trace.RecordSize
+	if len(img) < hdr+rec {
+		panic(fmt.Sprintf("faultinject: image too small to corrupt (%d bytes)", len(img)))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := (len(img) - hdr) / rec // whole records present
+	k := rng.Intn(n)            // struck record
+	out := append([]byte(nil), img...)
+	switch f {
+	case CorruptMagic:
+		out[0] ^= 0xFF
+	case CorruptVersion:
+		out[4] ^= 0xFF
+	case CorruptHeaderShort:
+		out = out[:hdr/2]
+	case CorruptTruncateMidRecord:
+		out = out[:hdr+k*rec+1+rng.Intn(rec-1)]
+	case CorruptTruncateRecordBoundary:
+		// Keep strictly fewer records than the header count promises.
+		out = out[:hdr+rng.Intn(n)*rec]
+	case CorruptDropRecord:
+		out = append(out[:hdr+k*rec], out[hdr+(k+1)*rec:]...)
+	case CorruptDuplicateRecord:
+		dup := append([]byte(nil), out[hdr+k*rec:hdr+(k+1)*rec]...)
+		tail := append(dup, out[hdr+(k+1)*rec:]...)
+		out = append(out[:hdr+(k+1)*rec], tail...)
+	case CorruptRecordBit:
+		bit := rng.Intn(rec * 8)
+		out[hdr+k*rec+bit/8] ^= 1 << uint(bit%8)
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func synth(n int) *trace.Buffer {
+	var buf trace.Buffer
+	for i := 0; i < n; i++ {
+		buf.Append(trace.Record{
+			PC:    uint32(i),
+			Instr: isa.Instr{Op: isa.Add, Rd: uint8(1 + i%30), Rs1: 1, Rs2: 2},
+			Value: int32(i),
+		})
+	}
+	return &buf
+}
+
+func drain(s *Source) ([]trace.Record, error) {
+	var out []trace.Record
+	var rec trace.Record
+	for s.Next(&rec) {
+		out = append(out, rec)
+	}
+	return out, s.Err()
+}
+
+func TestSourcePassThrough(t *testing.T) {
+	got, err := drain(New(synth(20).Reader(), Plan{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("%d records, want 20", len(got))
+	}
+	for i, rec := range got {
+		if rec.PC != uint32(i) {
+			t.Fatalf("record %d has pc %d", i, rec.PC)
+		}
+	}
+}
+
+func TestSourceTruncateSilent(t *testing.T) {
+	s := New(synth(20).Reader(), Plan{Kind: FaultTruncate, At: 5})
+	got, err := drain(s)
+	if err != nil {
+		t.Fatalf("silent truncation reported error %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("%d records, want 5", len(got))
+	}
+	if s.Faults() != 1 {
+		t.Fatalf("Faults() = %d, want 1", s.Faults())
+	}
+}
+
+func TestSourceDelayedErr(t *testing.T) {
+	got, err := drain(New(synth(20).Reader(), Plan{Kind: FaultDelayedErr, At: 7}))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("%d records before failure, want 7", len(got))
+	}
+}
+
+func TestSourceDrop(t *testing.T) {
+	got, err := drain(New(synth(20).Reader(), Plan{Kind: FaultDrop, At: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 19 {
+		t.Fatalf("%d records, want 19", len(got))
+	}
+	if got[3].PC != 4 {
+		t.Fatalf("record 3 has pc %d, want 4 (pc 3 dropped)", got[3].PC)
+	}
+}
+
+func TestSourceDuplicate(t *testing.T) {
+	got, err := drain(New(synth(20).Reader(), Plan{Kind: FaultDuplicate, At: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 21 {
+		t.Fatalf("%d records, want 21", len(got))
+	}
+	if got[3].PC != 3 || got[4].PC != 3 {
+		t.Fatalf("records 3,4 have pcs %d,%d, want 3,3", got[3].PC, got[4].PC)
+	}
+	if got[5].PC != 4 {
+		t.Fatalf("record 5 has pc %d, want 4", got[5].PC)
+	}
+}
+
+func TestSourceBitFlipDeterministic(t *testing.T) {
+	run := func() []trace.Record {
+		got, err := drain(New(synth(20).Reader(), Plan{Kind: FaultBitFlip, At: 9, Seed: 42}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	clean, _ := drain(New(synth(20).Reader(), Plan{}))
+	if a[9] == clean[9] {
+		t.Fatal("bit flip did not change the struck record")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between identically seeded runs", i)
+		}
+	}
+	for i := range a {
+		if i != 9 && a[i] != clean[i] {
+			t.Fatalf("record %d corrupted but plan targeted record 9", i)
+		}
+	}
+}
+
+func TestRegistryArmFireDisarm(t *testing.T) {
+	defer Reset()
+	if Enabled() {
+		t.Fatal("registry armed before any Arm")
+	}
+	if err := Check(PointTraceGen); err != nil {
+		t.Fatalf("unarmed Check returned %v", err)
+	}
+
+	boom := errors.New("boom")
+	Arm(PointTraceGen, boom, 2)
+	if !Enabled() {
+		t.Fatal("Enabled() false after Arm")
+	}
+	for i := 0; i < 2; i++ {
+		if err := Check(PointTraceGen); err != nil {
+			t.Fatalf("check %d fired early: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !errors.Is(Check(PointTraceGen), boom) {
+			t.Fatalf("armed point did not fire on call %d", i)
+		}
+	}
+	if Hits(PointTraceGen) != 5 || Fired(PointTraceGen) != 3 {
+		t.Fatalf("hits=%d fired=%d, want 5, 3", Hits(PointTraceGen), Fired(PointTraceGen))
+	}
+
+	Disarm(PointTraceGen)
+	if Enabled() {
+		t.Fatal("Enabled() true after Disarm")
+	}
+	if err := Check(PointTraceGen); err != nil {
+		t.Fatalf("disarmed Check returned %v", err)
+	}
+}
+
+func TestRegistryArmOnce(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	ArmOnce(PointCacheSim, boom, 0)
+	if !errors.Is(Check(PointCacheSim), boom) {
+		t.Fatal("ArmOnce point did not fire")
+	}
+	if err := Check(PointCacheSim); err != nil {
+		t.Fatalf("ArmOnce fired twice: %v", err)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	Arm(PointCoreRun, errors.New("a"), 0)
+	Arm(PointExperiment, errors.New("b"), 0)
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() true after Reset")
+	}
+}
+
+func TestCorruptDeterministicAndNonDestructive(t *testing.T) {
+	// Build a minimal counted image by hand: header + 3 records of zeros
+	// with valid checksums is unnecessary — Corrupt only needs sizes.
+	img := make([]byte, trace.HeaderSize+3*trace.RecordSize)
+	copy(img, "SV8T")
+	orig := append([]byte(nil), img...)
+	for _, f := range ByteFaults {
+		a := Corrupt(img, f, 7)
+		b := Corrupt(img, f, 7)
+		if string(a) != string(b) {
+			t.Errorf("%v: corruption not deterministic", f)
+		}
+		if string(img) != string(orig) {
+			t.Fatalf("%v: Corrupt modified its input", f)
+		}
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	for _, f := range []Fault{FaultNone, FaultBitFlip, FaultTruncate, FaultDrop, FaultDuplicate, FaultDelayedErr} {
+		if f.String() == "" {
+			t.Errorf("fault %d has empty name", int(f))
+		}
+	}
+	for _, f := range ByteFaults {
+		if f.String() == "" {
+			t.Errorf("byte fault %d has empty name", int(f))
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package faultinject provides deterministic fault injection for the
+// simulation pipeline, in three pieces:
+//
+//   - a process-wide injection-point registry (Arm / Check) that lets tests
+//     force failures at named points inside trace generation, cache
+//     simulation, and experiment runs without plumbing test hooks through
+//     every signature;
+//   - a seeded trace.Source wrapper (Source) that corrupts a record stream
+//     in controlled, reproducible ways — bit flips, early truncation,
+//     dropped and duplicated records, delayed Err();
+//   - byte-level corrupters (Corrupt) for binary trace images, covering the
+//     header and record corruption classes the trace.Reader must detect.
+//
+// Everything is deterministic: the same seed and plan produce the same
+// faults, so failure-path tests are as reproducible as the simulator runs
+// they harden.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Injection-point names compiled into the pipeline. A point costs one
+// atomic load when the registry is empty, so production paths stay fast.
+const (
+	// PointTraceGen fires inside workload trace generation (Workload.Run).
+	PointTraceGen = "workloads.trace.generate"
+	// PointCacheSim fires on cache-model accesses inside the scheduler's
+	// load path (only when a cache is configured).
+	PointCacheSim = "core.cache.access"
+	// PointCoreRun fires once per scheduled instruction inside
+	// core.RunChecked.
+	PointCoreRun = "core.run.visit"
+	// PointExperiment fires at the start of every experiment cell
+	// computation (Runner.Result).
+	PointExperiment = "experiments.run.result"
+)
+
+var (
+	armed    atomic.Int32 // number of armed points; fast-path gate
+	regMu    sync.Mutex
+	registry = map[string]*point{}
+)
+
+type point struct {
+	err   error
+	after int64 // checks to let through before firing
+	hits  int64
+	fired int64
+	once  bool
+}
+
+// Enabled reports whether any injection point is armed. Call sites guard
+// Check with it so the disabled cost is a single atomic load.
+func Enabled() bool { return armed.Load() > 0 }
+
+// Arm makes Check(name) return err on every call after the first `after`
+// calls have passed through. Arming an already-armed point replaces it.
+func Arm(name string, err error, after int64) { arm(name, err, after, false) }
+
+// ArmOnce is Arm, but the point fires exactly once and then stands down.
+func ArmOnce(name string, err error, after int64) { arm(name, err, after, true) }
+
+func arm(name string, err error, after int64, once bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, exists := registry[name]; !exists {
+		armed.Add(1)
+	}
+	registry[name] = &point{err: err, after: after, once: once}
+}
+
+// Disarm removes one injection point.
+func Disarm(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, exists := registry[name]; exists {
+		delete(registry, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every injection point. Tests defer it.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for name := range registry {
+		delete(registry, name)
+	}
+	armed.Store(0)
+}
+
+// Check consults the registry at a named injection point, returning the
+// armed error when the point fires. Call sites should gate on Enabled().
+func Check(name string) error {
+	if !Enabled() {
+		return nil
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	p := registry[name]
+	if p == nil {
+		return nil
+	}
+	p.hits++
+	if p.hits <= p.after {
+		return nil
+	}
+	if p.once && p.fired > 0 {
+		return nil
+	}
+	p.fired++
+	return p.err
+}
+
+// Hits reports how many times a point has been consulted (armed points
+// only); observability for tests asserting a path was actually exercised.
+func Hits(name string) int64 {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p := registry[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// Fired reports how many times a point has injected its error.
+func Fired(name string) int64 {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p := registry[name]; p != nil {
+		return p.fired
+	}
+	return 0
+}

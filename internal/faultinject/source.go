@@ -1,0 +1,166 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// ErrInjected is the sentinel wrapped by every error this package injects,
+// so tests can assert a failure came from the injector and not the system
+// under test.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault enumerates the record-stream corruption classes Source can inject.
+type Fault int
+
+const (
+	// FaultNone passes the stream through untouched.
+	FaultNone Fault = iota
+	// FaultBitFlip flips one seeded bit in one field of the record at At.
+	// Flips landing in register or opcode fields are detectable by record
+	// validation; flips in data fields (Addr, Value, Imm) produce a valid
+	// but different trace — the class per-record checksums exist for.
+	FaultBitFlip
+	// FaultTruncate ends the stream silently at record At: Next returns
+	// false and Err stays nil, modeling a silently shortened trace.
+	FaultTruncate
+	// FaultDrop removes the record at At from the stream.
+	FaultDrop
+	// FaultDuplicate emits the record at At twice.
+	FaultDuplicate
+	// FaultDelayedErr ends the stream at record At and reports the failure
+	// only through Err, modeling a reader that detects corruption at the
+	// point of truncation (the contract core.RunChecked must honor).
+	FaultDelayedErr
+)
+
+// String names the fault class.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultBitFlip:
+		return "bit-flip"
+	case FaultTruncate:
+		return "truncate"
+	case FaultDrop:
+		return "drop"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultDelayedErr:
+		return "delayed-err"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Plan selects one fault and where it strikes. The zero Plan injects
+// nothing.
+type Plan struct {
+	Kind Fault
+	At   int64 // record index (0-based) the fault strikes at
+	Seed int64 // drives field/bit selection for FaultBitFlip
+}
+
+// Source wraps a trace.Source and injects the planned fault
+// deterministically. It implements trace.ErrSource: injected stream
+// failures surface through Err after Next returns false, exactly like the
+// binary reader's decoding errors.
+type Source struct {
+	src    trace.Source
+	plan   Plan
+	rng    *rand.Rand
+	idx    int64
+	err    error
+	done   bool
+	dup    *trace.Record
+	faults int64
+}
+
+// New wraps src with the fault plan.
+func New(src trace.Source, plan Plan) *Source {
+	return &Source{src: src, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Next implements trace.Source.
+func (s *Source) Next(rec *trace.Record) bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	if s.dup != nil {
+		*rec = *s.dup
+		s.dup = nil
+		s.idx++
+		return true
+	}
+	for {
+		if !s.src.Next(rec) {
+			s.done = true
+			s.err = trace.SourceErr(s.src)
+			return false
+		}
+		strike := s.plan.Kind != FaultNone && s.idx == s.plan.At
+		if !strike {
+			s.idx++
+			return true
+		}
+		s.faults++
+		switch s.plan.Kind {
+		case FaultTruncate:
+			s.done = true
+			return false
+		case FaultDelayedErr:
+			s.done = true
+			s.err = fmt.Errorf("%w: stream failed at record %d (delayed-err)", ErrInjected, s.idx)
+			return false
+		case FaultDrop:
+			s.idx++ // consume silently; deliver the following record
+			s.plan.Kind = FaultNone
+			continue
+		case FaultDuplicate:
+			cp := *rec
+			s.dup = &cp
+			s.idx++
+			return true
+		case FaultBitFlip:
+			s.flip(rec)
+			s.idx++
+			return true
+		default:
+			s.idx++
+			return true
+		}
+	}
+}
+
+// flip corrupts one seeded bit of one field of rec.
+func (s *Source) flip(rec *trace.Record) {
+	switch s.rng.Intn(7) {
+	case 0:
+		rec.Addr ^= 1 << uint(s.rng.Intn(32))
+	case 1:
+		rec.Value ^= 1 << uint(s.rng.Intn(32))
+	case 2:
+		rec.Instr.Imm ^= 1 << uint(s.rng.Intn(32))
+	case 3:
+		rec.Instr.Rd ^= 1 << uint(s.rng.Intn(8))
+	case 4:
+		rec.Instr.Rs1 ^= 1 << uint(s.rng.Intn(8))
+	case 5:
+		rec.Instr.Rs2 ^= 1 << uint(s.rng.Intn(8))
+	case 6:
+		rec.Instr.Op ^= 1 << uint(s.rng.Intn(8))
+	}
+}
+
+// Err implements trace.ErrSource: it reports the injected delayed error or
+// the wrapped source's own deferred error.
+func (s *Source) Err() error { return s.err }
+
+// Faults reports how many faults have been injected so far.
+func (s *Source) Faults() int64 { return s.faults }
+
+// Records reports how many records have been delivered downstream.
+func (s *Source) Records() int64 { return s.idx }

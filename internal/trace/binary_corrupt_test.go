@@ -1,0 +1,200 @@
+package trace_test
+
+// External test package: these tests drive the binary reader through the
+// faultinject byte-corrupters, and faultinject itself imports trace.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// memSeeker is an in-memory io.WriteSeeker so the Writer patches a real
+// record count into the header.
+type memSeeker struct {
+	b   []byte
+	pos int
+}
+
+func (s *memSeeker) Write(p []byte) (int, error) {
+	if need := s.pos + len(p); need > len(s.b) {
+		s.b = append(s.b, make([]byte, need-len(s.b))...)
+	}
+	copy(s.b[s.pos:], p)
+	s.pos += len(p)
+	return len(p), nil
+}
+
+func (s *memSeeker) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		s.pos = int(off)
+	case io.SeekCurrent:
+		s.pos += int(off)
+	case io.SeekEnd:
+		s.pos = len(s.b) + int(off)
+	}
+	return int64(s.pos), nil
+}
+
+// image builds a counted binary trace of n synthetic records.
+func image(t testing.TB, n int) []byte {
+	t.Helper()
+	var ms memSeeker
+	w, err := trace.NewWriter(&ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := trace.Record{
+			PC: uint32(i),
+			Instr: isa.Instr{
+				Op: isa.Add, Rd: uint8(1 + i%30), Rs1: uint8(1 + (i+1)%30),
+				Imm: int32(i * 3), HasImm: i%2 == 0,
+			},
+			Addr:  uint32(64 + 4*i),
+			Value: int32(i),
+			Taken: i%3 == 0,
+		}
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ms.b
+}
+
+// drainImage reads an image to completion, returning the records seen and
+// the first error (from NewReader or Err).
+func drainImage(img []byte) (int, error) {
+	r, err := trace.NewReader(bytes.NewReader(img))
+	if err != nil {
+		return 0, err
+	}
+	var rec trace.Record
+	n := 0
+	for r.Next(&rec) {
+		n++
+	}
+	return n, r.Err()
+}
+
+// wantSentinel maps every byte-corruption class to the sentinel the reader
+// must report for it.
+var wantSentinel = map[faultinject.ByteFault]error{
+	faultinject.CorruptMagic:                  trace.ErrBadMagic,
+	faultinject.CorruptVersion:                trace.ErrBadVersion,
+	faultinject.CorruptHeaderShort:            trace.ErrBadHeader,
+	faultinject.CorruptTruncateMidRecord:      trace.ErrTruncated,
+	faultinject.CorruptTruncateRecordBoundary: trace.ErrTruncated,
+	faultinject.CorruptDropRecord:             trace.ErrTruncated,
+	faultinject.CorruptDuplicateRecord:        trace.ErrTrailingData,
+	faultinject.CorruptRecordBit:              trace.ErrCorruptRecord,
+}
+
+// TestEveryCorruptionClassDetected is the acceptance contract: every
+// injected corruption class must surface as a classified error — never as
+// a silently different trace.
+func TestEveryCorruptionClassDetected(t *testing.T) {
+	img := image(t, 50)
+	if n, err := drainImage(img); err != nil || n != 50 {
+		t.Fatalf("intact image: %d records, err %v", n, err)
+	}
+	for _, f := range faultinject.ByteFaults {
+		for seed := int64(0); seed < 8; seed++ {
+			bad := faultinject.Corrupt(img, f, seed)
+			_, err := drainImage(bad)
+			if err == nil {
+				t.Errorf("%v seed %d: corruption not detected", f, seed)
+				continue
+			}
+			if want := wantSentinel[f]; !errors.Is(err, want) {
+				t.Errorf("%v seed %d: err %v does not wrap %v", f, seed, err, want)
+			}
+			if !trace.IsCorrupt(err) {
+				t.Errorf("%v seed %d: IsCorrupt(%v) = false", f, seed, err)
+			}
+		}
+	}
+}
+
+func TestReaderCountlessStreamEndsCleanly(t *testing.T) {
+	// A non-seekable writer leaves count = 0; the reader streams to EOF
+	// without a truncation error.
+	var plain bytes.Buffer
+	w, err := trace.NewWriter(&plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.Record{Instr: isa.Instr{Op: isa.Ldi, Rd: 1, HasImm: true}}
+	for i := 0; i < 5; i++ {
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := drainImage(plain.Bytes())
+	if err != nil || n != 5 {
+		t.Fatalf("countless stream: %d records, err %v", n, err)
+	}
+
+	// But cutting it mid-record must still be detected.
+	cut := plain.Bytes()[:plain.Len()-3]
+	if _, err := drainImage(cut); !errors.Is(err, trace.ErrTruncated) {
+		t.Fatalf("countless mid-record cut: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestReaderEmptyAndGarbageInput(t *testing.T) {
+	if _, err := trace.NewReader(bytes.NewReader(nil)); !errors.Is(err, trace.ErrBadHeader) {
+		t.Errorf("empty input: err = %v, want ErrBadHeader", err)
+	}
+	if _, err := trace.NewReader(bytes.NewReader([]byte("not a trace file at all..."))); !errors.Is(err, trace.ErrBadMagic) {
+		t.Errorf("garbage input: err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderRecordsAccounting(t *testing.T) {
+	img := image(t, 7)
+	r, err := trace.NewReader(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec trace.Record
+	for r.Next(&rec) {
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Records() != 7 {
+		t.Fatalf("Records() = %d, want 7", r.Records())
+	}
+}
+
+func TestRoundTripPreservesRecords(t *testing.T) {
+	img := image(t, 20)
+	r, err := trace.NewReader(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec trace.Record
+	i := 0
+	for r.Next(&rec) {
+		if rec.PC != uint32(i) || rec.Value != int32(i) {
+			t.Fatalf("record %d: pc=%d value=%d", i, rec.PC, rec.Value)
+		}
+		i++
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,10 +26,32 @@ func (r *Record) Class() isa.Class { return r.Instr.Class() }
 
 // Source is a stream of trace records. Next returns false when the trace is
 // exhausted. Implementations are not required to be safe for concurrent use.
+//
+// Sources whose streams can fail mid-way (the binary Reader, fault-injecting
+// wrappers) additionally implement ErrSource; consumers must check Err once
+// Next returns false, or use core.RunChecked which does so automatically.
 type Source interface {
 	// Next stores the next record into rec and reports whether one was
 	// available.
 	Next(rec *Record) bool
+}
+
+// ErrSource is implemented by Sources that can fail mid-stream. Err reports
+// the first error encountered; a nil Err after Next returns false means the
+// stream ended cleanly.
+type ErrSource interface {
+	Source
+	Err() error
+}
+
+// SourceErr reports src's deferred stream error, if src exposes one. It is
+// the canonical post-loop check of the error-handling contract: a Source
+// without an Err method ends cleanly by definition.
+func SourceErr(src Source) error {
+	if es, ok := src.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
 }
 
 // Buffer is an in-memory trace that can be replayed any number of times.
@@ -87,6 +109,10 @@ func (l *limited) Next(rec *Record) bool {
 	l.left--
 	return true
 }
+
+// Err propagates the wrapped source's deferred error so Limit composes with
+// the error-handling contract.
+func (l *limited) Err() error { return SourceErr(l.src) }
 
 // Drain consumes src into a new Buffer.
 func Drain(src Source) *Buffer {

@@ -10,6 +10,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -56,6 +57,7 @@ type Machine struct {
 
 	sink func(*trace.Record)
 	rec  trace.Record
+	ctx  context.Context
 }
 
 // Option configures a Machine.
@@ -71,6 +73,12 @@ func WithMaxSteps(n int64) Option { return func(m *Machine) { m.limit = n } }
 // instruction. The record is reused between calls; sinks must copy what
 // they keep.
 func WithSink(fn func(*trace.Record)) Option { return func(m *Machine) { m.sink = fn } }
+
+// WithContext makes Run honor ctx: execution stops with an error wrapping
+// ctx.Err() once the context is canceled or its deadline passes. The
+// context is polled every 4096 steps, so cancellation latency is bounded
+// without slowing the interpreter loop.
+func WithContext(ctx context.Context) Option { return func(m *Machine) { m.ctx = ctx } }
 
 // New creates a machine loaded with prog.
 func New(prog *isa.Program, opts ...Option) (*Machine, error) {
@@ -141,9 +149,21 @@ func (m *Machine) storeWord(addr, v int32) error {
 	return nil
 }
 
-// Run executes until Halt, a fault, or the step limit.
+// Run executes until Halt, a fault, the step limit, or context
+// cancellation (WithContext).
 func (m *Machine) Run() error {
+	var done <-chan struct{}
+	if m.ctx != nil {
+		done = m.ctx.Done()
+	}
 	for !m.halt {
+		if done != nil && m.step&4095 == 0 {
+			select {
+			case <-done:
+				return fmt.Errorf("vm: execution canceled at step %d: %w", m.step, m.ctx.Err())
+			default:
+			}
+		}
 		if err := m.stepOne(); err != nil {
 			return err
 		}

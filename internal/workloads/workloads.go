@@ -22,10 +22,12 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/asm"
+	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/minic"
 	"repro/internal/trace"
@@ -107,11 +109,22 @@ func (w *Workload) Build(scale int) (*isa.Program, error) {
 // Run builds and executes the workload, returning its dynamic trace and
 // output stream.
 func (w *Workload) Run(scale int) (*trace.Buffer, []int32, error) {
+	return w.RunCtx(context.Background(), scale)
+}
+
+// RunCtx is Run with cancellation: the emulator polls ctx while executing,
+// so multi-hundred-million instruction traces stay interruptible.
+func (w *Workload) RunCtx(ctx context.Context, scale int) (*trace.Buffer, []int32, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Check(faultinject.PointTraceGen); err != nil {
+			return nil, nil, fmt.Errorf("workloads: generating %s trace: %w", w.Name, err)
+		}
+	}
 	prog, err := w.Build(scale)
 	if err != nil {
 		return nil, nil, err
 	}
-	buf, out, err := vm.Trace(prog, vm.WithMaxSteps(1<<31))
+	buf, out, err := vm.Trace(prog, vm.WithMaxSteps(1<<31), vm.WithContext(ctx))
 	if err != nil {
 		return nil, nil, fmt.Errorf("workloads: running %s: %w", w.Name, err)
 	}
@@ -135,19 +148,37 @@ type cached struct {
 // it at most once per process. The returned buffer must be treated as
 // read-only; use Buffer.Reader for replays.
 func (w *Workload) TraceCached(scale int) (*trace.Buffer, []int32, error) {
+	return w.TraceCachedCtx(context.Background(), scale)
+}
+
+// TraceCachedCtx is TraceCached with cancellation. Only successful
+// generations are cached: a canceled or fault-injected failure must not
+// poison later attempts.
+func (w *Workload) TraceCachedCtx(ctx context.Context, scale int) (*trace.Buffer, []int32, error) {
 	if scale <= 0 {
 		scale = w.DefaultScale
 	}
 	key := fmt.Sprintf("%s/%d", w.Name, scale)
 	cacheMu.Lock()
-	c, ok := cache[key]
-	if !ok {
-		c = &cached{}
-		c.buf, c.out, c.err = w.Run(scale)
+	if c, ok := cache[key]; ok {
+		cacheMu.Unlock()
+		return c.buf, c.out, c.err
+	}
+	c := &cached{}
+	c.buf, c.out, c.err = w.RunCtx(ctx, scale)
+	if c.err == nil {
 		cache[key] = c
 	}
 	cacheMu.Unlock()
 	return c.buf, c.out, c.err
+}
+
+// FlushCache drops every cached trace. Fault-injection tests use it to
+// force regeneration after poisoning or un-poisoning the generation path.
+func FlushCache() {
+	cacheMu.Lock()
+	cache = map[string]*cached{}
+	cacheMu.Unlock()
 }
 
 // lcg is the MiniC pseudo-random generator shared by all workloads.

@@ -32,6 +32,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/asm"
 	"repro/internal/bpred"
 	"repro/internal/collapse"
@@ -89,9 +91,21 @@ func ConfigByName(name string) (Config, error) { return core.ConfigByName(name) 
 
 // Run schedules a dynamic trace on the simulated machine and returns its
 // statistics. The same trace can be replayed under many configurations.
+// It discards stream errors; for external input use RunChecked.
 func Run(src TraceSource, cfg Config, params Params) *Result {
 	return core.Run(src, cfg, params)
 }
+
+// RunChecked is the error-aware, cancellable form of Run: it propagates
+// trace-source failures, validates records, honors ctx, and (with
+// Params.SelfCheck) sweeps the scheduler invariants. See docs/robustness.md.
+func RunChecked(ctx context.Context, src TraceSource, cfg Config, params Params) (*Result, error) {
+	return core.RunChecked(ctx, src, cfg, params)
+}
+
+// InvariantError reports a violated scheduler invariant detected by a
+// Params.SelfCheck sweep.
+type InvariantError = core.InvariantError
 
 // AddrPredictor abstracts the load-address predictor so custom predictors
 // can be plugged into Params.Addr; see examples/custompredictor.
