@@ -6,6 +6,11 @@
 //	ddrun -timeout 10s prog.mc # bound wall-clock time
 //	ddrun -selfcheck prog.mc   # simulate the trace with invariant sweeps
 //
+// The -selfcheck simulation participates in the durability stack: -store
+// persists its result (keyed by trace content, so a changed program never
+// hits), -resume insists the store already exists, -retries re-attempts
+// transient failures, and -stall-timeout reaps a hung simulation.
+//
 // Exit codes: 0 ok, 1 execution failure, 2 usage, 130 canceled (see
 // docs/robustness.md).
 package main
@@ -14,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -21,6 +27,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/minic"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -31,18 +38,32 @@ func main() {
 		maxSteps  = flag.Int64("maxsteps", 1<<30, "execution step limit")
 		timeout   = flag.Duration("timeout", 0, "bound the run's wall-clock time (0 = none)")
 		selfCheck = flag.Bool("selfcheck", false, "simulate the dynamic trace (config D, width 8) with scheduler invariant sweeps")
+		storeDir  = flag.String("store", "", "persist the -selfcheck result in this directory; later runs resume from it")
+		resume    = flag.Bool("resume", false, "require -store to already exist (catches typos before recomputing a sweep)")
+		retries   = flag.Int("retries", 0, "re-attempts after a transient -selfcheck failure")
+		stall     = flag.Duration("stall-timeout", 0, "reap the -selfcheck simulation after this much progress silence (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ddrun [-mix] [-selfcheck] [-timeout d] prog.{mc,s}")
+		fmt.Fprintln(os.Stderr, "usage: ddrun [-mix] [-selfcheck] [-store dir [-resume]] [-retries n] [-stall-timeout d] [-timeout d] prog.{mc,s}")
 		os.Exit(cli.ExitUsage)
 	}
-	cli.Exit("ddrun", run(flag.Arg(0), *mixFlag, *selfCheck, *maxSteps, *timeout))
+	cli.Exit("ddrun", run(flag.Arg(0), *mixFlag, *selfCheck, *maxSteps, *timeout,
+		*storeDir, *resume, *retries, *stall))
 }
 
-func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Duration) error {
+func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Duration,
+	storeDir string, resume bool, retries int, stall time.Duration) error {
 	ctx, stop := cli.Context(timeout)
 	defer stop()
+
+	st, err := cli.OpenStore(storeDir, resume)
+	if err != nil {
+		return err
+	}
+	if st != nil && !selfCheck {
+		fmt.Fprintln(os.Stderr, "ddrun: -store only persists -selfcheck results; nothing will be stored")
+	}
 
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -80,14 +101,35 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 		fmt.Fprint(os.Stderr, mix.String())
 	}
 	if selfCheck {
-		res, err := core.RunChecked(ctx, buf.Reader(), core.ConfigD, core.Params{
-			Width: 8, SelfCheck: true,
-		})
+		progress, done := cli.Progress("ddrun")
+		opt := cli.SimOptions{
+			Store: st,
+			Key: store.Key{
+				Trace:    buf.Hash(),
+				Config:   core.ConfigD.Fingerprint(),
+				Width:    8,
+				Scale:    1,
+				Checked:  true,
+				Workload: filepath.Base(path),
+			},
+			Retries:  retries,
+			Stall:    stall,
+			Progress: progress,
+		}
+		res, fromStore, err := cli.Simulate(ctx, opt, core.ConfigD,
+			core.Params{Width: 8, SelfCheck: true},
+			func() (trace.Source, error) { return buf.Reader(), nil })
+		done()
+		cli.ReportStore("ddrun", st)
 		if err != nil {
 			return fmt.Errorf("self-check failed: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "self-check ok: %d invariant sweeps over %d instructions, 0 violations\n",
-			res.SelfChecks, res.Instructions)
+		how := ""
+		if fromStore {
+			how = " (served from store)"
+		}
+		fmt.Fprintf(os.Stderr, "self-check ok%s: %d invariant sweeps over %d instructions, 0 violations\n",
+			how, res.SelfChecks, res.Instructions)
 	}
 	return nil
 }

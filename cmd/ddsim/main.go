@@ -15,9 +15,14 @@
 //
 // Robustness: -timeout bounds the whole invocation, SIGINT/SIGTERM cancel
 // in-flight simulations but keep the experiments already printed, and
-// -selfcheck runs every simulation with scheduler invariant sweeps. Exit
-// codes: 0 ok, 1 simulation failure, 2 usage, 3 corrupt trace input,
-// 130 canceled (see docs/robustness.md).
+// -selfcheck runs every simulation with scheduler invariant sweeps.
+// Durability: -store persists every completed simulation cell on disk
+// (keyed by trace content + configuration fingerprint) so an interrupted
+// sweep resumes from where it died; -resume insists the store directory
+// already exists; -retries re-attempts transiently failing cells with
+// backoff; -stall-timeout reaps cells whose progress heartbeats go silent
+// (rendered as "n/a (stalled)"). Exit codes: 0 ok, 1 simulation failure,
+// 2 usage, 3 corrupt trace input, 130 canceled (see docs/robustness.md).
 package main
 
 import (
@@ -25,16 +30,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/collapse"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// robustOpts carries the durability/supervision flags shared by every run
+// mode.
+type robustOpts struct {
+	store     string
+	resume    bool
+	retries   int
+	stall     time.Duration
+	selfCheck bool
+}
 
 func main() {
 	var (
@@ -50,6 +68,10 @@ func main() {
 		csvFlag    = flag.Bool("csv", false, "emit experiment data as CSV instead of tables")
 		timeout    = flag.Duration("timeout", 0, "bound the whole run (0 = none); exceeding it cancels like SIGINT")
 		selfCheck  = flag.Bool("selfcheck", false, "run scheduler invariant sweeps during every simulation")
+		storeDir   = flag.String("store", "", "persist completed simulation results in this directory; later runs resume from it")
+		resume     = flag.Bool("resume", false, "require -store to already exist (catches typos before recomputing a sweep)")
+		retries    = flag.Int("retries", 0, "re-attempts after a transiently failing simulation cell")
+		stall      = flag.Duration("stall-timeout", 0, "reap a simulation cell after this much progress silence (0 = off)")
 	)
 	flag.Parse()
 
@@ -61,14 +83,16 @@ func main() {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
+	opts := robustOpts{store: *storeDir, resume: *resume, retries: *retries,
+		stall: *stall, selfCheck: *selfCheck}
 	var err error
 	switch {
 	case *experiment != "":
-		err = runExperiments(ctx, *experiment, *scale, *widths, *csvFlag, *selfCheck)
+		err = runExperiments(ctx, *experiment, *scale, *widths, *csvFlag, opts)
 	case *traceFile != "":
-		err = runTraceFile(ctx, *traceFile, *config, *width, *window, *selfCheck)
+		err = runTraceFile(ctx, *traceFile, *config, *width, *window, opts)
 	case *benchmark != "":
-		err = runSingle(ctx, *benchmark, *config, *width, *window, *scale, *selfCheck)
+		err = runSingle(ctx, *benchmark, *config, *width, *window, *scale, opts)
 	default:
 		flag.Usage()
 		os.Exit(cli.ExitUsage)
@@ -91,9 +115,29 @@ func list() {
 	}
 }
 
-func runExperiments(ctx context.Context, id string, scale int, widthsArg string, csv, selfCheck bool) error {
+func runExperiments(ctx context.Context, id string, scale int, widthsArg string, csv bool, opts robustOpts) error {
 	r := experiments.NewRunner(scale).WithContext(ctx)
-	r.SelfCheck = selfCheck
+	r.SelfCheck = opts.selfCheck
+	r.Retries = opts.retries
+	r.StallTimeout = opts.stall
+	st, err := cli.OpenStore(opts.store, opts.resume)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		r.WithStoreHandle(st)
+		defer cli.ReportStore("ddsim", st)
+	}
+	progressed := false
+	r.OnCellDone = func(done int) {
+		progressed = true
+		fmt.Fprintf(os.Stderr, "\rddsim: %d simulation cell(s) completed ", done)
+	}
+	defer func() {
+		if progressed {
+			fmt.Fprintln(os.Stderr)
+		}
+	}()
 	if widthsArg != "" {
 		for _, part := range strings.Split(widthsArg, ",") {
 			w, err := strconv.Atoi(strings.TrimSpace(part))
@@ -148,32 +192,64 @@ func printReport(rep *experiments.Report, csv bool) {
 }
 
 // runTraceFile simulates a saved binary trace under one configuration.
-func runTraceFile(ctx context.Context, path, config string, width, window int, selfCheck bool) error {
+// The store key uses the trace's *content* hash, so a renamed file still
+// hits and an edited one cannot.
+func runTraceFile(ctx context.Context, path, config string, width, window int, opts robustOpts) error {
 	cfg, err := core.ConfigByName(config)
 	if err != nil {
 		return cli.Usagef("%v", err)
 	}
-	f, err := os.Open(path)
+	st, err := cli.OpenStore(opts.store, opts.resume)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		return err
+	open := func() (trace.Source, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return r, nil
 	}
-	res, err := core.RunChecked(ctx, r, cfg, core.Params{
-		Width: width, WindowSize: window, SelfCheck: selfCheck,
-	})
+	var key store.Key
+	if st != nil {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		hash, _, err := trace.ContentHash(r)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		key = store.Key{Trace: hash, Config: cfg.Fingerprint(), Width: width,
+			Scale: 1, Window: window, Checked: opts.selfCheck,
+			Workload: filepath.Base(path)}
+	}
+	progress, done := cli.Progress("ddsim")
+	res, _, err := cli.Simulate(ctx, cli.SimOptions{
+		Store: st, Key: key, Retries: opts.retries, Stall: opts.stall, Progress: progress,
+	}, cfg, core.Params{Width: width, WindowSize: window, SelfCheck: opts.selfCheck}, open)
+	done()
+	cli.ReportStore("ddsim", st)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("trace        %s\n", path)
-	printResult(cfg, res, selfCheck)
+	printResult(cfg, res, opts.selfCheck)
 	return nil
 }
 
-func runSingle(ctx context.Context, benchmark, config string, width, window, scale int, selfCheck bool) error {
+func runSingle(ctx context.Context, benchmark, config string, width, window, scale int, opts robustOpts) error {
 	w, err := workloads.ByName(benchmark)
 	if err != nil {
 		return cli.Usagef("%v", err)
@@ -182,19 +258,36 @@ func runSingle(ctx context.Context, benchmark, config string, width, window, sca
 	if err != nil {
 		return cli.Usagef("%v", err)
 	}
+	st, err := cli.OpenStore(opts.store, opts.resume)
+	if err != nil {
+		return err
+	}
 	buf, _, err := w.TraceCachedCtx(ctx, scale)
 	if err != nil {
 		return err
 	}
-	res, err := core.RunChecked(ctx, buf.Reader(), cfg, core.Params{
-		Width: width, WindowSize: window, SelfCheck: selfCheck,
-	})
+	var key store.Key
+	if st != nil {
+		effScale := scale
+		if effScale <= 0 {
+			effScale = w.DefaultScale
+		}
+		key = store.Key{Trace: buf.Hash(), Config: cfg.Fingerprint(), Width: width,
+			Scale: effScale, Window: window, Checked: opts.selfCheck, Workload: w.Name}
+	}
+	progress, done := cli.Progress("ddsim")
+	res, _, err := cli.Simulate(ctx, cli.SimOptions{
+		Store: st, Key: key, Retries: opts.retries, Stall: opts.stall, Progress: progress,
+	}, cfg, core.Params{Width: width, WindowSize: window, SelfCheck: opts.selfCheck},
+		func() (trace.Source, error) { return buf.Reader(), nil })
+	done()
+	cli.ReportStore("ddsim", st)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("benchmark    %s (%s)\n", w.Name, w.Description)
-	printResult(cfg, res, selfCheck)
+	printResult(cfg, res, opts.selfCheck)
 	return nil
 }
 

@@ -1,0 +1,145 @@
+package cli
+
+// This file holds the durability and supervision plumbing shared by the
+// CLIs: opening the result store behind -store/-resume, printing its
+// hit/miss summary, rendering progress heartbeats, and running one
+// supervised simulation (store lookup, bounded retry, stall watchdog) for
+// the single-run paths.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/retry"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/watchdog"
+)
+
+// progressEvery is the heartbeat interval used when stall supervision is
+// armed without an explicit Params.ProgressEvery: fine enough that even a
+// slow cell beats many times per stall window.
+const progressEvery = 1024
+
+// OpenStore opens the durable result store behind the -store/-resume
+// flags. An empty dir with resume unset means "no store" (nil, nil);
+// -resume without -store, or over a directory that does not exist yet, is
+// a usage error — resuming implies there is something to resume from.
+func OpenStore(dir string, resume bool) (*store.Store, error) {
+	if dir == "" {
+		if resume {
+			return nil, Usagef("-resume requires -store")
+		}
+		return nil, nil
+	}
+	if resume {
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			return nil, Usagef("-resume: store directory %q does not exist", dir)
+		}
+	}
+	return store.Open(dir)
+}
+
+// ReportStore prints the store's hit/miss summary to stderr (no-op on a
+// nil store). The resume-smoke CI job greps this line.
+func ReportStore(tool string, st *store.Store) {
+	if st == nil {
+		return
+	}
+	s := st.Stats()
+	msg := fmt.Sprintf("%s: store: %d hit(s), %d miss(es)", tool, s.Hits, s.Misses)
+	if s.Corrupt > 0 {
+		msg += fmt.Sprintf(", %d corrupt entr(y/ies) recomputed", s.Corrupt)
+	}
+	if s.WriteErrors > 0 {
+		msg += fmt.Sprintf(", %d write error(s)", s.WriteErrors)
+	}
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+// Progress returns a heartbeat printer that rewrites one stderr line with
+// the instruction and cycle counts, plus a done func that terminates the
+// line (call it once, after the run, when anything was printed).
+func Progress(tool string) (hook func(core.Progress), done func()) {
+	printed := false
+	hook = func(p core.Progress) {
+		printed = true
+		fmt.Fprintf(os.Stderr, "\r%s: %d instructions, %d cycles ", tool, p.Records, p.Cycles)
+	}
+	done = func() {
+		if printed {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	return hook, done
+}
+
+// SimOptions configures one supervised simulation.
+type SimOptions struct {
+	Store      *store.Store        // nil = no durability
+	Key        store.Key           // identity under which the result persists
+	Retries    int                 // transient re-attempts after the first failure
+	RetryDelay time.Duration       // base backoff; 0 = retry default
+	Stall      time.Duration       // reap the run after this much heartbeat silence; 0 = off
+	Progress   func(core.Progress) // optional progress printer (see Progress)
+}
+
+// Simulate runs one simulation under the full robustness stack: the store
+// is consulted first (a hit skips simulation entirely), then RunChecked
+// runs under bounded retry and the stall watchdog, and a fresh success is
+// persisted best-effort. src must return a fresh trace.Source per call —
+// each retry attempt re-reads the trace from the start. fromStore reports
+// whether the result was served from the store; failures carry their
+// attempt count when more than one attempt was made.
+func Simulate(ctx context.Context, opt SimOptions, cfg core.Config, params core.Params, src func() (trace.Source, error)) (res *core.Result, fromStore bool, err error) {
+	if opt.Store != nil {
+		if got, gerr := opt.Store.Get(opt.Key); gerr == nil {
+			return got, true, nil
+		}
+		// Any miss — absent, corrupt, version-mismatched — recomputes.
+	}
+	policy := retry.Policy{MaxAttempts: opt.Retries + 1, BaseDelay: opt.RetryDelay}
+	attempts, err := retry.Do(ctx, policy, func(int) error {
+		res = nil
+		s, serr := src()
+		if serr != nil {
+			return serr
+		}
+		got, rerr := watchdog.Run(ctx, opt.Stall, func(wctx context.Context, beat func()) (*core.Result, error) {
+			p := params
+			user := opt.Progress
+			if opt.Stall > 0 || user != nil {
+				p.Progress = func(pr core.Progress) {
+					beat()
+					if user != nil {
+						user(pr)
+					}
+				}
+				if opt.Stall > 0 && p.ProgressEvery == 0 {
+					p.ProgressEvery = progressEvery
+				}
+			}
+			return core.RunChecked(wctx, s, cfg, p)
+		})
+		if rerr != nil {
+			return rerr
+		}
+		res = got
+		return nil
+	})
+	if err != nil {
+		if attempts > 1 {
+			err = fmt.Errorf("%w (%d attempts)", err, attempts)
+		}
+		return nil, false, err
+	}
+	if opt.Store != nil {
+		// Best-effort: a failed write costs durability, never the result.
+		_ = opt.Store.Put(opt.Key, res)
+	}
+	return res, false, nil
+}

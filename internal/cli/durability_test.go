@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/watchdog"
+)
+
+func TestOpenStoreFlagContract(t *testing.T) {
+	// No store requested: nil store, no error.
+	st, err := OpenStore("", false)
+	if st != nil || err != nil {
+		t.Fatalf("OpenStore(\"\", false) = %v, %v; want nil, nil", st, err)
+	}
+	// -resume without -store is a usage error.
+	if _, err := OpenStore("", true); Code(err) != ExitUsage {
+		t.Fatalf("-resume without -store: Code = %d, want %d (%v)", Code(err), ExitUsage, err)
+	}
+	// -resume over a missing directory is a usage error (nothing to resume).
+	missing := t.TempDir() + "/never-created"
+	if _, err := OpenStore(missing, true); Code(err) != ExitUsage {
+		t.Fatalf("-resume over missing dir: Code = %d, want %d (%v)", Code(err), ExitUsage, err)
+	}
+	// A fresh -store without -resume creates the directory.
+	st, err = OpenStore(t.TempDir()+"/fresh", false)
+	if err != nil || st == nil {
+		t.Fatalf("fresh store: %v, %v", st, err)
+	}
+	// -resume over the now-existing directory succeeds.
+	if _, err := OpenStore(st.Dir(), true); err != nil {
+		t.Fatalf("-resume over existing store: %v", err)
+	}
+}
+
+// simTrace builds a small synthetic trace for Simulate tests.
+func simTrace() *trace.Buffer {
+	var buf trace.Buffer
+	for i := 0; i < 4096; i++ {
+		buf.Append(trace.Record{
+			PC:    uint32(i),
+			Instr: isa.Instr{Op: isa.Add, Rd: uint8(1 + i%30), Rs1: 1, Rs2: 2},
+			Value: int32(i),
+		})
+	}
+	return &buf
+}
+
+func simKey(buf *trace.Buffer) store.Key {
+	return store.Key{Trace: buf.Hash(), Config: core.ConfigD.Fingerprint(),
+		Width: 8, Scale: 1, Workload: "synthetic"}
+}
+
+func TestSimulateStoreRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := simTrace()
+	opt := SimOptions{Store: st, Key: simKey(buf)}
+	src := func() (trace.Source, error) { return buf.Reader(), nil }
+
+	res, fromStore, err := Simulate(context.Background(), opt, core.ConfigD, core.Params{Width: 8}, src)
+	if err != nil || fromStore {
+		t.Fatalf("cold run: res=%v fromStore=%v err=%v", res, fromStore, err)
+	}
+	again, fromStore, err := Simulate(context.Background(), opt, core.ConfigD, core.Params{Width: 8}, src)
+	if err != nil || !fromStore {
+		t.Fatalf("warm run: fromStore=%v err=%v", fromStore, err)
+	}
+	if again.Cycles != res.Cycles || again.Instructions != res.Instructions {
+		t.Fatalf("stored result differs: %+v vs %+v", again, res)
+	}
+	if s := st.Stats(); s.Hits != 1 || s.Writes != 1 {
+		t.Fatalf("store stats %+v, want 1 hit / 1 write", s)
+	}
+}
+
+func TestSimulateRetriesTransientSource(t *testing.T) {
+	buf := simTrace()
+	calls := 0
+	src := func() (trace.Source, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient stream hiccup")
+		}
+		return buf.Reader(), nil
+	}
+	opt := SimOptions{Retries: 2, RetryDelay: time.Millisecond}
+	res, _, err := Simulate(context.Background(), opt, core.ConfigD, core.Params{Width: 8}, src)
+	if err != nil {
+		t.Fatalf("transient source failure not retried: %v", err)
+	}
+	if calls != 2 || res == nil {
+		t.Fatalf("calls = %d, res = %v; want healed on second attempt", calls, res)
+	}
+
+	// Exhaustion reports the attempt count.
+	always := func() (trace.Source, error) { return nil, errors.New("still broken") }
+	_, _, err = Simulate(context.Background(), opt, core.ConfigD, core.Params{Width: 8}, always)
+	if err == nil || !strings.Contains(err.Error(), "(3 attempts)") {
+		t.Fatalf("exhausted retry does not report attempts: %v", err)
+	}
+}
+
+func TestSimulateReapsStall(t *testing.T) {
+	buf := simTrace()
+	wedged := make(chan struct{})
+	t.Cleanup(func() { close(wedged) })
+	opt := SimOptions{Stall: 60 * time.Millisecond}
+	// A Progress hook that blocks forever starves the heartbeat: the
+	// watchdog must reap the run as stalled, not hang Simulate.
+	params := core.Params{Width: 8}
+	first := true
+	opt.Progress = func(core.Progress) {
+		if first {
+			first = false
+			<-wedged
+		}
+	}
+	_, _, err := Simulate(context.Background(), opt, core.ConfigD, params,
+		func() (trace.Source, error) { return buf.Reader(), nil })
+	if !errors.Is(err, watchdog.ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if Canceled(err) {
+		t.Fatalf("stall misclassified as cancellation: %v", err)
+	}
+	if Code(err) != ExitSim {
+		t.Fatalf("stall exit code = %d, want %d", Code(err), ExitSim)
+	}
+}
+
+func TestSimulateCancellationIsNotRetried(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	buf := simTrace()
+	_, _, err := Simulate(ctx, SimOptions{Retries: 3, RetryDelay: time.Millisecond},
+		core.ConfigD, core.Params{Width: 8},
+		func() (trace.Source, error) { calls++; return buf.Reader(), nil })
+	if !Canceled(err) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if calls != 1 {
+		t.Fatalf("canceled run attempted %d times, want 1", calls)
+	}
+}

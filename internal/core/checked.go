@@ -27,6 +27,12 @@ func (e *InvariantError) Error() string {
 		e.Invariant, e.Cycle, e.Seq, e.Detail)
 }
 
+// Permanent reports that an invariant violation is never worth retrying:
+// the scheduler is deterministic, so the same trace and configuration will
+// violate the same invariant again. internal/retry consults this marker
+// when classifying cell failures.
+func (e *InvariantError) Permanent() bool { return true }
+
 // ctxCheckMask throttles context polls to one per 1024 instructions, which
 // bounds cancellation latency to microseconds without measurable cost on
 // the hot loop.
@@ -44,7 +50,10 @@ const ctxCheckMask = 1<<10 - 1
 //     instructions — width-2048 sweeps stay interruptible;
 //   - when params.SelfCheck is set, asserts the scheduler invariants every
 //     params.SelfCheckEvery instructions (see (*sched).selfCheck) and
-//     returns a structured *InvariantError on the first violation.
+//     returns a structured *InvariantError on the first violation;
+//   - when params.Progress is set, emits a heartbeat every
+//     params.ProgressEvery instructions (and once at trace end) so
+//     watchdogs can distinguish a slow run from a hung one.
 //
 // On error the returned Result carries the statistics accumulated so far —
 // a degraded but inspectable partial result; callers rendering it should
@@ -53,6 +62,7 @@ func RunChecked(ctx context.Context, src trace.Source, cfg Config, params Params
 	s := newSched(cfg, params)
 	done := ctx.Done()
 	nextCheck := int64(s.p.SelfCheckEvery)
+	nextProgress := s.p.ProgressEvery
 	injecting := faultinject.Enabled()
 	var rec trace.Record
 	for src.Next(&rec) {
@@ -82,9 +92,16 @@ func RunChecked(ctx context.Context, src trace.Source, cfg Config, params Params
 				return s.finish(), e
 			}
 		}
+		if s.p.Progress != nil && s.seq >= nextProgress {
+			nextProgress = s.seq + s.p.ProgressEvery
+			s.p.Progress(Progress{Records: s.seq, Cycles: s.maxIssue})
+		}
 	}
 	if err := trace.SourceErr(src); err != nil {
 		return s.finish(), fmt.Errorf("core: trace source failed after %d records: %w", s.seq, err)
+	}
+	if s.p.Progress != nil {
+		s.p.Progress(Progress{Records: s.seq, Cycles: s.maxIssue})
 	}
 	if s.p.SelfCheck {
 		s.res.SelfChecks++

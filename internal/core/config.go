@@ -75,6 +75,31 @@ func ConfigByName(name string) (Config, error) {
 	return Config{}, fmt.Errorf("core: unknown configuration %q", name)
 }
 
+// Fingerprint returns a canonical, injective encoding of the configuration:
+// two Configs fingerprint equal iff every field is equal. It replaces the
+// old ad-hoc name+ablation-suffix cache keys and is the configuration
+// component of the durable result store's key (internal/store), so its
+// encoding is versioned: the leading "cfg1" tag must change if fields are
+// ever added, removed, or reordered.
+//
+// The nine boolean fields are encoded positionally as fixed-width 0/1
+// digits, and the free-form Name comes last, so distinct configurations
+// can never collide regardless of the Name's contents.
+func (c Config) Fingerprint() string {
+	bit := func(v bool) byte {
+		if v {
+			return '1'
+		}
+		return '0'
+	}
+	bits := [9]byte{
+		bit(c.Collapse), bit(c.LoadSpec), bit(c.IdealLoadSpec),
+		bit(c.LoadValuePred), bit(c.PairsOnly), bit(c.ConsecutiveOnly),
+		bit(c.NoShiftCollapse), bit(c.NoZeroDetect), bit(c.PerfectBranches),
+	}
+	return "cfg1:" + string(bits[:]) + ":" + c.Name
+}
+
 // Widths are the paper's maximum issue widths; 2048 is the paper's "2k".
 var Widths = []int{4, 8, 16, 32, 2048}
 
@@ -123,6 +148,17 @@ type Params struct {
 	// (the "more realistic environments" extension; see internal/mem).
 	Cache *mem.Cache
 
+	// Progress, when non-nil, is invoked by RunChecked every ProgressEvery
+	// scheduled instructions (and once more when the trace is exhausted)
+	// with a heartbeat snapshot. Watchdogs (internal/watchdog, the
+	// experiments runner's stall detection) use it to tell a slow run from
+	// a hung one; CLIs print it as a progress line. The hook runs on the
+	// scheduling goroutine — it must be cheap and must not block.
+	Progress func(Progress)
+	// ProgressEvery is the instruction interval between Progress calls;
+	// 0 means the default of 65536.
+	ProgressEvery int64
+
 	// SelfCheck makes RunChecked sweep the scheduler invariants (window
 	// occupancy, issue bandwidth, heap order and monotone completion, IPC
 	// bound, collapse-counter consistency) every SelfCheckEvery
@@ -139,6 +175,16 @@ type Params struct {
 // Params.SelfCheckEvery is zero.
 const DefaultSelfCheckEvery = 4096
 
+// DefaultProgressEvery is the heartbeat interval used when
+// Params.ProgressEvery is zero.
+const DefaultProgressEvery = 65536
+
+// Progress is the heartbeat snapshot passed to Params.Progress.
+type Progress struct {
+	Records int64 // dynamic instructions scheduled so far
+	Cycles  int64 // issue cycles consumed so far
+}
+
 func (p Params) withDefaults() Params {
 	if p.Width <= 0 {
 		p.Width = 4
@@ -148,6 +194,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.SelfCheckEvery <= 0 {
 		p.SelfCheckEvery = DefaultSelfCheckEvery
+	}
+	if p.ProgressEvery <= 0 {
+		p.ProgressEvery = DefaultProgressEvery
 	}
 	if p.Branch == nil {
 		p.Branch = bpred.NewPaper8KB()

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// allBoolConfigs enumerates every combination of the nine behavioral
+// booleans under one name — 512 distinct configurations.
+func allBoolConfigs(name string) []Config {
+	var out []Config
+	for m := 0; m < 1<<9; m++ {
+		out = append(out, Config{
+			Name:            name,
+			Collapse:        m&(1<<0) != 0,
+			LoadSpec:        m&(1<<1) != 0,
+			IdealLoadSpec:   m&(1<<2) != 0,
+			LoadValuePred:   m&(1<<3) != 0,
+			PairsOnly:       m&(1<<4) != 0,
+			ConsecutiveOnly: m&(1<<5) != 0,
+			NoShiftCollapse: m&(1<<6) != 0,
+			NoZeroDetect:    m&(1<<7) != 0,
+			PerfectBranches: m&(1<<8) != 0,
+		})
+	}
+	return out
+}
+
+// TestFingerprintInjective is the cache-key collision guard: across the
+// full 2^9 ablation space under several names — including names crafted to
+// collide with the encoding's own separators — two distinct configurations
+// never fingerprint equal, and identical ones always do.
+func TestFingerprintInjective(t *testing.T) {
+	var cfgs []Config
+	for _, name := range []string{"A", "B", "D", "", "D:111111111", "cfg1:000000000:A"} {
+		cfgs = append(cfgs, allBoolConfigs(name)...)
+	}
+	cfgs = append(cfgs, Configs()...)
+	cfgs = append(cfgs, ConfigF)
+
+	seen := make(map[string]Config, len(cfgs))
+	for _, c := range cfgs {
+		fp := c.Fingerprint()
+		if fp != c.Fingerprint() {
+			t.Fatalf("fingerprint of %+v not deterministic", c)
+		}
+		if prev, dup := seen[fp]; dup && prev != c {
+			t.Fatalf("fingerprint collision %q between %+v and %+v", fp, prev, c)
+		}
+		seen[fp] = c
+	}
+	// Sanity: identical configs must fingerprint equal (the map above only
+	// proves distinct ones differ).
+	if ConfigD.Fingerprint() != (Config{Name: "D", Collapse: true, LoadSpec: true}).Fingerprint() {
+		t.Fatal("structurally identical configs fingerprint differently")
+	}
+	// The encoding is versioned: a fingerprint always names its version.
+	if !strings.HasPrefix(ConfigA.Fingerprint(), "cfg1:") {
+		t.Fatalf("fingerprint %q missing version tag", ConfigA.Fingerprint())
+	}
+}
+
+// TestFingerprintSeparatesAblations pins the regression the fingerprint
+// exists to prevent: the paper configs and each single-field ablation of
+// config D must all key differently.
+func TestFingerprintSeparatesAblations(t *testing.T) {
+	variants := []Config{ConfigA, ConfigB, ConfigC, ConfigD, ConfigE, ConfigF}
+	d := ConfigD
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.PairsOnly = true },
+		func(c *Config) { c.ConsecutiveOnly = true },
+		func(c *Config) { c.NoShiftCollapse = true },
+		func(c *Config) { c.NoZeroDetect = true },
+		func(c *Config) { c.PerfectBranches = true },
+	} {
+		v := d
+		mut(&v)
+		variants = append(variants, v)
+	}
+	seen := map[string]string{}
+	for _, v := range variants {
+		fp := v.Fingerprint()
+		if other, dup := seen[fp]; dup {
+			t.Fatalf("ablation variants %q and %+v share fingerprint %q", other, v, fp)
+		}
+		seen[fp] = v.Name
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/watchdog"
 	"repro/internal/workloads"
 )
 
@@ -45,6 +47,15 @@ func naCell(v float64) any {
 		return "n/a"
 	}
 	return v
+}
+
+// stalledCell renders a metric whose run may have been reaped by the stall
+// watchdog: reaped cells say so, other failures stay plain "n/a".
+func stalledCell(v float64, stalled bool) any {
+	if stalled {
+		return "n/a (stalled)"
+	}
+	return naCell(v)
 }
 
 // errSummary renders the trailing failure summary appended to degraded
@@ -655,10 +666,13 @@ func Table6(r *Runner) (*Report, error) {
 
 // PerBenchRow is one benchmark's IPC under every configuration at one
 // width. The paper reports only harmonic means; this exposes the
-// per-benchmark detail behind them.
+// per-benchmark detail behind them. Stalled marks cells reaped by the
+// stall watchdog (Runner.StallTimeout): they render as "n/a (stalled)" to
+// distinguish a hung simulation from an ordinary failure.
 type PerBenchRow struct {
-	Name string
-	IPC  map[string]float64 // config name -> IPC
+	Name    string
+	IPC     map[string]float64 // config name -> IPC
+	Stalled map[string]bool    // config name -> reaped by the watchdog
 }
 
 // PerBenchmark computes per-benchmark IPCs for all configurations at the
@@ -672,7 +686,7 @@ func PerBenchmark(r *Runner, width int) ([]PerBenchRow, []error, error) {
 	var rows []PerBenchRow
 	var c collector
 	for _, w := range set {
-		row := PerBenchRow{Name: w.Name, IPC: make(map[string]float64)}
+		row := PerBenchRow{Name: w.Name, IPC: make(map[string]float64), Stalled: make(map[string]bool)}
 		for _, cfg := range core.Configs() {
 			res, err := r.Result(w, cfg, width)
 			if err != nil {
@@ -681,6 +695,7 @@ func PerBenchmark(r *Runner, width int) ([]PerBenchRow, []error, error) {
 				}
 				c.add(err)
 				row.IPC[cfg.Name] = math.NaN()
+				row.Stalled[cfg.Name] = errors.Is(err, watchdog.ErrStalled)
 				continue
 			}
 			row.IPC[cfg.Name] = res.IPC()
@@ -704,7 +719,7 @@ func PerBenchmarkReport(r *Runner, width int) (*Report, error) {
 	for _, row := range rows {
 		cells := []any{row.Name}
 		for _, cfg := range core.Configs() {
-			cells = append(cells, naCell(row.IPC[cfg.Name]))
+			cells = append(cells, stalledCell(row.IPC[cfg.Name], row.Stalled[cfg.Name]))
 		}
 		t.AddRowf(cells...)
 	}

@@ -6,8 +6,11 @@
 //
 // The pipeline degrades gracefully: a failed (workload, config, width) cell
 // renders as "n/a" with a trailing error summary instead of aborting the
-// whole experiment, and only context cancellation is fatal. See
-// docs/robustness.md for the full contract.
+// whole experiment, and only context cancellation is fatal. Durability and
+// supervision layer on top: WithStore persists every completed cell to disk
+// so interrupted sweeps resume, Retries re-attempts transiently failing
+// cells with backoff, and StallTimeout reaps cells whose progress
+// heartbeats go silent. See docs/robustness.md for the full contract.
 package experiments
 
 import (
@@ -16,18 +19,41 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/retry"
+	"repro/internal/store"
 	"repro/internal/trace"
+	"repro/internal/watchdog"
 	"repro/internal/workloads"
 )
 
+// stallHeartbeatEvery is the per-instruction interval between progress
+// heartbeats when stall supervision is armed: fine enough that even a slow
+// cell beats many times per second, coarse enough to cost nothing.
+const stallHeartbeatEvery = 1024
+
 // Runner executes and caches simulation runs. Results are keyed by
-// (workload, config, width) at the Runner's scale, so experiments sharing
-// runs (all the figures share the A-E sweep) pay for them once. Failures
-// are cached alongside results: a failed cell fails fast on re-query
-// instead of re-running, and its error degrades the reports that need it.
+// (workload, config fingerprint, width) at the Runner's scale, so
+// experiments sharing runs (all the figures share the A-E sweep) pay for
+// them once. Failures are cached alongside results: a failed cell fails
+// fast on re-query instead of re-running, and its error degrades the
+// reports that need it.
+//
+// Optional robustness layers, all off by default:
+//
+//   - WithStore persists completed cells to disk (content-addressed by
+//     trace hash + config fingerprint), so a crashed or canceled sweep
+//     resumes from what already finished;
+//   - Retries re-attempts transiently failing cells with exponential
+//     backoff; permanent failures (corrupt traces, invariant violations,
+//     stalls) and cancellations are never retried;
+//   - StallTimeout supervises each cell with a watchdog fed by the
+//     scheduler's progress heartbeats: a cell that stops making progress is
+//     reaped as stalled instead of wedging its worker forever.
 type Runner struct {
 	Scale  int   // workload scale; 0 = each workload's default
 	Widths []int // issue widths; nil = the paper's {4, 8, 16, 32, 2048}
@@ -36,14 +62,36 @@ type Runner struct {
 	// (core.Params.SelfCheck); violations surface as cell failures.
 	SelfCheck bool
 
-	ctx   context.Context
-	mu    sync.Mutex
-	cache map[runKey]*cacheEntry
+	// Retries is the number of re-attempts after a transiently failing
+	// cell computation (0 = fail on first error). Attempt counts appear in
+	// the cell's error message when more than one attempt was made.
+	Retries int
+	// RetryDelay is the base backoff before the first re-attempt; 0 means
+	// the retry package default (50ms, doubling, jittered).
+	RetryDelay time.Duration
+	// StallTimeout reaps a cell whose progress heartbeat goes silent for
+	// this long; 0 disables stall supervision.
+	StallTimeout time.Duration
+	// OnCellDone, when non-nil, is called after every cell resolves
+	// (computed or served from the store; canceled cells excluded) with
+	// the total number of cells resolved so far. CLIs hang progress
+	// reporting off it; tests use it to interrupt a sweep mid-flight.
+	OnCellDone func(done int)
+
+	ctx       context.Context
+	store     *store.Store
+	workers   int
+	cellsDone atomic.Int64
+	computes  atomic.Int64
+
+	mu     sync.Mutex
+	cache  map[runKey]*cacheEntry
+	hashes map[string]uint64 // workload name -> trace content hash
 }
 
 type runKey struct {
 	workload string
-	config   string
+	config   string // core.Config.Fingerprint(): canonical and injective
 	width    int
 }
 
@@ -54,8 +102,46 @@ type cacheEntry struct {
 
 // NewRunner creates a Runner at the given scale (0 = workload defaults).
 func NewRunner(scale int) *Runner {
-	return &Runner{Scale: scale, cache: make(map[runKey]*cacheEntry)}
+	return &Runner{Scale: scale, cache: make(map[runKey]*cacheEntry), hashes: make(map[string]uint64)}
 }
+
+// WithStore opens (creating if needed) a durable result store at dir and
+// layers it under the in-memory cache: cells already on disk are served
+// without simulation, and every newly computed cell is persisted the moment
+// it completes. It returns the Runner for chaining.
+func (r *Runner) WithStore(dir string) (*Runner, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return r.WithStoreHandle(st), nil
+}
+
+// WithStoreHandle attaches an already-open store.
+func (r *Runner) WithStoreHandle(st *store.Store) *Runner {
+	r.store = st
+	return r
+}
+
+// WithWorkers sets the Prefetch worker-pool size (0 or negative restores
+// the GOMAXPROCS default). It returns the Runner for chaining.
+func (r *Runner) WithWorkers(n int) *Runner {
+	r.workers = n
+	return r
+}
+
+// StoreStats returns the attached store's counters (zero when no store).
+func (r *Runner) StoreStats() store.Stats {
+	if r.store == nil {
+		return store.Stats{}
+	}
+	return r.store.Stats()
+}
+
+// ComputeCalls reports how many cell computations this Runner actually ran
+// (store hits and in-memory cache hits excluded; a retried cell counts
+// once per attempt that reached the simulator).
+func (r *Runner) ComputeCalls() int64 { return r.computes.Load() }
 
 // WithContext sets the context that bounds every simulation this Runner
 // performs; cancellation aborts in-flight runs and fails subsequent ones.
@@ -91,7 +177,7 @@ func canceled(err error) bool {
 // computing and caching it on first use. Errors other than cancellation are
 // cached too, so a broken cell fails fast everywhere it is needed.
 func (r *Runner) Result(w *workloads.Workload, cfg core.Config, width int) (*core.Result, error) {
-	key := runKey{w.Name, cfg.Name + ablationSuffix(cfg), width}
+	key := runKey{w.Name, cfg.Fingerprint(), width}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
@@ -99,64 +185,121 @@ func (r *Runner) Result(w *workloads.Workload, cfg core.Config, width int) (*cor
 	}
 	r.mu.Unlock()
 
-	res, err := r.compute(w, cfg, width)
+	res, attempts, err := r.compute(w, cfg, width)
 	if canceled(err) {
 		// A canceled run says nothing about the cell itself; leave the
 		// cache empty so a later run with a live context can succeed.
 		return nil, err
 	}
+	if err != nil {
+		err = fmt.Errorf("experiments: %s/config %s/width %d: %w", w.Name, cfg.Name, width, err)
+		if attempts > 1 {
+			err = fmt.Errorf("%w (%d attempts)", err, attempts)
+		}
+	}
 
 	r.mu.Lock()
 	r.cache[key] = &cacheEntry{res: res, err: err}
 	r.mu.Unlock()
+	if r.OnCellDone != nil {
+		r.OnCellDone(int(r.cellsDone.Add(1)))
+	}
 	return res, err
 }
 
-func (r *Runner) compute(w *workloads.Workload, cfg core.Config, width int) (*core.Result, error) {
-	cell := func(err error) error {
-		return fmt.Errorf("experiments: %s/config %s/width %d: %w", w.Name, cfg.Name, width, err)
-	}
-	if faultinject.Enabled() {
-		if err := faultinject.Check(faultinject.PointExperiment); err != nil {
-			return nil, cell(err)
+// compute resolves one cell: store lookup first (when a store is attached),
+// then simulation under retry and stall supervision. It reports how many
+// attempts the retry loop made so failures can carry their attempt count.
+func (r *Runner) compute(w *workloads.Workload, cfg core.Config, width int) (res *core.Result, attempts int, err error) {
+	ctx := r.Context()
+	policy := retry.Policy{MaxAttempts: r.Retries + 1, BaseDelay: r.RetryDelay}
+	attempts, err = retry.Do(ctx, policy, func(int) error {
+		res = nil
+		if faultinject.Enabled() {
+			if ferr := faultinject.Check(faultinject.PointExperiment); ferr != nil {
+				return ferr
+			}
 		}
-	}
-	buf, _, err := w.TraceCachedCtx(r.Context(), r.Scale)
-	if err != nil {
-		return nil, cell(err)
-	}
-	res, err := core.RunChecked(r.Context(), buf.Reader(), cfg, core.Params{Width: width, SelfCheck: r.SelfCheck})
-	if err != nil {
-		return nil, cell(err)
-	}
-	return res, nil
+		buf, _, terr := w.TraceCachedCtx(ctx, r.Scale)
+		if terr != nil {
+			return terr
+		}
+		var key store.Key
+		if r.store != nil {
+			key = r.storeKey(w, cfg, width, buf)
+			if got, gerr := r.store.Get(key); gerr == nil {
+				res = got
+				return nil
+			}
+			// Any store miss — absent, corrupt, version-mismatched —
+			// falls through to recomputation; the store never vetoes.
+		}
+		r.computes.Add(1)
+		got, rerr := watchdog.Run(ctx, r.StallTimeout, func(wctx context.Context, beat func()) (*core.Result, error) {
+			p := core.Params{Width: width, SelfCheck: r.SelfCheck}
+			if r.StallTimeout > 0 {
+				p.Progress = func(core.Progress) { beat() }
+				p.ProgressEvery = stallHeartbeatEvery
+			}
+			return core.RunChecked(wctx, buf.Reader(), cfg, p)
+		})
+		if rerr != nil {
+			return rerr
+		}
+		res = got
+		if r.store != nil {
+			// Best-effort persistence: a failed write costs durability,
+			// never the result. The store counts it in Stats.WriteErrors.
+			_ = r.store.Put(key, got)
+		}
+		return nil
+	})
+	return res, attempts, err
 }
 
-// ablationSuffix distinguishes ablated configs in the cache.
-func ablationSuffix(cfg core.Config) string {
-	s := ""
-	if cfg.PairsOnly {
-		s += "+pairs"
+// storeKey builds the durable identity of one cell: the trace *content*
+// hash (not its name), the injective config fingerprint, and the run
+// shape. Workload name and scale ride along for human-readable filenames.
+func (r *Runner) storeKey(w *workloads.Workload, cfg core.Config, width int, buf *trace.Buffer) store.Key {
+	scale := r.Scale
+	if scale <= 0 {
+		scale = w.DefaultScale
 	}
-	if cfg.ConsecutiveOnly {
-		s += "+consec"
+	return store.Key{
+		Trace:    r.traceHash(w, buf),
+		Config:   cfg.Fingerprint(),
+		Width:    width,
+		Scale:    scale,
+		Checked:  r.SelfCheck,
+		Workload: w.Name,
 	}
-	if cfg.NoShiftCollapse {
-		s += "+noshift"
+}
+
+// traceHash memoizes each workload's trace content hash (hashing a large
+// trace costs one linear scan; the sweep asks per cell). Hashing happens
+// outside the lock so parallel workers don't serialize on it; a rare
+// duplicate computation is benign because the hash is deterministic.
+func (r *Runner) traceHash(w *workloads.Workload, buf *trace.Buffer) uint64 {
+	r.mu.Lock()
+	if h, ok := r.hashes[w.Name]; ok {
+		r.mu.Unlock()
+		return h
 	}
-	if cfg.NoZeroDetect {
-		s += "+nozero"
+	r.mu.Unlock()
+	h := buf.Hash()
+	r.mu.Lock()
+	if r.hashes == nil {
+		r.hashes = make(map[string]uint64)
 	}
-	if cfg.PerfectBranches {
-		s += "+perfbr"
-	}
-	return s
+	r.hashes[w.Name] = h
+	r.mu.Unlock()
+	return h
 }
 
 // Prefetch computes all (workload, config, width) results for the given
-// sets on a fixed worker pool bounded by GOMAXPROCS goroutines, and
-// returns the errors.Join of every failed cell (nil when all succeeded).
-// Cancellation drains the remaining jobs without starting them.
+// sets on a fixed worker pool (WithWorkers; GOMAXPROCS goroutines by
+// default), and returns the errors.Join of every failed cell (nil when all
+// succeeded). Cancellation drains the remaining jobs without starting them.
 func (r *Runner) Prefetch(set []*workloads.Workload, cfgs []core.Config, widths []int) error {
 	type job struct {
 		w     *workloads.Workload
@@ -186,7 +329,10 @@ func (r *Runner) Prefetch(set []*workloads.Workload, cfgs []core.Config, widths 
 		}
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := r.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}

@@ -45,7 +45,8 @@ var (
 
 type point struct {
 	err   error
-	after int64 // checks to let through before firing
+	fn    func() error // optional; called (outside the lock) when the point fires
+	after int64        // checks to let through before firing
 	hits  int64
 	fired int64
 	once  bool
@@ -57,18 +58,27 @@ func Enabled() bool { return armed.Load() > 0 }
 
 // Arm makes Check(name) return err on every call after the first `after`
 // calls have passed through. Arming an already-armed point replaces it.
-func Arm(name string, err error, after int64) { arm(name, err, after, false) }
+func Arm(name string, err error, after int64) { arm(name, err, nil, after, false) }
 
 // ArmOnce is Arm, but the point fires exactly once and then stands down.
-func ArmOnce(name string, err error, after int64) { arm(name, err, after, true) }
+func ArmOnce(name string, err error, after int64) { arm(name, err, nil, after, true) }
 
-func arm(name string, err error, after int64, once bool) {
+// ArmFunc makes the point call fn each time it fires and inject fn's
+// return value. fn runs OUTSIDE the registry lock, so it may block (the
+// watchdog tests wedge a cell this way) without deadlocking concurrent
+// Check callers at other points. fn returning nil injects nothing.
+func ArmFunc(name string, fn func() error, after int64) { arm(name, nil, fn, after, false) }
+
+// ArmOnceFunc is ArmFunc, but the point fires exactly once.
+func ArmOnceFunc(name string, fn func() error, after int64) { arm(name, nil, fn, after, true) }
+
+func arm(name string, err error, fn func() error, after int64, once bool) {
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, exists := registry[name]; !exists {
 		armed.Add(1)
 	}
-	registry[name] = &point{err: err, after: after, once: once}
+	registry[name] = &point{err: err, fn: fn, after: after, once: once}
 }
 
 // Disarm removes one injection point.
@@ -93,25 +103,31 @@ func Reset() {
 
 // Check consults the registry at a named injection point, returning the
 // armed error when the point fires. Call sites should gate on Enabled().
+// Func-armed points run their fn after the registry lock is released, so a
+// blocking fn (wedging one cell to exercise the watchdog) cannot stall
+// Check callers at other points.
 func Check(name string) error {
 	if !Enabled() {
 		return nil
 	}
 	regMu.Lock()
-	defer regMu.Unlock()
 	p := registry[name]
 	if p == nil {
+		regMu.Unlock()
 		return nil
 	}
 	p.hits++
-	if p.hits <= p.after {
-		return nil
-	}
-	if p.once && p.fired > 0 {
+	if p.hits <= p.after || (p.once && p.fired > 0) {
+		regMu.Unlock()
 		return nil
 	}
 	p.fired++
-	return p.err
+	err, fn := p.err, p.fn
+	regMu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return err
 }
 
 // Hits reports how many times a point has been consulted (armed points

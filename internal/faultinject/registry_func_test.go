@@ -1,0 +1,91 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestArmFuncInjectsReturnValue: a func-armed point injects whatever fn
+// returns, fresh on every firing, and honors `after`.
+func TestArmFuncInjectsReturnValue(t *testing.T) {
+	defer Reset()
+	calls := 0
+	ArmFunc(PointCoreRun, func() error {
+		calls++
+		return errors.New("fn fault")
+	}, 2)
+	for i := 1; i <= 2; i++ {
+		if err := Check(PointCoreRun); err != nil {
+			t.Fatalf("check %d fired early: %v", i, err)
+		}
+	}
+	for i := 3; i <= 5; i++ {
+		if err := Check(PointCoreRun); err == nil || err.Error() != "fn fault" {
+			t.Fatalf("check %d: err = %v, want fn fault", i, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	if Fired(PointCoreRun) != 3 {
+		t.Fatalf("Fired = %d, want 3", Fired(PointCoreRun))
+	}
+}
+
+// TestArmOnceFuncFiresExactlyOnce: the once variant stands down after one
+// firing even when fn returns nil.
+func TestArmOnceFuncFiresExactlyOnce(t *testing.T) {
+	defer Reset()
+	calls := 0
+	ArmOnceFunc(PointExperiment, func() error {
+		calls++
+		return nil // a nil-returning fn still consumes the firing
+	}, 0)
+	for i := 0; i < 4; i++ {
+		if err := Check(PointExperiment); err != nil {
+			t.Fatalf("check %d: %v", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+}
+
+// TestBlockedFnDoesNotWedgeOtherPoints is the lock-discipline contract: a
+// fn that blocks (the watchdog tests wedge a cell this way) must not hold
+// the registry lock, so Check at a different point proceeds concurrently.
+func TestBlockedFnDoesNotWedgeOtherPoints(t *testing.T) {
+	defer Reset()
+	unblock := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	ArmFunc(PointCoreRun, func() error {
+		once.Do(func() { close(entered) })
+		<-unblock
+		return nil
+	}, 0)
+	Arm(PointTraceGen, errors.New("other"), 0)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Check(PointCoreRun) // blocks inside fn
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() { done <- Check(PointTraceGen) }()
+	select {
+	case err := <-done:
+		if err == nil || err.Error() != "other" {
+			t.Fatalf("other point err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Check(PointTraceGen) wedged behind a blocking fn")
+	}
+	close(unblock)
+	wg.Wait()
+}

@@ -1,0 +1,186 @@
+// Package retry implements bounded retry with exponential backoff and
+// jitter for transient simulation-cell failures, classified through the
+// pipeline's error taxonomy (docs/robustness.md):
+//
+//   - context cancellation and deadlines are Canceled — the caller's run
+//     is over; retrying would fight the user;
+//   - corrupt input (trace.IsCorrupt: bad magic, truncation, checksum
+//     mismatches …) is Permanent — the bytes will not heal;
+//   - scheduler invariant violations (core.InvariantError) and watchdog
+//     stalls (watchdog.ErrStalled) are Permanent — the pipeline is
+//     deterministic, so the same cell fails the same way again (both mark
+//     themselves via the Permanent()/sentinel conventions below);
+//   - everything else — injected faults (faultinject.ErrInjected), I/O and
+//     stream hiccups, net-style timeouts — is Transient and worth a
+//     bounded, backed-off re-attempt.
+//
+// The classifier is extensible without import cycles: any error exposing
+// `Permanent() bool` is classified by its own answer, mirroring the
+// net.Error Timeout()/Temporary() convention.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/watchdog"
+)
+
+// Class partitions errors by what retrying can achieve.
+type Class int
+
+const (
+	// Transient failures may heal on re-attempt.
+	Transient Class = iota
+	// Permanent failures are deterministic; retrying repeats them.
+	Permanent
+	// Canceled failures come from the caller's own context; stop at once.
+	Canceled
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Classify maps err onto the taxonomy above. Unknown errors default to
+// Transient: the retry budget is bounded, so the cost of re-attempting a
+// novel permanent failure is a few backoffs, while misclassifying a
+// transient one as permanent would forfeit a recoverable cell.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return Transient
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return Canceled
+	case trace.IsCorrupt(err):
+		return Permanent
+	case errors.Is(err, watchdog.ErrStalled):
+		return Permanent
+	}
+	var p interface{ Permanent() bool }
+	if errors.As(err, &p) {
+		if p.Permanent() {
+			return Permanent
+		}
+		return Transient
+	}
+	return Transient
+}
+
+// Policy bounds the retry loop. The zero Policy means one attempt, no
+// retry; fields default individually so callers set only what they need.
+type Policy struct {
+	// MaxAttempts is the total number of attempts (first try included);
+	// <= 0 means 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means 2s.
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between attempts; <= 1 means 2.
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter×delay; negative
+	// disables jitter, 0 means the default 0.25. Jitter keeps a worker
+	// pool's retries from resynchronizing into thundering herds.
+	Jitter float64
+	// Seed drives the jitter; 0 seeds from the clock. Tests pin it.
+	Seed int64
+	// Classify overrides the default classifier when non-nil.
+	Classify func(error) Class
+	// Sleep overrides the backoff wait when non-nil (tests record delays
+	// instead of sleeping). It must honor ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.25
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Seed == 0 {
+		p.Seed = time.Now().UnixNano()
+	}
+	if p.Classify == nil {
+		p.Classify = Classify
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleep
+	}
+	return p
+}
+
+// sleep waits for d or until ctx ends, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs fn (attempt numbers start at 1) until it succeeds, fails
+// permanently, is canceled, or exhausts the attempt budget. It returns the
+// number of attempts actually made alongside the final error.
+//
+// A cancellation that lands during a backoff wait is joined with the last
+// attempt's error, so callers see both why the loop was waiting and why it
+// stopped.
+func Do(ctx context.Context, p Policy, fn func(attempt int) error) (attempts int, err error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	delay := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err = fn(attempt)
+		if err == nil {
+			return attempt, nil
+		}
+		if attempt >= p.MaxAttempts {
+			return attempt, err
+		}
+		if class := p.Classify(err); class != Transient {
+			return attempt, err
+		}
+		d := delay
+		if p.Jitter > 0 {
+			// Uniform over [d×(1−J), d×(1+J)].
+			d = time.Duration(float64(d) * (1 - p.Jitter + 2*p.Jitter*rng.Float64()))
+		}
+		if serr := p.Sleep(ctx, d); serr != nil {
+			return attempt, errors.Join(serr, err)
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// sampleResult builds a fully populated Result so round-trip tests cover
+// every field class (ints, arrays, maps, nested config).
+func sampleResult() *core.Result {
+	res := &core.Result{
+		Config:            core.ConfigD,
+		Width:             8,
+		Window:            16,
+		Instructions:      123457,
+		Cycles:            34567,
+		SelfChecks:        31,
+		CondBranches:      9000,
+		Mispredicts:       420,
+		Loads:             30000,
+		LoadReady:         21000,
+		LoadPredCorrect:   6000,
+		LoadPredIncorrect: 1500,
+		LoadNotPred:       1500,
+		CollapsedInstrs:   45678,
+		DistSum:           99999,
+		DistCount:         23456,
+		PairSigs:          map[string]int64{"Add+Ld": 812, "Sh+Add": 411},
+		TripleSigs:        map[string]int64{"Add+Add+Ld": 99},
+	}
+	res.Groups[0] = 1000
+	res.Groups[1] = 200
+	res.GroupsBySize[2] = 900
+	res.GroupsBySize[3] = 300
+	res.DistHist[0] = 20000
+	res.DistHist[7] = 3456
+	return res
+}
+
+func sampleKey() Key {
+	return Key{Trace: 0xdeadbeefcafef00d, Config: core.ConfigD.Fingerprint(),
+		Width: 8, Scale: 60, Workload: "li"}
+}
+
+func TestRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sampleKey()
+	want := sampleResult()
+
+	if _, err := st.Get(k); !errors.Is(err, ErrMiss) {
+		t.Fatalf("Get on empty store: err = %v, want ErrMiss", err)
+	}
+	if err := st.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	s := st.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Writes != 1 || s.Corrupt != 0 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 write / 0 corrupt", s)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+// TestDistinctKeysDoNotCollide: changing any key component must miss.
+func TestDistinctKeysDoNotCollide(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	base := sampleKey()
+	if err := st.Put(base, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	variants := []Key{}
+	for _, mut := range []func(*Key){
+		func(k *Key) { k.Trace ^= 1 },
+		func(k *Key) { k.Config = core.ConfigE.Fingerprint() },
+		func(k *Key) { k.Width = 16 },
+		func(k *Key) { k.Scale = 61 },
+		func(k *Key) { k.Window = 64 },
+		func(k *Key) { k.Checked = true },
+		func(k *Key) { k.Workload = "go" },
+	} {
+		k := base
+		mut(&k)
+		variants = append(variants, k)
+	}
+	for i, k := range variants {
+		if _, err := st.Get(k); !errors.Is(err, ErrMiss) {
+			t.Errorf("variant %d: err = %v, want ErrMiss", i, err)
+		}
+	}
+}
+
+// TestFilenameCollisionIsAMiss: an entry copied under another key's
+// filename (simulating a 64-bit name-hash collision) must be rejected by
+// the on-read key comparison, not served.
+func TestFilenameCollisionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	k1 := sampleKey()
+	if err := st.Put(k1, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	k2 := k1
+	k2.Width = 32
+	data, err := os.ReadFile(filepath.Join(dir, k1.filename()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, k2.filename()), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(k2); !errors.Is(err, ErrMiss) {
+		t.Fatalf("colliding entry served: err = %v, want ErrMiss", err)
+	}
+}
+
+// TestVersionMismatchIsCorrupt: a future/past entry version is never
+// trusted, and the error is classified through the trace taxonomy.
+func TestVersionMismatchIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	k := sampleKey()
+	if err := st.Put(k, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.filename())
+	data, _ := os.ReadFile(path)
+	mutated := []byte(strings.Replace(string(data), `{"v":1,`, `{"v":9,`, 1))
+	if string(mutated) == string(data) {
+		t.Fatal("version field not found in entry")
+	}
+	os.WriteFile(path, mutated, 0o644)
+
+	_, err := st.Get(k)
+	if !errors.Is(err, ErrCorruptEntry) {
+		t.Fatalf("err = %v, want ErrCorruptEntry", err)
+	}
+	if !trace.IsCorrupt(err) {
+		t.Fatalf("version mismatch not classified by trace.IsCorrupt: %v", err)
+	}
+	if st.Stats().Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Stats().Corrupt)
+	}
+}
+
+// TestBitFlipsNeverSilentlyWrong is the store's corruption acceptance
+// test: for every byte of a stored entry (one flipped bit each), Get must
+// return either an error or the original result — never a different one.
+func TestBitFlipsNeverSilentlyWrong(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	k := sampleKey()
+	orig := sampleResult()
+	if err := st.Put(k, orig); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.filename())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 1 << (i % 8)
+		if string(mutated) == string(data) {
+			continue
+		}
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Get(k)
+		if err == nil && !reflect.DeepEqual(got, orig) {
+			t.Fatalf("byte %d bit flip served a different result silently", i)
+		}
+		if err != nil && !errors.Is(err, ErrMiss) && !errors.Is(err, ErrCorruptEntry) {
+			t.Fatalf("byte %d: unclassified error %v", i, err)
+		}
+	}
+}
+
+// TestTruncatedEntriesRejected: every proper prefix of an entry is a
+// classified failure.
+func TestTruncatedEntriesRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	k := sampleKey()
+	if err := st.Put(k, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.filename())
+	data, _ := os.ReadFile(path)
+	for _, cut := range []int{0, 1, 2, len(data) / 4, len(data) / 2, len(data) - 1} {
+		os.WriteFile(path, data[:cut], 0o644)
+		if _, err := st.Get(k); err == nil {
+			t.Fatalf("truncation at %d/%d served a result", cut, len(data))
+		}
+	}
+}
+
+// TestPutIsAtomic: no temp files survive Put, and a Put over an existing
+// entry replaces it in one step.
+func TestPutIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	k := sampleKey()
+	if err := st.Put(k, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleResult()
+	second.Cycles = 1
+	if err := st.Put(k, second); err != nil {
+		t.Fatal(err)
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+	got, err := st.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != 1 {
+		t.Fatalf("overwrite not visible: cycles = %d", got.Cycles)
+	}
+	if n, _ := st.Len(); n != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", n)
+	}
+}
+
+// TestDecodeChecksumCoversResult: tampering with the result payload while
+// leaving the envelope intact must fail the checksum.
+func TestDecodeChecksumCoversResult(t *testing.T) {
+	k := sampleKey()
+	payload, _ := json.Marshal(sampleResult())
+	entry, _ := json.Marshal(map[string]any{
+		"v": Version, "key": k, "sum": "0000000000000000", "result": json.RawMessage(payload),
+	})
+	if _, _, err := Decode(entry); !errors.Is(err, ErrCorruptEntry) {
+		t.Fatalf("forged checksum accepted: %v", err)
+	}
+}

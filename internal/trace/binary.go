@@ -112,9 +112,11 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return tw, nil
 }
 
-// Write appends one record.
-func (tw *Writer) Write(rec *Record) error {
-	b := tw.buf[:]
+// encodeRecord renders rec into the canonical v3 record framing, checksum
+// byte included. It is shared by Writer.Write and ContentHash so the
+// on-disk encoding and the content hash can never drift apart.
+func encodeRecord(buf *[recSize]byte, rec *Record) {
+	b := buf[:]
 	binary.LittleEndian.PutUint32(b[0:4], rec.PC)
 	b[4] = uint8(rec.Instr.Op)
 	b[5] = rec.Instr.Rd
@@ -133,8 +135,13 @@ func (tw *Writer) Write(rec *Record) error {
 	}
 	b[24] = flags
 	b[25] = checksum(b)
+}
+
+// Write appends one record.
+func (tw *Writer) Write(rec *Record) error {
+	encodeRecord(&tw.buf, rec)
 	tw.count++
-	_, err := tw.w.Write(b)
+	_, err := tw.w.Write(tw.buf[:])
 	return err
 }
 

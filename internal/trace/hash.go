@@ -1,0 +1,65 @@
+package trace
+
+// Content hashing for traces. The durable result store (internal/store)
+// keys persisted simulation results by the *content* of the trace that
+// produced them — not by file name or workload label — so a regenerated or
+// renamed trace with identical records resumes cleanly, while any change to
+// even one record field produces a different key and forces recomputation.
+//
+// Checksum64 is the shared 64-bit FNV-1a fold used by both the content
+// hash and the store's per-entry checksums; it mixes the same checkSeed as
+// the v3 binary format's per-record XOR byte so the two integrity layers
+// are visibly part of one family.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Checksum64 folds data into a 64-bit FNV-1a checksum seeded with the
+// trace format's checkSeed. It is the integrity primitive shared by trace
+// content hashing and the on-disk result store (internal/store).
+func Checksum64(data []byte) uint64 {
+	h := uint64(fnvOffset64) ^ uint64(checkSeed)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ContentHash drains src, folding each record's canonical binary encoding
+// (the v3 record framing, checksum byte included) into one 64-bit content
+// hash, and returns the hash and the number of records consumed. Two
+// sources hash equal iff they deliver identical record sequences, so the
+// hash of a binary Reader equals the hash of the Buffer the trace was
+// written from.
+//
+// ContentHash honors the error-handling contract: a source that fails
+// mid-stream (truncation, corruption) fails the hash rather than silently
+// hashing a prefix.
+func ContentHash(src Source) (uint64, int64, error) {
+	h := uint64(fnvOffset64) ^ uint64(checkSeed)
+	var rec Record
+	var buf [recSize]byte
+	var n int64
+	for src.Next(&rec) {
+		encodeRecord(&buf, &rec)
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= fnvPrime64
+		}
+		n++
+	}
+	if err := SourceErr(src); err != nil {
+		return 0, n, err
+	}
+	return h, n, nil
+}
+
+// Hash returns the buffer's content hash (ContentHash over its records;
+// in-memory buffers cannot fail).
+func (b *Buffer) Hash() uint64 {
+	h, _, _ := ContentHash(b.Reader())
+	return h
+}
