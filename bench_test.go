@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/minic"
 	"repro/internal/stride"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -27,6 +28,7 @@ var benchRunner = experiments.NewRunner(0)
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	e, err := experiments.ByID(id)
 	if err != nil {
 		b.Fatal(err)
@@ -68,6 +70,7 @@ func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
 
 func benchAblation(b *testing.B, mutate func(*Config)) {
 	b.Helper()
+	b.ReportAllocs()
 	cfg := ConfigD
 	mutate(&cfg)
 	var text string
@@ -117,6 +120,7 @@ func BenchmarkAblationPerfectBranches(b *testing.B) {
 // harmonic-mean IPC over the six benchmarks at width 8, next to D for
 // comparison.
 func BenchmarkExtensionValuePrediction(b *testing.B) {
+	b.ReportAllocs()
 	var text string
 	for i := 0; i < b.N; i++ {
 		hm := func(cfg Config) float64 {
@@ -141,6 +145,7 @@ func BenchmarkExtensionValuePrediction(b *testing.B) {
 // and without the move-eliminating DirectAssign mode, simulated under
 // configuration D at width 8.
 func BenchmarkExtensionCompilerILP(b *testing.B) {
+	b.ReportAllocs()
 	var text string
 	for i := 0; i < b.N; i++ {
 		measure := func(opts minic.Options) (cycles, instrs int64, collapsedPct float64) {
@@ -188,6 +193,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.Run(tr.Reader(), core.ConfigD, core.Params{Width: 8})
@@ -195,8 +201,32 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	b.SetBytes(int64(tr.Len())) // bytes/sec reads as instructions/sec
 }
 
+// BenchmarkCoreVisitShortTrace isolates the core scheduling loop from
+// experiment plumbing: a 10k-record slice of the espresso trace, short
+// enough to iterate thousands of times, so per-run setup and the visit loop
+// dominate the measurement. The CI bench job runs it with -benchmem; its
+// allocation count is gated by ddbench (core_visit/short).
+func BenchmarkCoreVisitShortTrace(b *testing.B) {
+	w, err := workloads.ByName("espresso")
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, _, err := w.TraceCached(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	short := trace.Drain(trace.Limit(full.Reader(), 10_000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(short.Reader(), core.ConfigD, core.Params{Width: 8})
+	}
+	b.SetBytes(int64(short.Len())) // bytes/sec reads as instructions/sec
+}
+
 // BenchmarkTraceGeneration measures the compile+assemble+emulate pipeline.
 func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	w, err := workloads.ByName("ijpeg")
 	if err != nil {
 		b.Fatal(err)
@@ -210,6 +240,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 
 // BenchmarkStridePredictor measures predictor update+lookup throughput.
 func BenchmarkStridePredictor(b *testing.B) {
+	b.ReportAllocs()
 	p := stride.NewPaper()
 	for i := 0; i < b.N; i++ {
 		pc := uint32(i) & 1023
@@ -220,6 +251,7 @@ func BenchmarkStridePredictor(b *testing.B) {
 
 // BenchmarkMcFarlingPredictor measures branch predictor throughput.
 func BenchmarkMcFarlingPredictor(b *testing.B) {
+	b.ReportAllocs()
 	p := NewMcFarlingPredictor()
 	for i := 0; i < b.N; i++ {
 		pc := uint32(i) & 2047
@@ -232,6 +264,7 @@ func BenchmarkMcFarlingPredictor(b *testing.B) {
 // BenchmarkMiniCCompile measures compiler throughput on the largest
 // benchmark source.
 func BenchmarkMiniCCompile(b *testing.B) {
+	b.ReportAllocs()
 	w, err := workloads.ByName("go")
 	if err != nil {
 		b.Fatal(err)
@@ -248,6 +281,7 @@ func BenchmarkMiniCCompile(b *testing.B) {
 // realistic-memory extension (16 KiB 2-way L1, 20-cycle misses) against the
 // paper's perfect memory, harmonic-mean IPC at width 8.
 func BenchmarkExtensionRealMemory(b *testing.B) {
+	b.ReportAllocs()
 	var text string
 	for i := 0; i < b.N; i++ {
 		hm := func(withCache bool) float64 {
@@ -274,6 +308,7 @@ func BenchmarkExtensionRealMemory(b *testing.B) {
 // BenchmarkDependenceGraphLimits reports the dataflow critical-path bounds
 // (the paper's Section 1 framing) for every benchmark.
 func BenchmarkDependenceGraphLimits(b *testing.B) {
+	b.ReportAllocs()
 	var text string
 	for i := 0; i < b.N; i++ {
 		text = ""
@@ -308,6 +343,7 @@ func BenchmarkExtensionConfidenceSweep(b *testing.B) {
 		{"strict +1/-3 thr3", stride.Policy{Reward: 1, Penalty: 3, Threshold: 3, Max: 3}},
 		{"always thr0", stride.Policy{Reward: 1, Penalty: 1, Threshold: 0, Max: 3}},
 	}
+	b.ReportAllocs()
 	var text string
 	for i := 0; i < b.N; i++ {
 		text = ""
@@ -337,6 +373,7 @@ func BenchmarkExtensionConfidenceSweep(b *testing.B) {
 // BenchmarkAblationWindowSize sweeps the window multiplier (the paper fixes
 // the window at 2x the issue width) under configuration D at width 8.
 func BenchmarkAblationWindowSize(b *testing.B) {
+	b.ReportAllocs()
 	var text string
 	for i := 0; i < b.N; i++ {
 		text = ""

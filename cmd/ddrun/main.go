@@ -27,6 +27,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/minic"
+	"repro/internal/perf"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -40,22 +41,45 @@ func main() {
 		selfCheck = flag.Bool("selfcheck", false, "simulate the dynamic trace (config D, width 8) with scheduler invariant sweeps")
 		storeDir  = flag.String("store", "", "persist the -selfcheck result in this directory; later runs resume from it")
 		resume    = flag.Bool("resume", false, "require -store to already exist (catches typos before recomputing a sweep)")
-		retries   = flag.Int("retries", 0, "re-attempts after a transient -selfcheck failure")
-		stall     = flag.Duration("stall-timeout", 0, "reap the -selfcheck simulation after this much progress silence (0 = off)")
+		retries    = flag.Int("retries", 0, "re-attempts after a transient -selfcheck failure")
+		stall      = flag.Duration("stall-timeout", 0, "reap the -selfcheck simulation after this much progress silence (0 = off)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		benchJSON  = flag.String("benchjson", "", "write execution/simulation throughput (BENCH_*.json trajectory point) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ddrun [-mix] [-selfcheck] [-store dir [-resume]] [-retries n] [-stall-timeout d] [-timeout d] prog.{mc,s}")
+		fmt.Fprintln(os.Stderr, "usage: ddrun [-mix] [-selfcheck] [-store dir [-resume]] [-retries n] [-stall-timeout d] [-timeout d] [-cpuprofile f] [-memprofile f] [-benchjson f] prog.{mc,s}")
 		os.Exit(cli.ExitUsage)
 	}
 	cli.Exit("ddrun", run(flag.Arg(0), *mixFlag, *selfCheck, *maxSteps, *timeout,
-		*storeDir, *resume, *retries, *stall))
+		*storeDir, *resume, *retries, *stall, *cpuProfile, *memProfile, *benchJSON))
 }
 
 func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Duration,
-	storeDir string, resume bool, retries int, stall time.Duration) error {
+	storeDir string, resume bool, retries int, stall time.Duration,
+	cpuProfile, memProfile, benchJSON string) (err error) {
 	ctx, stop := cli.Context(timeout)
 	defer stop()
+
+	stopProf, err := cli.Profiling(cpuProfile, memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	var coll *perf.Collector
+	if benchJSON != "" {
+		coll = new(perf.Collector)
+		defer func() {
+			if werr := cli.WriteBenchJSON(benchJSON, coll); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
 
 	st, err := cli.OpenStore(storeDir, resume)
 	if err != nil {
@@ -81,9 +105,10 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 		return err
 	}
 
-	needTrace := mixFlag || selfCheck
+	needTrace := mixFlag || selfCheck || coll != nil
 	var buf *trace.Buffer
 	var out []int32
+	timer := perf.Start()
 	if needTrace {
 		buf, out, err = vm.Trace(prog, vm.WithMaxSteps(maxSteps), vm.WithContext(ctx))
 	} else {
@@ -91,6 +116,10 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 	}
 	if err != nil {
 		return err
+	}
+	if coll != nil {
+		coll.Record(perf.Cell{Workload: filepath.Base(path), Config: "exec", Width: 1,
+			Instructions: int64(buf.Len()), Seconds: timer.Seconds()})
 	}
 	for _, v := range out {
 		fmt.Println(v)
@@ -102,6 +131,7 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 	}
 	if selfCheck {
 		progress, done := cli.Progress("ddrun")
+		simTimer := perf.Start()
 		opt := cli.SimOptions{
 			Store: st,
 			Key: store.Key{
@@ -123,6 +153,10 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 		cli.ReportStore("ddrun", st)
 		if err != nil {
 			return fmt.Errorf("self-check failed: %w", err)
+		}
+		if coll != nil && !fromStore {
+			coll.Record(perf.Cell{Workload: filepath.Base(path), Config: core.ConfigD.Name, Width: 8,
+				Instructions: res.Instructions, Seconds: simTimer.Seconds()})
 		}
 		how := ""
 		if fromStore {

@@ -39,19 +39,21 @@ import (
 	"repro/internal/collapse"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/perf"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 // robustOpts carries the durability/supervision flags shared by every run
-// mode.
+// mode, plus the optional -benchjson performance collector.
 type robustOpts struct {
 	store     string
 	resume    bool
 	retries   int
 	stall     time.Duration
 	selfCheck bool
+	perf      *perf.Collector
 }
 
 func main() {
@@ -72,6 +74,9 @@ func main() {
 		resume     = flag.Bool("resume", false, "require -store to already exist (catches typos before recomputing a sweep)")
 		retries    = flag.Int("retries", 0, "re-attempts after a transiently failing simulation cell")
 		stall      = flag.Duration("stall-timeout", 0, "reap a simulation cell after this much progress silence (0 = off)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		benchJSON  = flag.String("benchjson", "", "write per-cell simulation throughput (BENCH_*.json trajectory point) to this file")
 	)
 	flag.Parse()
 
@@ -83,9 +88,16 @@ func main() {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
+	stopProf, err := cli.Profiling(*cpuProfile, *memProfile)
+	if err != nil {
+		cli.Exit("ddsim", err)
+	}
+
 	opts := robustOpts{store: *storeDir, resume: *resume, retries: *retries,
 		stall: *stall, selfCheck: *selfCheck}
-	var err error
+	if *benchJSON != "" {
+		opts.perf = new(perf.Collector)
+	}
 	switch {
 	case *experiment != "":
 		err = runExperiments(ctx, *experiment, *scale, *widths, *csvFlag, opts)
@@ -96,6 +108,14 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(cli.ExitUsage)
+	}
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if opts.perf != nil {
+		if werr := cli.WriteBenchJSON(*benchJSON, opts.perf); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	cli.Exit("ddsim", err)
 }
@@ -120,6 +140,9 @@ func runExperiments(ctx context.Context, id string, scale int, widthsArg string,
 	r.SelfCheck = opts.selfCheck
 	r.Retries = opts.retries
 	r.StallTimeout = opts.stall
+	if opts.perf != nil {
+		r.WithPerf(opts.perf)
+	}
 	st, err := cli.OpenStore(opts.store, opts.resume)
 	if err != nil {
 		return err
@@ -236,13 +259,18 @@ func runTraceFile(ctx context.Context, path, config string, width, window int, o
 			Workload: filepath.Base(path)}
 	}
 	progress, done := cli.Progress("ddsim")
-	res, _, err := cli.Simulate(ctx, cli.SimOptions{
+	timer := perf.Start()
+	res, fromStore, err := cli.Simulate(ctx, cli.SimOptions{
 		Store: st, Key: key, Retries: opts.retries, Stall: opts.stall, Progress: progress,
 	}, cfg, core.Params{Width: width, WindowSize: window, SelfCheck: opts.selfCheck}, open)
 	done()
 	cli.ReportStore("ddsim", st)
 	if err != nil {
 		return err
+	}
+	if opts.perf != nil && !fromStore {
+		opts.perf.Record(perf.Cell{Workload: filepath.Base(path), Config: cfg.Name, Width: width,
+			Instructions: res.Instructions, Seconds: timer.Seconds()})
 	}
 	fmt.Printf("trace        %s\n", path)
 	printResult(cfg, res, opts.selfCheck)
@@ -276,7 +304,8 @@ func runSingle(ctx context.Context, benchmark, config string, width, window, sca
 			Scale: effScale, Window: window, Checked: opts.selfCheck, Workload: w.Name}
 	}
 	progress, done := cli.Progress("ddsim")
-	res, _, err := cli.Simulate(ctx, cli.SimOptions{
+	timer := perf.Start()
+	res, fromStore, err := cli.Simulate(ctx, cli.SimOptions{
 		Store: st, Key: key, Retries: opts.retries, Stall: opts.stall, Progress: progress,
 	}, cfg, core.Params{Width: width, WindowSize: window, SelfCheck: opts.selfCheck},
 		func() (trace.Source, error) { return buf.Reader(), nil })
@@ -284,6 +313,10 @@ func runSingle(ctx context.Context, benchmark, config string, width, window, sca
 	cli.ReportStore("ddsim", st)
 	if err != nil {
 		return err
+	}
+	if opts.perf != nil && !fromStore {
+		opts.perf.Record(perf.Cell{Workload: w.Name, Config: cfg.Name, Width: width,
+			Instructions: res.Instructions, Seconds: timer.Seconds()})
 	}
 
 	fmt.Printf("benchmark    %s (%s)\n", w.Name, w.Description)

@@ -1,0 +1,79 @@
+package cli
+
+// This file holds the performance-observability plumbing shared by the
+// CLIs: the -cpuprofile/-memprofile pprof hooks and the -benchjson
+// trajectory emitter. See docs/performance.md for the workflow.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/perf"
+)
+
+// Profiling arms the -cpuprofile/-memprofile flags: it starts the CPU
+// profile (when cpuPath is non-empty) and returns a stop function that
+// finishes it and captures the heap profile (when memPath is non-empty).
+// Callers must invoke stop exactly once, after the measured work, and
+// report its error; with both paths empty the returned stop is a no-op.
+func Profiling(cpuPath, memPath string) (stop func() error, err error) {
+	var stopCPU func() error
+	if cpuPath != "" {
+		stopCPU, err = perf.StartCPUProfile(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return func() error {
+		var errs []error
+		if stopCPU != nil {
+			errs = append(errs, stopCPU())
+		}
+		if memPath != "" {
+			errs = append(errs, perf.WriteHeapProfile(memPath))
+		}
+		return errors.Join(errs...)
+	}, nil
+}
+
+// CellPoint renders one simulation cell as a trajectory point. The "op" of
+// a simulation cell is one scheduled instruction, so ns/op is directly
+// comparable across scales and runs; allocs/bytes are not measured at cell
+// granularity and stay zero.
+func CellPoint(cell perf.Cell) perf.Point {
+	nsPerInstr := 0.0
+	if cell.Instructions > 0 {
+		nsPerInstr = cell.Seconds * 1e9 / float64(cell.Instructions)
+	}
+	return perf.Point{
+		Name:         fmt.Sprintf("sim/%s/%s/w%d", cell.Workload, cell.Config, cell.Width),
+		NsPerOp:      nsPerInstr,
+		MInstrPerSec: cell.MInstrPerSec(),
+	}
+}
+
+// WriteBenchJSON emits the collector's cells as a BENCH_*.json trajectory
+// file: one point per distinct cell (later measurements of the same cell
+// overwrite earlier ones) plus a "sim/total" aggregate. An empty collector
+// still writes a valid, empty report, so automation can rely on the file
+// existing.
+func WriteBenchJSON(path string, c *perf.Collector) error {
+	cells := c.Cells()
+	byName := make(map[string]perf.Point, len(cells)+1)
+	for _, cell := range cells {
+		p := CellPoint(cell)
+		byName[p.Name] = p
+	}
+	if s := c.Summary(); s.Cells > 0 && s.Instructions > 0 {
+		byName["sim/total"] = perf.Point{
+			Name:         "sim/total",
+			NsPerOp:      s.Seconds * 1e9 / float64(s.Instructions),
+			MInstrPerSec: s.MInstrPerSec(),
+		}
+	}
+	pts := make([]perf.Point, 0, len(byName))
+	for _, p := range byName {
+		pts = append(pts, p)
+	}
+	return perf.WriteFile(path, perf.NewReport(pts))
+}

@@ -17,6 +17,8 @@
 package collapse
 
 import (
+	"sync"
+
 	"repro/internal/isa"
 )
 
@@ -95,6 +97,104 @@ func Fit(c Counts) (Category, bool) {
 	}
 }
 
+// --- signature interning --------------------------------------------------
+
+// SigID is the dense integer name of an interned signature string. The
+// scheduler's hot loop keys its pair/triple frequency tables by packed
+// SigID tuples (PackPair, PackTriple) instead of concatenated strings, so
+// recording a collapse group costs one integer map update and zero
+// allocations.
+//
+// Interning invariant: SigIDs are process-local and assigned in first-
+// intern order. They are stable within one process but NOT across
+// processes, builds, or runs — never persist a SigID or a packed tuple.
+// Everything that leaves the process (Result.PairSigs/TripleSigs, reports,
+// the durable store) must carry the signature *strings*, which the
+// scheduler materializes once per run in Result finalization. See
+// docs/performance.md.
+type SigID uint16
+
+// maxSigIDs bounds the intern table. The signature alphabet is closed and
+// tiny (class prefixes x operand suffixes, a few dozen strings), so hitting
+// the bound means the signature generator is broken, not that the table is
+// too small.
+const maxSigIDs = 1 << 16
+
+// sigTab is the process-global intern table. Analyze results are cached
+// per PC by the scheduler, so interning is off the per-instruction path;
+// an RWMutex keeps concurrent simulations (the experiments worker pool)
+// safe without measurable contention.
+var sigTab = struct {
+	sync.RWMutex
+	ids  map[string]SigID
+	strs []string
+}{ids: make(map[string]SigID, 64)}
+
+// InternSig returns the SigID for s, assigning the next free ID on first
+// use. Interning the same string always yields the same ID within one
+// process.
+func InternSig(s string) SigID {
+	sigTab.RLock()
+	id, ok := sigTab.ids[s]
+	sigTab.RUnlock()
+	if ok {
+		return id
+	}
+	sigTab.Lock()
+	defer sigTab.Unlock()
+	if id, ok := sigTab.ids[s]; ok {
+		return id
+	}
+	if len(sigTab.strs) >= maxSigIDs {
+		panic("collapse: signature intern table overflow (signature generator is emitting unbounded strings)")
+	}
+	id = SigID(len(sigTab.strs))
+	sigTab.strs = append(sigTab.strs, s)
+	sigTab.ids[s] = id
+	return id
+}
+
+// String returns the interned signature string for id. Unknown IDs (never
+// handed out by InternSig) render as "?" rather than panicking, since they
+// can only come from a violated interning invariant.
+func (id SigID) String() string {
+	sigTab.RLock()
+	defer sigTab.RUnlock()
+	if int(id) >= len(sigTab.strs) {
+		return "?"
+	}
+	return sigTab.strs[id]
+}
+
+// NumInterned reports how many signatures have been interned (test hook).
+func NumInterned() int {
+	sigTab.RLock()
+	defer sigTab.RUnlock()
+	return len(sigTab.strs)
+}
+
+// PackPair packs a producer/consumer SigID pair into one map key.
+func PackPair(p, c SigID) uint32 { return uint32(p)<<16 | uint32(c) }
+
+// PairIDString renders a packed pair key in Table 5 order ("producer
+// consumer"), byte-identical to PairSig on the underlying strings.
+func PairIDString(k uint32) string {
+	return SigID(k>>16).String() + " " + SigID(k&0xffff).String()
+}
+
+// PackTriple packs a (deepest producer, producer, consumer) SigID triple
+// into one map key. The producers are expected in dynamic order, deepest
+// first, matching TripleSig.
+func PackTriple(p1, p2, c SigID) uint64 {
+	return uint64(p1)<<32 | uint64(p2)<<16 | uint64(c)
+}
+
+// TripleIDString renders a packed triple key in Table 6 order,
+// byte-identical to TripleSig on the underlying strings.
+func TripleIDString(k uint64) string {
+	return SigID(k>>32).String() + " " + SigID(k>>16&0xffff).String() + " " + SigID(k&0xffff).String()
+}
+
 // Info is the collapsing-relevant analysis of one instruction.
 //
 // Slots lists the registers of the instruction's collapsible expression
@@ -111,6 +211,7 @@ func Fit(c Counts) (Category, bool) {
 type Info struct {
 	Class    isa.Class
 	Sig      string  // signature in the paper's Tables 5-6 notation
+	SigID    SigID   // interned form of Sig (see the interning invariant)
 	Producer bool    // may be collapsed into a consumer (ar/lg/sh/mv)
 	Consumer bool    // may collapse producers into itself
 	Slots    []uint8 // collapsible operand registers (never r0)
@@ -177,6 +278,7 @@ func Analyze(in *isa.Instr) Info {
 		// mul, div, control, sys, nop: not collapsible in either role.
 		info.Sig = cl.String()
 	}
+	info.SigID = InternSig(info.Sig)
 	return info
 }
 

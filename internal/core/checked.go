@@ -129,8 +129,9 @@ func validateRecord(rec *trace.Record, seq int64) error {
 }
 
 // selfCheck sweeps the scheduler invariants. Each sweep is O(window +
-// issued-cycles); SelfCheck mode trades that for the guarantee that silent
-// state corruption cannot survive more than SelfCheckEvery instructions.
+// live issue-ring span); SelfCheck mode trades that for the guarantee that
+// silent state corruption cannot survive more than SelfCheckEvery
+// instructions.
 func (s *sched) selfCheck() *InvariantError {
 	viol := func(name, format string, args ...any) *InvariantError {
 		return &InvariantError{
@@ -156,10 +157,12 @@ func (s *sched) selfCheck() *InvariantError {
 	if s.heapMono != nil {
 		return s.heapMono
 	}
-	// No cycle may issue more instructions than the machine width.
+	// No cycle may issue more instructions than the machine width. The
+	// issue ring keeps counts only for the live range [base, maxIssue] —
+	// dead cycles were validated by earlier sweeps before sliding out.
 	w := int32(s.p.Width)
-	for t, n := range s.issued {
-		if n > w || n < 0 {
+	for t := s.issue.base; t <= s.maxIssue; t++ {
+		if n := s.issue.at(t); n > w || n < 0 {
 			return viol("issue-bandwidth", "cycle %d issued %d instructions, width %d", t, n, s.p.Width)
 		}
 	}

@@ -34,7 +34,8 @@ func Run(src trace.Source, cfg Config, params Params) *Result {
 // when the consumer of that operand was scheduled. It carries enough to
 // collapse through the producer one level deeper (its own sources'
 // readiness) without chasing pointers into state that later instructions
-// overwrite.
+// overwrite. Signatures travel as interned collapse.SigIDs, never strings,
+// so snapshots stay pointer-free and copies stay cheap.
 type srcSnap struct {
 	seq      int64 // dynamic index of the producer; -1 for initial values
 	issue    int64
@@ -42,7 +43,7 @@ type srcSnap struct {
 	srcReady int64 // max readiness of the producer's own leaf operands
 	counts   collapse.Counts
 	producer bool // producer's class is collapsible-through
-	sig      string
+	sig      collapse.SigID
 	uses     int // times the consumer names this source register (Rb+Rb: 2)
 }
 
@@ -55,7 +56,7 @@ type def struct {
 	srcReady int64
 	counts   collapse.Counts
 	producer bool
-	sig      string
+	sig      collapse.SigID
 	srcs     [2]srcSnap
 	nsrcs    int
 }
@@ -84,8 +85,9 @@ type sched struct {
 	// Window occupancy: a min-heap of in-window issue times.
 	heap []int64
 
-	// Issue bandwidth accounting per cycle.
-	issued map[int64]int32
+	// Issue bandwidth accounting per cycle: a ring of per-cycle counts
+	// sliding with the window entry frontier (bounded memory, no hashing).
+	issue issueRing
 
 	// Misprediction barrier: no later instruction may issue at or before
 	// the mispredicted branch's issue cycle.
@@ -106,17 +108,24 @@ type sched struct {
 	maxIssue int64
 
 	// valueHit marks the in-flight load whose value was predicted
-	// correctly: its consumers see the value immediately.
+	// correctly: its consumers see the value immediately. Reset inline at
+	// the top of every visit (no per-visit defer on the hot path).
 	valueHit bool
 
 	// loadExtra is the in-flight load's cache-miss penalty in cycles.
 	loadExtra int64
 
+	// Collapse-signature frequency tables, keyed by packed interned-SigID
+	// tuples. Materialized into Result.PairSigs/TripleSigs (string keys,
+	// byte-identical to the old concatenations) once, in finish — the hot
+	// loop never builds a string.
+	pairIDs   map[uint32]int64
+	tripleIDs map[uint64]int64
+
 	// Scratch buffers reused across visits to keep the hot loop
 	// allocation-free.
 	readBuf []uint8
 	optBuf  [2][]slotOption
-	prodBuf []srcSnap
 
 	// Sparse fallback for the static-analysis cache: PCs beyond
 	// maxDenseInfos (possible only with corrupt or adversarial traces) go
@@ -145,22 +154,21 @@ func newSched(cfg Config, params Params) *sched {
 	if ringSize < 16 {
 		ringSize = 16
 	}
-	// Round up to a power of two.
-	for ringSize&(ringSize-1) != 0 {
-		ringSize++
-	}
+	ringSize = roundUpPow2(ringSize)
 	s := &sched{
-		cfg:      cfg,
-		p:        params,
-		res:      &Result{Config: cfg, Width: params.Width, Window: params.WindowSize},
-		brc:      params.Branch,
-		addr:     params.Addr,
-		vals:     params.Value,
-		heap:     make([]int64, 0, params.WindowSize),
-		issued:   make(map[int64]int32, 1<<12),
-		stores:   make(map[uint32]int64, 1<<12),
-		ring:     make([]bool, ringSize),
-		ringMask: ringSize - 1,
+		cfg:       cfg,
+		p:         params,
+		res:       &Result{Config: cfg, Width: params.Width, Window: params.WindowSize},
+		brc:       params.Branch,
+		addr:      params.Addr,
+		vals:      params.Value,
+		heap:      make([]int64, 0, params.WindowSize),
+		issue:     newIssueRing(ringSize),
+		stores:    make(map[uint32]int64, 1<<12),
+		ring:      make([]bool, ringSize),
+		ringMask:  ringSize - 1,
+		pairIDs:   make(map[uint32]int64, 64),
+		tripleIDs: make(map[uint64]int64, 64),
 	}
 	if cfg.PerfectBranches {
 		s.brc = bpred.NewPerfect()
@@ -168,8 +176,6 @@ func newSched(cfg Config, params Params) *sched {
 	for i := range s.regs {
 		s.regs[i] = def{seq: -1}
 	}
-	s.res.PairSigs = make(map[string]int64)
-	s.res.TripleSigs = make(map[string]int64)
 	return s
 }
 
@@ -256,15 +262,19 @@ func (s *sched) heapPop() int64 {
 }
 
 // slotted returns the first cycle >= t with spare issue bandwidth and
-// consumes one slot there.
+// consumes one slot there. Counts live in the sliding issue ring; every
+// query is at or above the window entry frontier (the ring's base), so the
+// probe is one mask and one compare per cycle — no map hashing.
 func (s *sched) slotted(t int64) int64 {
 	if t < 1 {
 		t = 1
 	}
 	w := int32(s.p.Width)
 	for {
-		if s.issued[t] < w {
-			s.issued[t]++
+		s.issue.ensure(t, s.maxIssue)
+		idx := t & s.issue.mask
+		if s.issue.counts[idx] < w {
+			s.issue.counts[idx]++
 			if t > s.maxIssue {
 				s.maxIssue = t
 			}
@@ -289,6 +299,11 @@ func (s *sched) visit(rec *trace.Record) {
 	s.ring[seq&s.ringMask] = false
 	s.res.Instructions++
 
+	// Reset per-visit load state inline (the old per-instruction defer cost
+	// a deferred call on every dynamic instruction).
+	s.valueHit = false
+	s.loadExtra = 0
+
 	in := &rec.Instr
 	inf := s.info(rec.PC, in)
 
@@ -298,6 +313,9 @@ func (s *sched) visit(rec *trace.Record) {
 	if len(s.heap) == s.p.WindowSize {
 		entry = s.heapPop() + 1
 	}
+	// The entry frontier is monotone (window-heap-monotone invariant), and
+	// nothing can issue below it anymore: slide the issue ring.
+	s.issue.advance(entry)
 	lower := max64(entry, s.barrier)
 
 	collapsing := s.cfg.Collapse && inf.Consumer
@@ -357,7 +375,6 @@ func (s *sched) visit(rec *trace.Record) {
 	}
 
 	s.heapPush(issue)
-	defer func() { s.valueHit = false; s.loadExtra = 0 }()
 
 	// Record the new register definition.
 	if w := in.Writes(); w >= 0 {
@@ -372,7 +389,7 @@ func (s *sched) visit(rec *trace.Record) {
 		}
 		d.counts = inf.Counts
 		d.producer = inf.Producer
-		d.sig = inf.Sig
+		d.sig = inf.SigID
 		d.nsrcs = 0
 		d.srcReady = 0
 		if inf.Producer {
@@ -514,6 +531,12 @@ func (s *sched) plainGroup(inf *collapse.Info) groupChoice {
 // picks the combination that minimizes operand readiness, preferring fewer
 // collapsed producers on ties. Groups may span up to four instructions
 // (consumer + three producers) when the expression fits the 4-1 device.
+//
+// A consumer has at most two distinct slot registers, so the enumeration
+// is a flat (at most) double loop over the per-slot option lists — the old
+// recursive closure allocated itself and its captures on every visit. The
+// iteration order (slot 0 outer, slot 1 inner, options in slotOptions
+// order) matches the recursion exactly, preserving tie-breaks bit for bit.
 func (s *sched) chooseGroup(inf *collapse.Info, seq, entry int64) groupChoice {
 	// Distinct slot registers with multiplicities.
 	var slotRegs [2]uint8
@@ -542,51 +565,79 @@ func (s *sched) chooseGroup(inf *collapse.Info, seq, entry int64) groupChoice {
 	}
 
 	best := groupChoice{ready: -1}
-	var pick func(i int, ready int64, counts collapse.Counts, prods []srcSnap)
-	pick = func(i int, ready int64, counts collapse.Counts, prods []srcSnap) {
-		if i == nslots {
-			if s.cfg.PairsOnly && len(prods) > 1 {
-				return
-			}
-			if s.cfg.NoZeroDetect && counts.Raw() > collapse.MaxInputs {
-				return
-			}
-			if _, ok := collapse.Fit(counts); !ok && len(prods) > 0 {
-				return
-			}
-			better := best.ready < 0 ||
-				ready < best.ready ||
-				(ready == best.ready && len(prods) < best.nprod)
-			if better {
-				best.ready = ready
-				best.counts = counts
-				best.nprod = copy(best.producers[:], prods)
-			}
-			return
-		}
-		for _, o := range opts[i] {
-			if len(prods)+o.nprod > 3 {
-				continue
-			}
-			c := counts
+	switch nslots {
+	case 0:
+		s.consider(&best, 0, inf.Counts, nil, nil)
+	case 1:
+		for i := range opts[0] {
+			o := &opts[0][i]
+			c := inf.Counts
 			if o.collapsed {
-				c = c.ReplaceUses(slotMult[i], o.unit)
+				c = c.ReplaceUses(slotMult[0], o.unit)
 			}
-			np := prods
-			for k := 0; k < o.nprod; k++ {
-				np = append(np, o.producers[k])
+			s.consider(&best, o.ready, c, o, nil)
+		}
+	default:
+		for i := range opts[0] {
+			o0 := &opts[0][i]
+			c0 := inf.Counts
+			if o0.collapsed {
+				c0 = c0.ReplaceUses(slotMult[0], o0.unit)
 			}
-			pick(i+1, max64(ready, o.ready), c, np)
+			for j := range opts[1] {
+				o1 := &opts[1][j]
+				if o0.nprod+o1.nprod > 3 {
+					continue
+				}
+				c := c0
+				if o1.collapsed {
+					c = c.ReplaceUses(slotMult[1], o1.unit)
+				}
+				s.consider(&best, max64(o0.ready, o1.ready), c, o0, o1)
+			}
 		}
 	}
-	if s.prodBuf == nil {
-		s.prodBuf = make([]srcSnap, 0, 8)
-	}
-	pick(0, 0, inf.Counts, s.prodBuf[:0])
 	if best.ready < 0 {
 		return s.plainGroup(inf)
 	}
 	return best
+}
+
+// consider evaluates one fully chosen option combination (o1 may be nil,
+// and both are nil for slotless consumers) against the feasibility rules
+// and the current best, replacing best when strictly better. It mirrors
+// the leaf of the old recursion: same filters, same strict-improvement
+// comparison, same producer order (slot 0's producers before slot 1's).
+func (s *sched) consider(best *groupChoice, ready int64, counts collapse.Counts, o0, o1 *slotOption) {
+	nprod := 0
+	if o0 != nil {
+		nprod += o0.nprod
+	}
+	if o1 != nil {
+		nprod += o1.nprod
+	}
+	if s.cfg.PairsOnly && nprod > 1 {
+		return
+	}
+	if s.cfg.NoZeroDetect && counts.Raw() > collapse.MaxInputs {
+		return
+	}
+	if _, ok := collapse.Fit(counts); !ok && nprod > 0 {
+		return
+	}
+	if !(best.ready < 0 || ready < best.ready || (ready == best.ready && nprod < best.nprod)) {
+		return
+	}
+	best.ready = ready
+	best.counts = counts
+	n := 0
+	if o0 != nil {
+		n += copy(best.producers[n:], o0.producers[:o0.nprod])
+	}
+	if o1 != nil {
+		n += copy(best.producers[n:], o1.producers[:o1.nprod])
+	}
+	best.nprod = n
 }
 
 // slotOptions appends the ways to obtain the operand in register r to opts.
@@ -667,7 +718,8 @@ func (s *sched) coresident(pseq, pissue, cseq, entry int64) bool {
 }
 
 // commitGroup records the statistics for a chosen collapse group. Groups
-// with no producers (plain scheduling) record nothing.
+// with no producers (plain scheduling) record nothing. Signature tallies
+// go into the packed-SigID tables; no strings are built here.
 func (s *sched) commitGroup(inf *collapse.Info, seq int64, g *groupChoice) {
 	if g.nprod == 0 {
 		return
@@ -695,13 +747,13 @@ func (s *sched) commitGroup(inf *collapse.Info, seq int64, g *groupChoice) {
 
 	switch g.nprod {
 	case 1:
-		s.res.PairSigs[g.producers[0].sig+" "+inf.Sig]++
+		s.pairIDs[collapse.PackPair(g.producers[0].sig, inf.SigID)]++
 	case 2:
 		a, b := &g.producers[0], &g.producers[1]
 		if a.seq > b.seq {
 			a, b = b, a
 		}
-		s.res.TripleSigs[a.sig+" "+b.sig+" "+inf.Sig]++
+		s.tripleIDs[collapse.PackTriple(a.sig, b.sig, inf.SigID)]++
 	}
 }
 
@@ -713,8 +765,21 @@ func (s *sched) mark(seq int64) {
 	}
 }
 
+// finish seals the Result: it materializes the packed-SigID frequency
+// tables into the string-keyed PairSigs/TripleSigs maps (the only place
+// signature strings are built — see the interning invariant in
+// internal/collapse) and copies the cache counters. The rendered keys are
+// byte-identical to the old per-group concatenations.
 func (s *sched) finish() *Result {
 	s.res.Cycles = s.maxIssue
+	s.res.PairSigs = make(map[string]int64, len(s.pairIDs))
+	for k, n := range s.pairIDs {
+		s.res.PairSigs[collapse.PairIDString(k)] = n
+	}
+	s.res.TripleSigs = make(map[string]int64, len(s.tripleIDs))
+	for k, n := range s.tripleIDs {
+		s.res.TripleSigs[collapse.TripleIDString(k)] = n
+	}
 	if s.p.Cache != nil {
 		s.res.CacheAccesses = s.p.Cache.Accesses
 		s.res.CacheMisses = s.p.Cache.Misses

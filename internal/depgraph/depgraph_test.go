@@ -89,8 +89,8 @@ func TestMemoryDependenceOnPath(t *testing.T) {
 		rec(2, isa.Instr{Op: isa.Ld, Rd: 2, Rs1: 0, Imm: 0x40, HasImm: true}),
 		rec(3, addImm(3, 2, 1)),
 	)
-	b.Records[1].Addr = 0x40
-	b.Records[2].Addr = 0x40
+	b.At(1).Addr = 0x40
+	b.At(2).Addr = 0x40
 	r := Analyze(b.Reader(), Options{})
 	if r.CriticalPath != 5 {
 		t.Errorf("critical path = %d, want 5", r.CriticalPath)
@@ -106,8 +106,8 @@ func TestDisjointAddressesNoDependence(t *testing.T) {
 		rec(1, isa.Instr{Op: isa.St, Rd: 1, Rs1: 0, Imm: 0x40, HasImm: true}),
 		rec(2, isa.Instr{Op: isa.Ld, Rd: 2, Rs1: 0, Imm: 0x80, HasImm: true}),
 	)
-	b.Records[1].Addr = 0x40
-	b.Records[2].Addr = 0x80
+	b.At(1).Addr = 0x40
+	b.At(2).Addr = 0x80
 	r := Analyze(b.Reader(), Options{})
 	if r.CriticalPath != 2 {
 		t.Errorf("critical path = %d, want 2 (ld independent)", r.CriticalPath)

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/perf"
 	"repro/internal/retry"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -80,6 +81,7 @@ type Runner struct {
 
 	ctx       context.Context
 	store     *store.Store
+	perf      *perf.Collector
 	workers   int
 	cellsDone atomic.Int64
 	computes  atomic.Int64
@@ -120,6 +122,15 @@ func (r *Runner) WithStore(dir string) (*Runner, error) {
 // WithStoreHandle attaches an already-open store.
 func (r *Runner) WithStoreHandle(st *store.Store) *Runner {
 	r.store = st
+	return r
+}
+
+// WithPerf attaches a performance collector: every cell the Runner
+// actually computes (store hits and cache hits excluded — they measure the
+// disk, not the simulator) records its simulation time and instruction
+// count. It returns the Runner for chaining.
+func (r *Runner) WithPerf(c *perf.Collector) *Runner {
+	r.perf = c
 	return r
 }
 
@@ -235,6 +246,7 @@ func (r *Runner) compute(w *workloads.Workload, cfg core.Config, width int) (res
 			// falls through to recomputation; the store never vetoes.
 		}
 		r.computes.Add(1)
+		timer := perf.Start()
 		got, rerr := watchdog.Run(ctx, r.StallTimeout, func(wctx context.Context, beat func()) (*core.Result, error) {
 			p := core.Params{Width: width, SelfCheck: r.SelfCheck}
 			if r.StallTimeout > 0 {
@@ -247,10 +259,16 @@ func (r *Runner) compute(w *workloads.Workload, cfg core.Config, width int) (res
 			return rerr
 		}
 		res = got
+		cell := perf.Cell{Workload: w.Name, Config: cfg.Name, Width: width,
+			Instructions: got.Instructions, Seconds: timer.Seconds()}
+		if r.perf != nil {
+			r.perf.Record(cell)
+		}
 		if r.store != nil {
 			// Best-effort persistence: a failed write costs durability,
 			// never the result. The store counts it in Stats.WriteErrors.
-			_ = r.store.Put(key, got)
+			_ = r.store.PutWithPerf(key, got,
+				&store.PerfInfo{Seconds: cell.Seconds, MInstrPerSec: cell.MInstrPerSec()})
 		}
 		return nil
 	})

@@ -1,0 +1,269 @@
+// Package perf is the simulator's performance-observability layer: wall
+// clock timers, per-cell throughput accounting (MInstr/s), the BENCH_*.json
+// trajectory format the CI benchmark gate consumes, and thin wrappers over
+// runtime/pprof for the -cpuprofile/-memprofile CLI flags.
+//
+// The package exists so the hot-loop optimizations in internal/core are
+// provable and locked in: every experiments.Runner can carry a Collector
+// that records how fast each simulation cell ran, the ddbench command turns
+// benchmark results into Points, and Compare implements the regression gate
+// (fail on >threshold ns/op growth or any new allocs/op). See
+// docs/performance.md for the workflow.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer measures one wall-clock interval. The zero value is not useful;
+// obtain one from Start.
+type Timer struct{ t0 time.Time }
+
+// Start begins timing.
+func Start() Timer { return Timer{t0: time.Now()} }
+
+// Seconds reports the time elapsed since Start.
+func (t Timer) Seconds() float64 { return time.Since(t.t0).Seconds() }
+
+// MInstrPerSec converts an instruction count and a duration into the
+// paper-domain throughput unit, millions of simulated instructions per
+// wall-clock second. Non-positive durations report 0 rather than Inf so
+// sub-resolution cells stay renderable.
+func MInstrPerSec(instructions int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(instructions) / seconds / 1e6
+}
+
+// Cell is the performance record of one simulation cell: which (workload,
+// config, width) ran, how many instructions it scheduled, and how long the
+// simulation took (trace generation and store I/O excluded).
+type Cell struct {
+	Workload     string  `json:"workload"`
+	Config       string  `json:"config"`
+	Width        int     `json:"width"`
+	Instructions int64   `json:"instructions"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// MInstrPerSec reports the cell's simulation throughput.
+func (c Cell) MInstrPerSec() float64 { return MInstrPerSec(c.Instructions, c.Seconds) }
+
+// Collector accumulates cell records from concurrent simulation workers.
+// All methods are safe for concurrent use; the zero value is ready.
+type Collector struct {
+	mu    sync.Mutex
+	cells []Cell
+}
+
+// Record appends one cell record.
+func (c *Collector) Record(cell Cell) {
+	c.mu.Lock()
+	c.cells = append(c.cells, cell)
+	c.mu.Unlock()
+}
+
+// Cells returns a copy of the recorded cells in record order.
+func (c *Collector) Cells() []Cell {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Cell, len(c.cells))
+	copy(out, c.cells)
+	return out
+}
+
+// Summary aggregates the recorded cells. Seconds is the sum of per-cell
+// simulation time — CPU-seconds across workers, not wall clock — so
+// MInstrPerSec reports per-core simulation speed.
+type Summary struct {
+	Cells        int     `json:"cells"`
+	Instructions int64   `json:"instructions"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// MInstrPerSec reports the aggregate simulation throughput per core.
+func (s Summary) MInstrPerSec() float64 { return MInstrPerSec(s.Instructions, s.Seconds) }
+
+// Summary reduces the collector's cells.
+func (c *Collector) Summary() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Summary
+	for _, cell := range c.cells {
+		s.Cells++
+		s.Instructions += cell.Instructions
+		s.Seconds += cell.Seconds
+	}
+	return s
+}
+
+// --- BENCH_*.json trajectory format ----------------------------------------
+
+// ReportVersion is the BENCH_*.json schema version. Compare refuses
+// mismatched versions: a gate comparing different schemas is not a gate.
+const ReportVersion = 1
+
+// Point is one benchmark measurement in a trajectory file. Name identifies
+// the benchmark (stable across runs — Compare joins on it); NsPerOp,
+// BytesPerOp and AllocsPerOp carry the testing.BenchmarkResult metrics;
+// MInstrPerSec, when non-zero, is the domain throughput.
+type Point struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	MInstrPerSec float64 `json:"minstr_per_sec,omitempty"`
+}
+
+// Report is one BENCH_*.json file: a set of points measured at one moment
+// of the repo's history.
+type Report struct {
+	Version   int     `json:"version"`
+	When      string  `json:"when,omitempty"` // RFC3339, informational
+	GoVersion string  `json:"go_version,omitempty"`
+	Points    []Point `json:"points"`
+}
+
+// NewReport stamps a report with the current schema version, time, and
+// toolchain, sorting points by name so files diff cleanly.
+func NewReport(points []Point) Report {
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Name < pts[j].Name })
+	return Report{
+		Version:   ReportVersion,
+		When:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Points:    pts,
+	}
+}
+
+// WriteFile writes the report as indented JSON (trailing newline included,
+// so checked-in baselines satisfy text-file hygiene).
+func WriteFile(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: encoding report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	return nil
+}
+
+// ReadFile parses a BENCH_*.json file, rejecting schema mismatches.
+func ReadFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("perf: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	if rep.Version != ReportVersion {
+		return Report{}, fmt.Errorf("perf: %s: report version %d, want %d", path, rep.Version, ReportVersion)
+	}
+	return rep, nil
+}
+
+// --- regression gate -------------------------------------------------------
+
+// Regression is one benchmark-gate failure.
+type Regression struct {
+	Name   string // benchmark name
+	Metric string // "ns/op" or "allocs/op"
+	Base   float64
+	Got    float64
+}
+
+// String renders the regression for the gate's failure output.
+func (r Regression) String() string {
+	switch r.Metric {
+	case "allocs/op":
+		return fmt.Sprintf("%s: allocs/op %v -> %v (any increase fails)", r.Name, int64(r.Base), int64(r.Got))
+	default:
+		pct := 0.0
+		if r.Base > 0 {
+			pct = 100 * (r.Got/r.Base - 1)
+		}
+		return fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%)", r.Name, r.Base, r.Got, pct)
+	}
+}
+
+// Compare implements the benchmark gate: for every point present in both
+// reports (joined by name), it fails ns/op growth beyond threshold
+// (fractional: 0.10 = +10%) and *any* allocs/op growth. Points only in got
+// are new benchmarks, not regressions; points only in base have been
+// removed and are likewise ignored — the gate guards what still exists.
+func Compare(base, got Report, threshold float64) []Regression {
+	byName := make(map[string]Point, len(base.Points))
+	for _, p := range base.Points {
+		byName[p.Name] = p
+	}
+	var regs []Regression
+	for _, g := range got.Points {
+		b, ok := byName[g.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && g.NsPerOp > b.NsPerOp*(1+threshold) {
+			regs = append(regs, Regression{Name: g.Name, Metric: "ns/op", Base: b.NsPerOp, Got: g.NsPerOp})
+		}
+		if g.AllocsPerOp > b.AllocsPerOp {
+			regs = append(regs, Regression{Name: g.Name, Metric: "allocs/op", Base: float64(b.AllocsPerOp), Got: float64(g.AllocsPerOp)})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// --- pprof wrappers --------------------------------------------------------
+
+// StartCPUProfile begins writing a CPU profile to path and returns the stop
+// function that finishes and closes it. Callers defer stop().
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("perf: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("perf: cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile captures an allocation profile to path after forcing a
+// GC, so the profile reflects live heap rather than collectible garbage.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("perf: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("perf: heap profile: %w", err)
+	}
+	return nil
+}

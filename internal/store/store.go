@@ -149,11 +149,22 @@ func (s *Store) Stats() Stats {
 	}
 }
 
+// PerfInfo is the optional performance metadata of one entry: how long the
+// simulation that produced it took and at what throughput. It is additive —
+// absent in entries written before it existed, ignored by readers that
+// predate it — so it costs no Version bump. It is informational only:
+// excluded from the checksum'd Result payload and never part of the key.
+type PerfInfo struct {
+	Seconds      float64 `json:"seconds"`
+	MInstrPerSec float64 `json:"minstr_per_sec"`
+}
+
 // envelope is the on-disk entry framing.
 type envelope struct {
 	V      int             `json:"v"`
 	Key    Key             `json:"key"`
 	Sum    string          `json:"sum"` // trace.Checksum64 over Result bytes, %016x
+	Perf   *PerfInfo       `json:"perf,omitempty"`
 	Result json.RawMessage `json:"result"`
 }
 
@@ -210,7 +221,13 @@ func Decode(data []byte) (Key, *core.Result, error) {
 // failed Put leaves no partial entry behind (the temp file is removed) and
 // the previous entry, if any, intact.
 func (s *Store) Put(k Key, res *core.Result) error {
-	err := s.put(k, res)
+	return s.PutWithPerf(k, res, nil)
+}
+
+// PutWithPerf is Put carrying optional performance metadata in the entry
+// envelope (nil p writes an entry identical to Put's).
+func (s *Store) PutWithPerf(k Key, res *core.Result, p *PerfInfo) error {
+	err := s.put(k, res, p)
 	if err != nil {
 		s.writeErrs.Add(1)
 		return err
@@ -219,7 +236,7 @@ func (s *Store) Put(k Key, res *core.Result) error {
 	return nil
 }
 
-func (s *Store) put(k Key, res *core.Result) (err error) {
+func (s *Store) put(k Key, res *core.Result, p *PerfInfo) (err error) {
 	payload, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("store: encoding result: %w", err)
@@ -228,6 +245,7 @@ func (s *Store) put(k Key, res *core.Result) (err error) {
 		V:      Version,
 		Key:    k,
 		Sum:    fmt.Sprintf("%016x", trace.Checksum64(payload)),
+		Perf:   p,
 		Result: payload,
 	})
 	if err != nil {

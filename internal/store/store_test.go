@@ -257,3 +257,50 @@ func TestDecodeChecksumCoversResult(t *testing.T) {
 		t.Fatalf("forged checksum accepted: %v", err)
 	}
 }
+
+// TestPutWithPerfRoundTrip: perf metadata rides in the envelope without
+// affecting the result payload, its checksum, or reads by Get; a nil
+// PerfInfo writes an entry identical to Put's.
+func TestPutWithPerfRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sampleKey()
+	want := sampleResult()
+	if err := st.PutWithPerf(k, want, &PerfInfo{Seconds: 1.25, MInstrPerSec: 6.4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip with perf mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// The envelope carries the metadata on disk.
+	data, err := os.ReadFile(filepath.Join(st.Dir(), k.filename()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Perf == nil || env.Perf.Seconds != 1.25 || env.Perf.MInstrPerSec != 6.4 {
+		t.Fatalf("envelope perf = %+v, want {1.25 6.4}", env.Perf)
+	}
+	// A plain Put omits the field entirely (additive compatibility).
+	k2 := sampleKey()
+	k2.Width = 16
+	if err := st.Put(k2, want); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(filepath.Join(st.Dir(), k2.filename()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"perf"`) {
+		t.Fatalf("plain Put wrote a perf field: %s", data)
+	}
+}

