@@ -1,0 +1,144 @@
+// Command covcheck enforces per-package coverage floors against a Go
+// cover profile.
+//
+// A multi-package `go test -coverpkg=... -coverprofile=...` run emits one
+// block entry per (test package, covered block) pair, so the same source
+// block appears once for every test package that instrumented it. covcheck
+// merges duplicates by summing their counts (a block is covered if any
+// test binary executed it), aggregates statement coverage per package
+// directory, and exits nonzero if any package named in a -floor flag falls
+// below its floor.
+//
+// Usage:
+//
+//	covcheck -profile cover.out \
+//	    -floor repro/internal/core=85 \
+//	    -floor repro/internal/collapse=85 \
+//	    -floor repro/internal/stride=95
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type floorList map[string]float64
+
+func (f floorList) String() string { return fmt.Sprint(map[string]float64(f)) }
+
+func (f floorList) Set(s string) error {
+	pkg, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want package=percent, got %q", s)
+	}
+	pct, err := strconv.ParseFloat(val, 64)
+	if err != nil || pct < 0 || pct > 100 {
+		return fmt.Errorf("bad floor %q: want a percentage in [0,100]", val)
+	}
+	f[pkg] = pct
+	return nil
+}
+
+func main() {
+	floors := floorList{}
+	profile := flag.String("profile", "", "path to a go test -coverprofile output")
+	flag.Var(floors, "floor", "package=minPercent (repeatable)")
+	flag.Parse()
+	if *profile == "" || len(floors) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: covcheck -profile cover.out -floor pkg=percent ...")
+		os.Exit(2)
+	}
+
+	hit, tot, err := coverage(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covcheck:", err)
+		os.Exit(1)
+	}
+
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	failed := false
+	for _, pkg := range pkgs {
+		if tot[pkg] == 0 {
+			fmt.Printf("covcheck: %-30s NO STATEMENTS IN PROFILE (floor %.1f%%)\n", pkg, floors[pkg])
+			failed = true
+			continue
+		}
+		pct := 100 * float64(hit[pkg]) / float64(tot[pkg])
+		status := "ok"
+		if pct < floors[pkg] {
+			status = "BELOW FLOOR"
+			failed = true
+		}
+		fmt.Printf("covcheck: %-30s %6.1f%% (floor %.1f%%) %s\n", pkg, pct, floors[pkg], status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// coverage parses the profile and returns covered/total statement counts
+// keyed by package import path (the block's file path minus the basename).
+func coverage(path string) (hit, tot map[string]int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	type block struct{ stmts, count int }
+	blocks := map[string]block{}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts count
+		pos, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		stmts, err1 := strconv.Atoi(fields[0])
+		count, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		b := blocks[pos]
+		b.stmts = stmts
+		b.count += count
+		blocks[pos] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	hit, tot = map[string]int{}, map[string]int{}
+	for pos, b := range blocks {
+		file, _, _ := strings.Cut(pos, ":")
+		pkg := file
+		if i := strings.LastIndexByte(file, '/'); i >= 0 {
+			pkg = file[:i]
+		}
+		tot[pkg] += b.stmts
+		if b.count > 0 {
+			hit[pkg] += b.stmts
+		}
+	}
+	return hit, tot, nil
+}

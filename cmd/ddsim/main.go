@@ -39,6 +39,7 @@ import (
 	"repro/internal/collapse"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/oracle"
 	"repro/internal/perf"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -74,6 +75,8 @@ func main() {
 		resume     = flag.Bool("resume", false, "require -store to already exist (catches typos before recomputing a sweep)")
 		retries    = flag.Int("retries", 0, "re-attempts after a transiently failing simulation cell")
 		stall      = flag.Duration("stall-timeout", 0, "reap a simulation cell after this much progress silence (0 = off)")
+		selfTest   = flag.Int("selftest", 0, "run N random traces through the differential conformance harness (core vs. reference oracle) and exit")
+		seed       = flag.Int64("seed", 1, "base seed for -selftest trace generation")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		benchJSON  = flag.String("benchjson", "", "write per-cell simulation throughput (BENCH_*.json trajectory point) to this file")
@@ -99,6 +102,8 @@ func main() {
 		opts.perf = new(perf.Collector)
 	}
 	switch {
+	case *selfTest > 0:
+		err = runSelfTest(*seed, *selfTest)
 	case *experiment != "":
 		err = runExperiments(ctx, *experiment, *scale, *widths, *csvFlag, opts)
 	case *traceFile != "":
@@ -118,6 +123,28 @@ func main() {
 		}
 	}
 	cli.Exit("ddsim", err)
+}
+
+// runSelfTest runs the differential conformance harness: n seeded random
+// traces, each diffed between the optimized scheduler and the reference
+// model (internal/oracle) at one point of the conformance grid. Any
+// divergence prints a minimized repro and fails the run. CI's conformance
+// job runs this with a fixed and a randomized seed; see docs/testing.md.
+func runSelfTest(seed int64, n int) error {
+	grid := oracle.DefaultGrid()
+	points := len(grid.Configs) * len(grid.Widths) * len(grid.Windows)
+	fmt.Printf("ddsim: conformance self-test: %d traces over %d grid points (seed %d)\n", n, points, seed)
+	d := oracle.SelfTest(seed, n, grid, func(done int) {
+		if done%256 == 0 || done == n {
+			fmt.Fprintf(os.Stderr, "\rddsim: %d/%d traces checked ", done, n)
+		}
+	})
+	fmt.Fprintln(os.Stderr)
+	if d != nil {
+		return fmt.Errorf("conformance self-test failed (seed %d):\n%s", seed, d.Error())
+	}
+	fmt.Printf("ddsim: conformance self-test passed: core.Run == oracle.Run on all %d traces\n", n)
+	return nil
 }
 
 func list() {

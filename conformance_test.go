@@ -1,0 +1,108 @@
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The golden conformance suite locks the complete rendered output of the
+// paper's Tables 1-6 under testdata/golden/. Any change to scheduling
+// semantics, statistics accounting, or table formatting shows up as a byte
+// diff here. Regenerate deliberately with:
+//
+//	go test -run Golden -update
+//
+// and review the fixture diff like any other code change (docs/testing.md).
+var update = flag.Bool("update", false, "regenerate golden fixtures under testdata/golden")
+
+const (
+	goldenDir        = "testdata/golden"
+	goldenTableScale = 20
+)
+
+var goldenTableIDs = []string{"table1", "table2", "table3", "table4", "table5", "table6"}
+
+// renderTable runs one registry experiment and renders its full report —
+// title, text table, and CSV — as the fixture payload.
+func renderTable(t *testing.T, r *experiments.Runner, id string) string {
+	t.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded() {
+		t.Fatalf("experiment %s degraded: %v", id, rep.Errs)
+	}
+	return fmt.Sprintf("== %s: %s ==\n%s\n--- csv ---\n%s", rep.ID, rep.Title, rep.Text, rep.CSV)
+}
+
+// TestGoldenTables locks Tables 1-6. Each table is rendered twice, by two
+// independent runners, and the renderings must agree byte for byte (the
+// stability half of the conformance contract) before being compared against
+// — or written to — the fixture.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden tables need full table sweeps; skipped in -short")
+	}
+	r1 := experiments.NewRunner(goldenTableScale)
+	r2 := experiments.NewRunner(goldenTableScale)
+	for _, id := range goldenTableIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			got := renderTable(t, r1, id)
+			again := renderTable(t, r2, id)
+			if got != again {
+				t.Fatalf("%s: two consecutive renderings differ:\n%s", id, firstDiff(got, again))
+			}
+			compareGolden(t, filepath.Join(goldenDir, id+".txt"), got)
+		})
+	}
+}
+
+// compareGolden checks payload against the fixture at path, or rewrites the
+// fixture under -update.
+func compareGolden(t *testing.T, path, payload string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s (regenerate with `go test -run Golden -update`): %v", path, err)
+	}
+	if payload != string(want) {
+		t.Errorf("%s differs from the golden fixture (did scheduling semantics change?):\n%s\nregenerate deliberately with `go test -run Golden -update`",
+			path, firstDiff(payload, string(want)))
+	}
+}
+
+// firstDiff renders the first differing line of two multi-line strings.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d, want %d", len(g), len(w))
+}

@@ -1,0 +1,43 @@
+package asm_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/minic"
+)
+
+// FuzzAssembleWorkloads seeds the assembler fuzzer with the compiled form
+// of every checked-in MiniC workload (including the adversarial traces),
+// so mutations start from realistic multi-section programs rather than
+// the tiny hand-written snippets in FuzzAssemble. It lives in an external
+// test package because compiling the seeds needs internal/minic, which
+// itself imports internal/asm.
+func FuzzAssembleWorkloads(f *testing.F) {
+	files, err := filepath.Glob("../../testdata/*.mc")
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no testdata workloads found: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		asmText, err := minic.Compile(string(src))
+		if err != nil {
+			f.Fatalf("%s: compile: %v", file, err)
+		}
+		f.Add(asmText)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Assemble(src) // must not panic
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Errorf("assembled program fails validation: %v\nsource: %q", verr, src)
+		}
+	})
+}

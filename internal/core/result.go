@@ -168,6 +168,91 @@ func TopSigs(m map[string]int64, n int) []SigCount {
 	return rows
 }
 
+// Diff compares two Results field by field and returns one human-readable
+// line per mismatch, or nil when the runs are equivalent. It is the equality
+// relation of the differential conformance harness (internal/oracle), so it
+// covers every statistic a run produces — cycles, all prediction and
+// collapsing counters, the histograms, and the full signature frequency
+// tables — while deliberately ignoring the fields that describe *how* the
+// run was made rather than what it computed: Config.Name (the fingerprint
+// still must match), SelfChecks (an instrumentation counter), and
+// CacheAccesses/CacheMisses when either side ran without a cache.
+func (r *Result) Diff(o *Result) []string {
+	var d []string
+	mism := func(field string, a, b any) {
+		d = append(d, fmt.Sprintf("%s: %v != %v", field, a, b))
+	}
+	eq64 := func(field string, a, b int64) {
+		if a != b {
+			mism(field, a, b)
+		}
+	}
+	if r.Config.Fingerprint() != o.Config.Fingerprint() {
+		mism("Config", r.Config.Fingerprint(), o.Config.Fingerprint())
+	}
+	if r.Width != o.Width {
+		mism("Width", r.Width, o.Width)
+	}
+	if r.Window != o.Window {
+		mism("Window", r.Window, o.Window)
+	}
+	eq64("Instructions", r.Instructions, o.Instructions)
+	eq64("Cycles", r.Cycles, o.Cycles)
+	eq64("CondBranches", r.CondBranches, o.CondBranches)
+	eq64("Mispredicts", r.Mispredicts, o.Mispredicts)
+	eq64("Loads", r.Loads, o.Loads)
+	eq64("LoadReady", r.LoadReady, o.LoadReady)
+	eq64("LoadPredCorrect", r.LoadPredCorrect, o.LoadPredCorrect)
+	eq64("LoadPredIncorrect", r.LoadPredIncorrect, o.LoadPredIncorrect)
+	eq64("LoadNotPred", r.LoadNotPred, o.LoadNotPred)
+	eq64("ValuePredCorrect", r.ValuePredCorrect, o.ValuePredCorrect)
+	eq64("ValuePredIncorrect", r.ValuePredIncorrect, o.ValuePredIncorrect)
+	eq64("ValueNotPred", r.ValueNotPred, o.ValueNotPred)
+	if r.CacheAccesses != 0 && o.CacheAccesses != 0 {
+		eq64("CacheAccesses", r.CacheAccesses, o.CacheAccesses)
+		eq64("CacheMisses", r.CacheMisses, o.CacheMisses)
+	}
+	eq64("CollapsedInstrs", r.CollapsedInstrs, o.CollapsedInstrs)
+	for c := range r.Groups {
+		eq64(fmt.Sprintf("Groups[%s]", collapse.Category(c)), r.Groups[c], o.Groups[c])
+	}
+	for i := range r.GroupsBySize {
+		eq64(fmt.Sprintf("GroupsBySize[%d]", i), r.GroupsBySize[i], o.GroupsBySize[i])
+	}
+	for i := range r.DistHist {
+		eq64(fmt.Sprintf("DistHist[%d]", i), r.DistHist[i], o.DistHist[i])
+	}
+	eq64("DistSum", r.DistSum, o.DistSum)
+	eq64("DistCount", r.DistCount, o.DistCount)
+	d = append(d, diffSigs("PairSigs", r.PairSigs, o.PairSigs)...)
+	d = append(d, diffSigs("TripleSigs", r.TripleSigs, o.TripleSigs)...)
+	return d
+}
+
+// diffSigs compares two signature frequency tables, treating a missing key
+// and a zero count as equal.
+func diffSigs(field string, a, b map[string]int64) []string {
+	var d []string
+	keys := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		if a[k] != b[k] {
+			d = append(d, fmt.Sprintf("%s[%q]: %d != %d", field, k, a[k], b[k]))
+		}
+	}
+	return d
+}
+
 // String summarizes the run.
 func (r *Result) String() string {
 	var b strings.Builder

@@ -1,6 +1,8 @@
 package minic
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -32,6 +34,7 @@ func FuzzCompile(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
+	addWorkloadSeeds(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		asmText, err := Compile(src) // must not panic
 		if err != nil {
@@ -40,6 +43,64 @@ func FuzzCompile(f *testing.F) {
 		if _, err := asm.Assemble(asmText); err != nil {
 			t.Errorf("compiler emitted assembly the assembler rejects: %v\nsource: %q\nassembly:\n%s",
 				err, src, asmText)
+		}
+	})
+}
+
+// addWorkloadSeeds seeds a fuzz corpus with every checked-in MiniC
+// workload, including the adversarial traces (window_chain, stride_flip,
+// zeroheavy). Real programs give the mutator structurally rich starting
+// points that tiny literals cannot.
+func addWorkloadSeeds(f *testing.F) {
+	f.Helper()
+	files, err := filepath.Glob("../../testdata/*.mc")
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no testdata workloads found: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+}
+
+// FuzzParse isolates the front half of the pipeline: the parser must never
+// panic or hang, must return a nil program exactly when it reports an
+// error, and accepted programs must survive a second parse (the grammar
+// has no parse-order state).
+func FuzzParse(f *testing.F) {
+	addWorkloadSeeds(f)
+	for _, s := range []string{
+		"func main() {}",
+		"func main() { if (1) {} else {} }",
+		"func main() { out((1 + 2) * -3); }",
+		"var g; func f(a, b) { return a - b; }",
+		"func main() { while (1) { continue; } }",
+		"}{)(", "func", "var x = ;", "func main() { a[; }",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := newParser(src) // must not panic
+		if err != nil {
+			return
+		}
+		prog, err := p.parseProgram() // must not panic or loop forever
+		if (prog == nil) == (err == nil) {
+			t.Fatalf("parser returned prog=%v err=%v; exactly one must be set", prog, err)
+		}
+		if err != nil {
+			return
+		}
+		// Reparse: parsing is a pure function of the source.
+		p2, err := newParser(src)
+		if err != nil {
+			t.Fatalf("second newParser failed after first succeeded: %v", err)
+		}
+		if _, err := p2.parseProgram(); err != nil {
+			t.Fatalf("second parse failed after first succeeded: %v", err)
 		}
 	})
 }

@@ -1,0 +1,64 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/collapse"
+	"repro/internal/core"
+)
+
+// Each seeded adversarial trace must actually exercise the pathology it was
+// written for — otherwise the corpus silently degrades into smoke tests.
+
+// window_chain.mc: the long dependent chains mean the set of feasible
+// collapses depends on the window depth; a deeper window must admit at
+// least as many collapse groups, and the trace must collapse at all.
+func TestAdversarialWindowChain(t *testing.T) {
+	buf := traceOfMC(t, "../../testdata/window_chain.mc")
+	shallow := core.Run(buf.Reader(), core.ConfigC, core.Params{Width: 2, WindowSize: 4})
+	deep := core.Run(buf.Reader(), core.ConfigC, core.Params{Width: 2, WindowSize: 64})
+	if deep.TotalGroups() == 0 {
+		t.Fatal("window_chain trace formed no collapse groups in a deep window")
+	}
+	if shallow.TotalGroups() >= deep.TotalGroups() {
+		t.Fatalf("window depth does not gate collapsing on window_chain: shallow %d groups, deep %d",
+			shallow.TotalGroups(), deep.TotalGroups())
+	}
+}
+
+// stride_flip.mc: the alternating-stride phase must defeat the two-delta
+// predictor (not-predicted loads), and the reversal phase must force real
+// mispredictions — a trace where every load is ready or predicted correctly
+// is not a stride pathology.
+func TestAdversarialStrideFlip(t *testing.T) {
+	buf := traceOfMC(t, "../../testdata/stride_flip.mc")
+	r := core.Run(buf.Reader(), core.ConfigB, core.Params{Width: 8})
+	if r.LoadNotPred == 0 {
+		t.Error("stride_flip trace never left the predictor unconfident")
+	}
+	if r.LoadPredIncorrect == 0 {
+		t.Error("stride_flip trace never mispredicted a load address")
+	}
+	if r.LoadPredCorrect == 0 {
+		t.Error("stride_flip trace never rewarded the predictor (stable phases missing)")
+	}
+}
+
+// zeroheavy.mc: a visible share of collapse groups must fit only via
+// zero-operand detection, so the C-nozero ablation must change the
+// category counts.
+func TestAdversarialZeroHeavy(t *testing.T) {
+	buf := traceOfMC(t, "../../testdata/zeroheavy.mc")
+	full := core.Run(buf.Reader(), core.ConfigC, core.Params{Width: 8})
+	t.Logf("groups: 3-1 %d, 4-1 %d, 0-op %d; by size %v",
+		full.Groups[collapse.Cat31], full.Groups[collapse.Cat41], full.Groups[collapse.Cat0Op], full.GroupsBySize)
+	if full.Groups[collapse.Cat0Op] == 0 {
+		t.Fatal("zeroheavy trace formed no zero-detection collapse groups")
+	}
+	ablated := core.Run(buf.Reader(),
+		core.Config{Name: "C", Collapse: true, NoZeroDetect: true}, core.Params{Width: 8})
+	if ablated.Groups[collapse.Cat0Op] >= full.Groups[collapse.Cat0Op] {
+		t.Fatalf("disabling zero detection did not reduce 0-op groups: %d -> %d",
+			full.Groups[collapse.Cat0Op], ablated.Groups[collapse.Cat0Op])
+	}
+}

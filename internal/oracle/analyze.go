@@ -1,0 +1,196 @@
+package oracle
+
+import (
+	"repro/internal/collapse"
+	"repro/internal/isa"
+)
+
+// opCounts tallies the leaf operands of a dependence expression exactly as
+// DESIGN §3 describes them: zero operands (register r0 or a literal zero
+// immediate) are detected by the collapsing device and do not occupy an
+// input port; everything else does.
+type opCounts struct {
+	nonZero int
+	zero    int
+}
+
+func (c opCounts) raw() int { return c.nonZero + c.zero }
+
+// replace substitutes m uses of a producer's result with the producer's own
+// operand tally — the collapsing-through step.
+func (c opCounts) replace(m int, p opCounts) opCounts {
+	return opCounts{
+		nonZero: c.nonZero - m + m*p.nonZero,
+		zero:    c.zero + m*p.zero,
+	}
+}
+
+// fit classifies an expression against the 3-1 / 4-1 interlock-collapsing
+// device with zero-operand detection, written directly from the paper's
+// rules (DESIGN §3):
+//
+//   - more than four non-zero operands never fit;
+//   - a raw arity of three or less is ordinary 3-1 collapsing;
+//   - otherwise, if dropping zeros brings the expression into the 3-1
+//     device (non-zero arity <= 3) the collapse is credited to
+//     zero-operand detection;
+//   - a raw arity of exactly four is ordinary 4-1 collapsing;
+//   - and a raw arity of five or more that still fits is only possible
+//     because zeros were dropped.
+func fit(c opCounts) (collapse.Category, bool) {
+	if c.nonZero > 4 {
+		return 0, false
+	}
+	switch {
+	case c.raw() <= 3:
+		return collapse.Cat31, true
+	case c.nonZero <= 3:
+		return collapse.Cat0Op, true
+	case c.raw() == 4:
+		return collapse.Cat41, true
+	default:
+		return collapse.Cat0Op, true
+	}
+}
+
+// info is the oracle's own static analysis of one instruction: its
+// collapsing roles, its collapsible operand registers, its operand tally,
+// and its signature string in the paper's Tables 5-6 notation. It is an
+// independent, naive re-derivation of the rules — it never calls
+// collapse.Analyze — so the differential harness cross-checks the analysis
+// layer as well as the scheduler.
+type info struct {
+	producer bool    // result may be collapsed into a consumer (ar/lg/sh/mv)
+	consumer bool    // may collapse producers into itself
+	slots    []uint8 // collapsible operand registers, in operand order, r0 excluded
+	counts   opCounts
+	sig      string
+	class    isa.Class
+}
+
+// usesOf reports how many slots name register r (Rc = Rb + Rb names Rb
+// twice; collapsing through Rb duplicates the sub-expression).
+func (f *info) usesOf(r uint8) int {
+	n := 0
+	for _, s := range f.slots {
+		if s == r {
+			n++
+		}
+	}
+	return n
+}
+
+// analyze derives the collapse-relevant facts of one instruction from the
+// DESIGN rules. Collapsible instruction types are shift, arithmetic
+// (excluding multiply/divide), logical, and move as producers; those plus
+// load/store address generation and condition-code consumption (conditional
+// branches) as consumers.
+func analyze(in *isa.Instr, noShift bool) *info {
+	f := &info{class: in.Class()}
+
+	regOperand := func(r uint8) {
+		if r == isa.R0 {
+			f.counts.zero++ // zero register: detected, no input port
+			return
+		}
+		f.slots = append(f.slots, r)
+		f.counts.nonZero++
+	}
+	immOperand := func(v int32) {
+		if v == 0 {
+			f.counts.zero++
+		} else {
+			f.counts.nonZero++
+		}
+	}
+	// suffix renders the operand-class suffix of the paper's signature
+	// notation: 'r' for a non-zero register, '0' for r0 or a zero
+	// immediate, 'i' for a non-zero immediate.
+	suffix := func() string {
+		s := make([]byte, 0, 2)
+		if in.Rs1 == isa.R0 {
+			s = append(s, '0')
+		} else {
+			s = append(s, 'r')
+		}
+		switch {
+		case in.HasImm && in.Imm == 0:
+			s = append(s, '0')
+		case in.HasImm:
+			s = append(s, 'i')
+		case in.Rs2 == isa.R0:
+			s = append(s, '0')
+		default:
+			s = append(s, 'r')
+		}
+		return string(s)
+	}
+	twoSource := func(prefix string) {
+		f.sig = prefix + suffix()
+		regOperand(in.Rs1)
+		if in.HasImm {
+			immOperand(in.Imm)
+		} else {
+			regOperand(in.Rs2)
+		}
+	}
+
+	switch f.class {
+	case isa.ClassAr:
+		f.producer = in.Writes() >= 0 || in.Op == isa.Cmp // Cmp produces CC
+		f.consumer = true
+		twoSource("ar")
+	case isa.ClassLg:
+		f.producer = in.Writes() >= 0
+		f.consumer = true
+		twoSource("lg")
+	case isa.ClassSh:
+		f.producer = in.Writes() >= 0
+		f.consumer = true
+		twoSource("sh")
+	case isa.ClassMv:
+		f.producer = in.Writes() >= 0
+		f.consumer = true
+		if in.Op == isa.Ldi {
+			if in.Imm == 0 {
+				f.sig = "mv0"
+			} else {
+				f.sig = "mvi"
+			}
+			immOperand(in.Imm)
+		} else {
+			if in.Rs1 == isa.R0 {
+				f.sig = "mv0"
+			} else {
+				f.sig = "mvr"
+			}
+			regOperand(in.Rs1)
+		}
+	case isa.ClassLd:
+		// Load-address generation: only the address expression collapses.
+		f.consumer = true
+		twoSource("ld")
+	case isa.ClassSt:
+		// Store-address generation: the stored value stays a plain
+		// dependence; only the address registers are collapsible slots.
+		f.consumer = true
+		twoSource("st")
+	case isa.ClassBrc:
+		// Condition-code generation: the branch consumes CC and may
+		// collapse the comparison that produced it.
+		f.consumer = true
+		f.sig = "brc"
+		f.slots = append(f.slots, isa.CC)
+		f.counts.nonZero++
+	default:
+		// mul, div, control, sys, nop: never collapse in either role.
+		f.sig = f.class.String()
+	}
+
+	if noShift && f.class == isa.ClassSh {
+		// Ablation: shifts removed from the collapsible set entirely.
+		f.producer = false
+		f.consumer = false
+	}
+	return f
+}

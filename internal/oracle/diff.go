@@ -1,0 +1,231 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// This file is the differential harness proper: run the optimized scheduler
+// and the reference model over the same trace with independently constructed
+// predictor state, diff the full Result structs, and — on divergence —
+// shrink the trace to a minimal reproducer before reporting.
+
+// Check runs core.Run and the reference Run over buf under cfg at the given
+// width and window, each with its own freshly constructed predictors, and
+// returns the mismatch lines from core.Result.Diff — nil means the two
+// schedulers agree on every statistic.
+func Check(buf *trace.Buffer, cfg core.Config, width, window int) []string {
+	got := core.Run(buf.Reader(), cfg, core.Params{Width: width, WindowSize: window})
+	want := Run(buf.Reader(), cfg, core.Params{Width: width, WindowSize: window})
+	return got.Diff(want)
+}
+
+// Divergence describes one confirmed disagreement between the optimized
+// scheduler and the reference model, with a minimized reproducer attached.
+type Divergence struct {
+	Cfg           core.Config
+	Width, Window int
+	Diff          []string      // mismatch lines on the original trace
+	Minimized     *trace.Buffer // smallest found sub-trace that still diverges
+	MinimizedDiff []string      // mismatch lines on the minimized trace
+}
+
+// Error renders the divergence as a self-contained failure report: the
+// configuration point, the statistic mismatches, and the minimized repro
+// trace record by record, ready to paste into a regression test.
+func (d *Divergence) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core.Run diverges from oracle.Run at config %s width %d window %d\n",
+		d.Cfg.Fingerprint(), d.Width, d.Window)
+	fmt.Fprintf(&b, "diff on full trace (%d mismatches):\n", len(d.Diff))
+	for _, line := range capLines(d.Diff, 20) {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	fmt.Fprintf(&b, "minimized repro (%d records):\n", d.Minimized.Len())
+	for i := 0; i < d.Minimized.Len() && i < 64; i++ {
+		fmt.Fprintf(&b, "  %s\n", FormatRecord(d.Minimized.At(i)))
+	}
+	fmt.Fprintf(&b, "diff on minimized trace:\n")
+	for _, line := range capLines(d.MinimizedDiff, 20) {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	return b.String()
+}
+
+func capLines(lines []string, n int) []string {
+	if len(lines) <= n {
+		return lines
+	}
+	out := append([]string(nil), lines[:n]...)
+	return append(out, fmt.Sprintf("... and %d more", len(lines)-n))
+}
+
+// CheckAll checks one trace across a whole grid of configuration points and
+// returns the first divergence found (minimized), or nil when every point
+// agrees.
+func CheckAll(buf *trace.Buffer, cfgs []core.Config, widths, windows []int) *Divergence {
+	for _, cfg := range cfgs {
+		for _, w := range widths {
+			for _, win := range windows {
+				if d := Diverge(buf, cfg, w, win); d != nil {
+					return d
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Diverge checks one point and, on disagreement, minimizes the trace and
+// packages the evidence. It returns nil when the schedulers agree.
+func Diverge(buf *trace.Buffer, cfg core.Config, width, window int) *Divergence {
+	diff := Check(buf, cfg, width, window)
+	if diff == nil {
+		return nil
+	}
+	min := Minimize(buf, cfg, width, window)
+	return &Divergence{
+		Cfg:           cfg,
+		Width:         width,
+		Window:        window,
+		Diff:          diff,
+		Minimized:     min,
+		MinimizedDiff: Check(min, cfg, width, window),
+	}
+}
+
+// Minimize shrinks a diverging trace with the classic ddmin loop: repeatedly
+// try dropping contiguous chunks (halving the chunk size each round) and keep
+// any subset that still diverges. The result is 1-minimal with respect to
+// chunk removal — usually a handful of records — and always still diverges.
+func Minimize(buf *trace.Buffer, cfg core.Config, width, window int) *trace.Buffer {
+	recs := make([]trace.Record, buf.Len())
+	for i := range recs {
+		recs[i] = *buf.At(i)
+	}
+	diverges := func(sub []trace.Record) bool {
+		b := &trace.Buffer{}
+		for i := range sub {
+			b.Append(sub[i])
+		}
+		return Check(b, cfg, width, window) != nil
+	}
+	if !diverges(recs) {
+		// Caller error (trace does not diverge); return it unshrunk.
+		return buf
+	}
+	chunk := len(recs) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		removed := false
+		for start := 0; start+chunk <= len(recs); {
+			sub := make([]trace.Record, 0, len(recs)-chunk)
+			sub = append(sub, recs[:start]...)
+			sub = append(sub, recs[start+chunk:]...)
+			if diverges(sub) {
+				recs = sub // keep the smaller diverging trace; retry same start
+				removed = true
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 && !removed {
+			break
+		}
+		if chunk > 1 {
+			chunk /= 2
+		}
+	}
+	out := &trace.Buffer{}
+	for i := range recs {
+		out.Append(recs[i])
+	}
+	return out
+}
+
+// Grid is a set of configuration points for conformance sweeps.
+type Grid struct {
+	Configs []core.Config
+	Widths  []int
+	Windows []int // 0 means the paper's default window of 2x width
+}
+
+// DefaultGrid is the conformance grid used by the differential test suite
+// and ddsim -selftest: the paper's configurations A-F plus one ablation per
+// Config flag, three widths, and two window depths — every Config field and
+// both window regimes are exercised.
+func DefaultGrid() Grid {
+	return Grid{
+		Configs: []core.Config{
+			core.ConfigA, // no mechanisms
+			core.ConfigB, // D-speculation only
+			core.ConfigC, // collapsing only
+			core.ConfigD, // both
+			core.ConfigE, // ideal speculation + collapsing
+			core.ConfigF, // + load-value prediction
+			{Name: "C-pairs", Collapse: true, PairsOnly: true},
+			{Name: "C-consec", Collapse: true, ConsecutiveOnly: true},
+			{Name: "C-noshift", Collapse: true, NoShiftCollapse: true},
+			{Name: "C-nozero", Collapse: true, NoZeroDetect: true},
+			{Name: "D-perfbr", Collapse: true, LoadSpec: true, PerfectBranches: true},
+		},
+		Widths:  []int{2, 4, 8},
+		Windows: []int{0, 32},
+	}
+}
+
+// SelfTest generates n seeded traces (cycling the tracegen profiles) and
+// checks each at one grid point, round-robin, so the points are covered
+// evenly. It returns the first minimized divergence, or nil when the
+// optimized scheduler and the reference model agree everywhere. progress,
+// when non-nil, is called after every checked trace.
+func SelfTest(seed int64, n int, g Grid, progress func(done int)) *Divergence {
+	profiles := tracegen.Profiles()
+	type point struct {
+		cfg        core.Config
+		width, win int
+	}
+	var points []point
+	for _, c := range g.Configs {
+		for _, w := range g.Widths {
+			for _, win := range g.Windows {
+				points = append(points, point{c, w, win})
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		buf := tracegen.Gen(seed+int64(i), profiles[i%len(profiles)])
+		pt := points[i%len(points)]
+		if d := Diverge(buf, pt.cfg, pt.width, pt.win); d != nil {
+			return d
+		}
+		if progress != nil {
+			progress(i + 1)
+		}
+	}
+	return nil
+}
+
+// FormatRecord renders one trace record as a single stable line, used by
+// divergence reports and golden failure messages.
+func FormatRecord(r *trace.Record) string {
+	in := &r.Instr
+	var b strings.Builder
+	fmt.Fprintf(&b, "pc=%d %v rd=r%d rs1=r%d", r.PC, in.Op, in.Rd, in.Rs1)
+	if in.HasImm {
+		fmt.Fprintf(&b, " imm=%d", in.Imm)
+	} else {
+		fmt.Fprintf(&b, " rs2=r%d", in.Rs2)
+	}
+	if in.Target != 0 {
+		fmt.Fprintf(&b, " target=%d", in.Target)
+	}
+	fmt.Fprintf(&b, " addr=%d value=%d taken=%v", r.Addr, r.Value, r.Taken)
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package oracle
+
+// naiveStride is the oracle's own implementation of the paper's
+// load-address predictor, written directly from DESIGN §3: a 4096-entry
+// direct-mapped table indexed by the low bits of the load's instruction
+// address, running the Eickemeyer & Vassiliadis *two-delta* stride
+// algorithm, with a 2-bit saturating confidence counter per entry (+1 on a
+// correct prediction, -2 on a wrong one, saturating at [0,3]); a predicted
+// address is used for speculative issue only when the counter value is
+// greater than 1.
+//
+// It deliberately shares no code with internal/stride — the differential
+// harness diffs the two implementations through the scheduler's
+// load-category counters.
+type naiveStride struct {
+	entries [4096]naiveStrideEntry
+}
+
+type naiveStrideEntry struct {
+	valid      bool
+	lastAddr   uint32
+	stride     int32 // confirmed stride (seen twice in a row)
+	lastDelta  int32 // candidate stride
+	confidence int
+}
+
+type naivePrediction struct {
+	addr      uint32
+	confident bool
+	valid     bool
+}
+
+func (t *naiveStride) lookup(pc uint32) naivePrediction {
+	e := &t.entries[pc%4096]
+	if !e.valid {
+		return naivePrediction{}
+	}
+	return naivePrediction{
+		addr:      uint32(int32(e.lastAddr) + e.stride),
+		confident: e.confidence > 1, // "only when the counter value is greater than 1"
+		valid:     true,
+	}
+}
+
+// update trains the entry with the actual effective address. All loads
+// update the table, whether or not a prediction was used.
+func (t *naiveStride) update(pc uint32, addr uint32) {
+	e := &t.entries[pc%4096]
+	if !e.valid {
+		e.valid = true
+		e.lastAddr = addr
+		e.stride = 0
+		e.lastDelta = 0
+		e.confidence = 0
+		return
+	}
+	predicted := uint32(int32(e.lastAddr) + e.stride)
+	if predicted == addr {
+		e.confidence++
+		if e.confidence > 3 {
+			e.confidence = 3
+		}
+	} else {
+		e.confidence -= 2
+		if e.confidence < 0 {
+			e.confidence = 0
+		}
+	}
+	// Two-delta: adopt a new stride only when the same delta repeats.
+	delta := int32(addr - e.lastAddr)
+	if delta == e.lastDelta {
+		e.stride = delta
+	}
+	e.lastDelta = delta
+	e.lastAddr = addr
+}

@@ -1,0 +1,180 @@
+package tracegen_test
+
+import (
+	"testing"
+
+	"repro/internal/collapse"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// same reports whether two buffers hold byte-identical record sequences.
+func same(a, b *trace.Buffer) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if *a.At(i) != *b.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGenDeterministic: (seed, profile) is a complete repro — the same pair
+// must regenerate the byte-identical trace, and different seeds must not.
+func TestGenDeterministic(t *testing.T) {
+	for _, p := range tracegen.Profiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			a := tracegen.Gen(42, p)
+			b := tracegen.Gen(42, p)
+			if !same(a, b) {
+				t.Fatal("same (seed, profile) produced different traces")
+			}
+			c := tracegen.Gen(43, p)
+			if same(a, c) {
+				t.Fatal("different seeds produced identical traces (rng not threaded)")
+			}
+		})
+	}
+}
+
+// TestGenStaticProgramInvariant: the PC → instruction mapping must be
+// immutable within one trace. The scheduler caches collapse analysis by PC
+// and both predictors index by PC, so a generator that re-rolls an
+// instruction mid-trace produces inputs no legal execution can.
+func TestGenStaticProgramInvariant(t *testing.T) {
+	for _, p := range tracegen.Profiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			buf := tracegen.Gen(7, p)
+			seen := make(map[uint32]isa.Instr)
+			var rec trace.Record
+			r := buf.Reader()
+			for r.Next(&rec) {
+				if prev, ok := seen[rec.PC]; ok && prev != rec.Instr {
+					t.Fatalf("pc %#x changed instruction mid-trace: %v then %v", rec.PC, prev, rec.Instr)
+				}
+				seen[rec.PC] = rec.Instr
+			}
+		})
+	}
+}
+
+// TestGenRecordCountAndValidity: every profile yields the requested number
+// of records and every record survives the scheduler without self-check
+// complaints (Run is the strictest validity check we have).
+func TestGenRecordCountAndValidity(t *testing.T) {
+	for _, p := range tracegen.Profiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			buf := tracegen.Gen(11, p)
+			if buf.Len() != p.Records {
+				t.Fatalf("generated %d records, want %d", buf.Len(), p.Records)
+			}
+			r := core.Run(buf.Reader(), core.ConfigF, core.Params{Width: 8})
+			if r.Instructions != int64(p.Records) {
+				t.Fatalf("scheduler consumed %d records, want %d", r.Instructions, p.Records)
+			}
+		})
+	}
+}
+
+// Profile pathology assertions: each named adversarial profile must
+// actually provoke the mechanism it is named after, otherwise the
+// conformance harness quietly loses coverage.
+
+func genProfile(t *testing.T, name string) tracegen.Profile {
+	t.Helper()
+	for _, p := range tracegen.Profiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("profile %q not registered", name)
+	panic("unreachable")
+}
+
+func TestProfileZeroHeavyFormsZeroOpGroups(t *testing.T) {
+	p := genProfile(t, "zero-heavy")
+	var zeroOp int64
+	for seed := int64(0); seed < 8; seed++ {
+		buf := tracegen.Gen(seed, p)
+		r := core.Run(buf.Reader(), core.ConfigC, core.Params{Width: 8})
+		zeroOp += r.Groups[collapse.Cat0Op]
+	}
+	if zeroOp == 0 {
+		t.Fatal("zero-heavy profile formed no 0-op collapse groups across 8 seeds")
+	}
+}
+
+func TestProfileWindowChainGatesOnDepth(t *testing.T) {
+	p := genProfile(t, "window-boundary-chain")
+	var shallow, deep int64
+	for seed := int64(0); seed < 8; seed++ {
+		buf := tracegen.Gen(seed, p)
+		s := core.Run(buf.Reader(), core.ConfigC, core.Params{Width: 2, WindowSize: 4})
+		d := core.Run(buf.Reader(), core.ConfigC, core.Params{Width: 2, WindowSize: 64})
+		shallow += s.TotalGroups()
+		deep += d.TotalGroups()
+	}
+	if deep == 0 {
+		t.Fatal("window-boundary-chain profile never collapsed in a deep window")
+	}
+	if shallow >= deep {
+		t.Fatalf("window depth does not gate collapsing: shallow %d groups, deep %d", shallow, deep)
+	}
+}
+
+func TestProfileStrideFlipDefeatsPredictor(t *testing.T) {
+	p := genProfile(t, "stride-flip")
+	var incorrect, notPred int64
+	for seed := int64(0); seed < 8; seed++ {
+		buf := tracegen.Gen(seed, p)
+		r := core.Run(buf.Reader(), core.ConfigB, core.Params{Width: 8})
+		incorrect += r.LoadPredIncorrect
+		notPred += r.LoadNotPred
+	}
+	if incorrect == 0 && notPred == 0 {
+		t.Fatal("stride-flip profile neither mispredicted nor shook predictor confidence")
+	}
+}
+
+func TestProfileStrideAliasThrashesTable(t *testing.T) {
+	// 8192 static PCs against 4096 direct-mapped entries: most loads must
+	// not reach prediction confidence.
+	p := genProfile(t, "stride-alias")
+	var loads, confident int64
+	for seed := int64(0); seed < 8; seed++ {
+		buf := tracegen.Gen(seed, p)
+		r := core.Run(buf.Reader(), core.ConfigB, core.Params{Width: 8})
+		loads += r.Loads
+		confident += r.LoadPredCorrect + r.LoadPredIncorrect
+	}
+	if loads == 0 {
+		t.Fatal("stride-alias profile generated no loads")
+	}
+	if confident*2 > loads {
+		t.Fatalf("aliasing profile left the predictor confident on %d/%d loads", confident, loads)
+	}
+}
+
+func TestConcatAndFilter(t *testing.T) {
+	a := tracegen.Gen(1, tracegen.Default())
+	b := tracegen.Gen(2, tracegen.Default())
+	cat := tracegen.Concat(a, b)
+	if cat.Len() != a.Len()+b.Len() {
+		t.Fatalf("concat length %d, want %d", cat.Len(), a.Len()+b.Len())
+	}
+	if !same(tracegen.Concat(a, &trace.Buffer{}), a) {
+		t.Fatal("concat with empty buffer must be identity")
+	}
+	evens := tracegen.Filter(cat, func(i int, _ *trace.Record) bool { return i%2 == 0 })
+	if want := (cat.Len() + 1) / 2; evens.Len() != want {
+		t.Fatalf("filter kept %d records, want %d", evens.Len(), want)
+	}
+	none := tracegen.Filter(cat, func(int, *trace.Record) bool { return false })
+	if none.Len() != 0 {
+		t.Fatalf("filter-none kept %d records", none.Len())
+	}
+}

@@ -1,6 +1,12 @@
 package repro
 
 import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -42,6 +48,134 @@ func TestGoldenSchedulerCycles(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestGoldenCyclesGrid extends the spot-checked table above to EVERY point
+// of the Tables 1-6 grid: all six workloads x configurations A-F x the
+// paper's five widths x two window sizes (the default 2x width and a fixed
+// deep window), locked in testdata/golden/cycles.tsv. The fixture is shared
+// with the conformance suite and regenerated with `go test -run Golden
+// -update`.
+func TestGoldenCyclesGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cycles grid is a long sweep; skipped in -short")
+	}
+	const scale = 60
+	gridCfgs := append(core.Configs(), core.ConfigF)
+	gridWindows := []int{0, 64} // 0: the paper's 2x width
+
+	type cell struct {
+		workload, config      string
+		width, window, cycles int64
+	}
+	var (
+		mu    sync.Mutex
+		cells = map[string]int64{}
+	)
+	key := func(wl, cfg string, width, window int) string {
+		return fmt.Sprintf("%s\t%s\t%d\t%d", wl, cfg, width, window)
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workloads.All() {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf, _, err := w.TraceCached(scale)
+			if err != nil {
+				t.Errorf("%s: %v", w.Name, err)
+				return
+			}
+			for _, cfg := range gridCfgs {
+				for _, width := range core.Widths {
+					for _, window := range gridWindows {
+						r := core.Run(buf.Reader(), cfg, core.Params{Width: width, WindowSize: window})
+						mu.Lock()
+						cells[key(w.Name, cfg.Name, width, window)] = r.Cycles
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Render deterministically in grid order.
+	var b strings.Builder
+	b.WriteString("# workload\tconfig\twidth\twindow\tcycles (scale 60; window 0 = 2x width)\n")
+	for _, w := range workloads.All() {
+		for _, cfg := range gridCfgs {
+			for _, width := range core.Widths {
+				for _, window := range gridWindows {
+					k := key(w.Name, cfg.Name, width, window)
+					fmt.Fprintf(&b, "%s\t%d\n", k, cells[k])
+				}
+			}
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "golden", "cycles.tsv")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s (regenerate with `go test -run Golden -update`): %v", path, err)
+	}
+	defer f.Close()
+	want := map[string]int64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 5 {
+			t.Fatalf("%s: malformed line %q", path, line)
+		}
+		var c cell
+		if _, err := fmt.Sscanf(strings.Join(parts, " "), "%s %s %d %d %d",
+			&c.workload, &c.config, &c.width, &c.window, &c.cycles); err != nil {
+			t.Fatalf("%s: malformed line %q: %v", path, line, err)
+		}
+		want[fmt.Sprintf("%s\t%s\t%d\t%d", c.workload, c.config, c.width, c.window)] = c.cycles
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(cells) {
+		t.Errorf("fixture has %d grid points, run produced %d", len(want), len(cells))
+	}
+	for k, cyc := range cells {
+		if wantCyc, ok := want[k]; !ok {
+			t.Errorf("grid point %q missing from fixture (regenerate with -update)", k)
+		} else if cyc != wantCyc {
+			t.Errorf("grid point %q: cycles = %d, want %d (scheduler semantics changed?)", k, cyc, wantCyc)
+		}
+	}
+
+	// The coarse spot-check table above is a subset of this grid: keep the
+	// two fixtures consistent so neither can drift alone.
+	for name, cyc := range goldenCycles {
+		for i, cfg := range core.Configs() {
+			k := key(name, cfg.Name, 8, 0)
+			if cells[k] != cyc[i] {
+				t.Errorf("grid point %q (%d cycles) disagrees with goldenCycles (%d)", k, cells[k], cyc[i])
+			}
+		}
 	}
 }
 
