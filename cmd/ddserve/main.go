@@ -1,0 +1,156 @@
+// ddserve runs the simulation job service (internal/server): an HTTP/JSON
+// server accepting single simulation cells (POST /jobs) and sweep grids
+// (POST /sweeps), executed on a bounded worker pool with admission
+// control, per-job deadlines, panic quarantine, a circuit breaker around
+// store I/O, and graceful drain on SIGINT/SIGTERM.
+//
+//	ddserve -addr :8080 -store results/     # serve with a durable store
+//	ddserve -soak                           # chaos soak campaign (CI gate)
+//	ddserve -soak -schedules 8 -seed 7      # shorter, different faults
+//
+// On SIGINT/SIGTERM the server drains: admissions stop (503), in-flight
+// jobs finish and checkpoint, queued jobs are canceled. A drain that beats
+// -drain-timeout exits 0; one that exceeds it cancels in-flight jobs and
+// exits 130, following the exit-code contract in docs/robustness.md §4:
+// 0 ok, 1 failure (including soak violations), 2 usage, 130 canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cli"
+	"repro/internal/experiments"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		storeDir   = flag.String("store", "", "durable result store directory (empty = none; results live in memory only)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS capped at 4)")
+		queue      = flag.Int("queue", 64, "admission queue depth; beyond it submissions shed with 429")
+		deadline   = flag.Duration("deadline", time.Minute, "default per-job deadline")
+		maxDL      = flag.Duration("max-deadline", 10*time.Minute, "cap on client-requested deadlines")
+		stall      = flag.Duration("stall-timeout", 30*time.Second, "reap a cell whose progress heartbeat goes silent (0 = off)")
+		retries    = flag.Int("retries", 1, "re-attempts for transiently failing cells")
+		quarantine = flag.Int("quarantine", 2, "crashes before a cell is quarantined")
+		brkThresh  = flag.Int("breaker-threshold", 5, "consecutive store I/O failures before the breaker opens")
+		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open time before a half-open probe")
+		scale      = flag.Int("scale", 0, "workload scale for all jobs (0 = workload defaults)")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+		soak       = flag.Bool("soak", false, "run the chaos soak campaign instead of serving")
+		schedules  = flag.Int("schedules", 64, "soak: number of randomized fault schedules")
+		seed       = flag.Int64("seed", 1, "soak: campaign seed")
+		soakDir    = flag.String("soak-dir", "", "soak: scratch directory (empty = temp)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		cli.Exit("ddserve", cli.Usagef("unexpected arguments: %v", flag.Args()))
+	}
+	logger := log.New(os.Stderr, "ddserve: ", log.LstdFlags)
+
+	if *soak {
+		cli.Exit("ddserve", runSoak(logger, *seed, *schedules, *soakDir))
+		return
+	}
+	cli.Exit("ddserve", serve(logger, options{
+		addr: *addr, storeDir: *storeDir, drainTimeout: *drainTO,
+		opt: server.Options{
+			Workers:          *workers,
+			QueueDepth:       *queue,
+			DefaultDeadline:  *deadline,
+			MaxDeadline:      *maxDL,
+			StallTimeout:     *stall,
+			Retries:          *retries,
+			Scale:            *scale,
+			QuarantineAfter:  *quarantine,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCool,
+		},
+	}))
+}
+
+type options struct {
+	addr         string
+	storeDir     string
+	drainTimeout time.Duration
+	opt          server.Options
+}
+
+func serve(logger *log.Logger, o options) error {
+	if o.storeDir != "" {
+		st, err := store.Open(o.storeDir)
+		if err != nil {
+			return fmt.Errorf("opening store: %w", err)
+		}
+		var rs experiments.ResultStore = st
+		o.opt.Store = rs
+		if n, err := st.Len(); err == nil {
+			logger.Printf("durable store: %s (%d entries)", o.storeDir, n)
+		}
+	}
+	srv := server.New(o.opt)
+	srv.Start()
+
+	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("serving on %s (workers=%d queue=%d)", o.addr,
+		srv.HealthSnapshot().Workers, srv.HealthSnapshot().QueueDepth)
+
+	// Wait for a signal (or a listener failure, which is fatal).
+	ctx, stop := cli.Context(0)
+	defer stop()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("listen: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // second signal kills the process, shell-style
+
+	logger.Printf("signal received; draining (budget %s)", o.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	derr := srv.Drain(drainCtx)
+
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = hs.Shutdown(shutCtx)
+
+	if derr != nil {
+		// Forced drain wraps context.DeadlineExceeded: cli.Code maps it to
+		// 130 (canceled), matching the pipeline's exit-code taxonomy.
+		return derr
+	}
+	h := srv.HealthSnapshot()
+	logger.Printf("drained clean: %d job records, %d shed, %d quarantined", h.Jobs, h.Shed, h.Quarantined)
+	return nil
+}
+
+func runSoak(logger *log.Logger, seed int64, schedules int, dir string) error {
+	logger.Printf("soak: %d schedules, seed %d", schedules, seed)
+	start := time.Now()
+	sum, err := chaos.Run(chaos.Options{
+		Seed:      seed,
+		Schedules: schedules,
+		Dir:       dir,
+		Log:       logger.Printf,
+	})
+	if sum != nil {
+		logger.Printf("soak: %d submitted, %d accepted, %d shed, %d done, %d failed (kinds %v), resume_ok=%v in %s",
+			sum.Submitted, sum.Accepted, sum.Shed, sum.Done, sum.Failed, sum.FailKinds,
+			sum.ResumeOK, time.Since(start).Round(time.Millisecond))
+		for _, v := range sum.Violations {
+			logger.Printf("soak: VIOLATION: %s", v)
+		}
+	}
+	return err
+}

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestShortCampaign runs one schedule of every fault kind plus the
+// kill-and-resume check — the same code path `ddserve -soak` runs at full
+// length in CI.
+func TestShortCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign is not a -short test")
+	}
+	sum, err := Run(Options{
+		Seed:      42,
+		Schedules: 4, // one per fault kind
+		Dir:       t.TempDir(),
+		Log:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("campaign failed: %v\nviolations: %v", err, sum.Violations)
+	}
+	if sum.Accepted == 0 {
+		t.Fatal("campaign admitted no jobs")
+	}
+	if sum.Shed == 0 {
+		t.Fatal("overload schedule shed nothing; admission control untested")
+	}
+	if !sum.ResumeOK {
+		t.Fatal("resume check did not run clean")
+	}
+	// Fault schedules must actually produce structured failures (panic
+	// schedules at minimum — every cell compute panics there).
+	if len(sum.FailKinds) == 0 {
+		t.Fatalf("no structured failures recorded across fault schedules: %+v", sum)
+	}
+	t.Logf("campaign: %+v", sum)
+}
+
+// TestCampaignIsDeterministic replays a seed and expects the same
+// submission plan: the fault schedules and job specs are pure functions of
+// the seed. (Admission outcomes race against worker timing by design, so
+// only the plan is compared.)
+func TestCampaignIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign is not a -short test")
+	}
+	run := func(dir string) *Summary {
+		sum, err := Run(Options{Seed: 7, Schedules: 2, Dir: dir})
+		if err != nil {
+			t.Fatalf("campaign failed: %v", err)
+		}
+		return sum
+	}
+	a, b := run(t.TempDir()), run(t.TempDir())
+	if a.Submitted != b.Submitted {
+		t.Fatalf("same seed, different submission plans: %d vs %d", a.Submitted, b.Submitted)
+	}
+}

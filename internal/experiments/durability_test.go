@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/store"
 	"repro/internal/watchdog"
 	"repro/internal/workloads"
 )
@@ -216,10 +217,11 @@ func TestWatchdogReapsStalledCell(t *testing.T) {
 // same trace and writing distinct entries must be clean.
 func TestPrefetchWithWorkersRace(t *testing.T) {
 	dir := t.TempDir()
-	r, err := NewRunner(60).WithStore(dir)
+	st, err := store.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	r := NewRunner(60).WithStoreHandle(st)
 	r.WithWorkers(4)
 	set := workloads.All()[:2]
 	cfgs := []core.Config{core.ConfigA, core.ConfigD}
@@ -229,7 +231,7 @@ func TestPrefetchWithWorkersRace(t *testing.T) {
 	if got := r.ComputeCalls(); got != 8 {
 		t.Fatalf("ComputeCalls = %d, want 8", got)
 	}
-	if n, err := r.store.Len(); err != nil || n != 8 {
+	if n, err := st.Len(); err != nil || n != 8 {
 		t.Fatalf("store Len = %d, %v; want 8", n, err)
 	}
 	for _, w := range set {

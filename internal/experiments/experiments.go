@@ -49,10 +49,14 @@ func naCell(v float64) any {
 	return v
 }
 
-// stalledCell renders a metric whose run may have been reaped by the stall
-// watchdog: reaped cells say so, other failures stay plain "n/a".
-func stalledCell(v float64, stalled bool) any {
-	if stalled {
+// failedCell renders a metric whose run may have been reaped by the stall
+// watchdog or the per-cell deadline: reaped cells say which supervisor
+// fired, other failures stay plain "n/a".
+func failedCell(v float64, stalled, deadlined bool) any {
+	switch {
+	case deadlined:
+		return "n/a (deadline)"
+	case stalled:
 		return "n/a (stalled)"
 	}
 	return naCell(v)
@@ -668,11 +672,14 @@ func Table6(r *Runner) (*Report, error) {
 // width. The paper reports only harmonic means; this exposes the
 // per-benchmark detail behind them. Stalled marks cells reaped by the
 // stall watchdog (Runner.StallTimeout): they render as "n/a (stalled)" to
-// distinguish a hung simulation from an ordinary failure.
+// distinguish a hung simulation from an ordinary failure. Deadlined marks
+// cells reaped by the per-cell deadline (Runner.CellTimeout): they render
+// as "n/a (deadline)".
 type PerBenchRow struct {
-	Name    string
-	IPC     map[string]float64 // config name -> IPC
-	Stalled map[string]bool    // config name -> reaped by the watchdog
+	Name      string
+	IPC       map[string]float64 // config name -> IPC
+	Stalled   map[string]bool    // config name -> reaped by the watchdog
+	Deadlined map[string]bool    // config name -> reaped by the cell deadline
 }
 
 // PerBenchmark computes per-benchmark IPCs for all configurations at the
@@ -686,7 +693,8 @@ func PerBenchmark(r *Runner, width int) ([]PerBenchRow, []error, error) {
 	var rows []PerBenchRow
 	var c collector
 	for _, w := range set {
-		row := PerBenchRow{Name: w.Name, IPC: make(map[string]float64), Stalled: make(map[string]bool)}
+		row := PerBenchRow{Name: w.Name, IPC: make(map[string]float64),
+			Stalled: make(map[string]bool), Deadlined: make(map[string]bool)}
 		for _, cfg := range core.Configs() {
 			res, err := r.Result(w, cfg, width)
 			if err != nil {
@@ -696,6 +704,7 @@ func PerBenchmark(r *Runner, width int) ([]PerBenchRow, []error, error) {
 				c.add(err)
 				row.IPC[cfg.Name] = math.NaN()
 				row.Stalled[cfg.Name] = errors.Is(err, watchdog.ErrStalled)
+				row.Deadlined[cfg.Name] = errors.Is(err, ErrCellDeadline)
 				continue
 			}
 			row.IPC[cfg.Name] = res.IPC()
@@ -719,7 +728,7 @@ func PerBenchmarkReport(r *Runner, width int) (*Report, error) {
 	for _, row := range rows {
 		cells := []any{row.Name}
 		for _, cfg := range core.Configs() {
-			cells = append(cells, stalledCell(row.IPC[cfg.Name], row.Stalled[cfg.Name]))
+			cells = append(cells, failedCell(row.IPC[cfg.Name], row.Stalled[cfg.Name], row.Deadlined[cfg.Name]))
 		}
 		t.AddRowf(cells...)
 	}

@@ -73,6 +73,14 @@ type Runner struct {
 	// StallTimeout reaps a cell whose progress heartbeat goes silent for
 	// this long; 0 disables stall supervision.
 	StallTimeout time.Duration
+	// CellTimeout bounds each cell's simulation wall-clock time, so one
+	// straggler cell cannot consume an entire sweep's budget. A cell that
+	// overruns fails with a *CellDeadlineError — permanent (never retried),
+	// cached, and rendered as "n/a (deadline)" — while the rest of the
+	// sweep proceeds. 0 disables the per-cell deadline. Unlike a deadline
+	// on the Runner's context, a cell deadline is never treated as
+	// cancellation of the whole sweep.
+	CellTimeout time.Duration
 	// OnCellDone, when non-nil, is called after every cell resolves
 	// (computed or served from the store; canceled cells excluded) with
 	// the total number of cells resolved so far. CLIs hang progress
@@ -80,7 +88,7 @@ type Runner struct {
 	OnCellDone func(done int)
 
 	ctx       context.Context
-	store     *store.Store
+	store     ResultStore
 	perf      *perf.Collector
 	workers   int
 	cellsDone atomic.Int64
@@ -102,6 +110,39 @@ type cacheEntry struct {
 	err error
 }
 
+// ResultStore is the durable-store surface the Runner consumes.
+// *store.Store implements it; internal/server's circuit breaker wraps one
+// to keep a failing disk from taking the serving layer down with it.
+type ResultStore interface {
+	Get(store.Key) (*core.Result, error)
+	PutWithPerf(store.Key, *core.Result, *store.PerfInfo) error
+	Stats() store.Stats
+}
+
+// ErrCellDeadline matches (via errors.Is) cell failures caused by the
+// Runner's per-cell deadline (CellTimeout).
+var ErrCellDeadline = errors.New("experiments: cell deadline exceeded")
+
+// CellDeadlineError reports a cell reaped by the per-cell deadline. It
+// deliberately does NOT wrap context.DeadlineExceeded: a cell overrunning
+// its budget is one degraded cell ("n/a (deadline)"), never a cancellation
+// of the whole sweep.
+type CellDeadlineError struct {
+	Timeout time.Duration // the CellTimeout that was exceeded
+}
+
+// Error implements error.
+func (e *CellDeadlineError) Error() string {
+	return fmt.Sprintf("experiments: cell deadline (%v) exceeded", e.Timeout)
+}
+
+// Is matches the ErrCellDeadline sentinel.
+func (e *CellDeadlineError) Is(target error) bool { return target == ErrCellDeadline }
+
+// Permanent marks deadline failures as never worth retrying: the pipeline
+// is deterministic, so the same cell overruns the same budget again.
+func (e *CellDeadlineError) Permanent() bool { return true }
+
 // NewRunner creates a Runner at the given scale (0 = workload defaults).
 func NewRunner(scale int) *Runner {
 	return &Runner{Scale: scale, cache: make(map[runKey]*cacheEntry), hashes: make(map[string]uint64)}
@@ -119,8 +160,9 @@ func (r *Runner) WithStore(dir string) (*Runner, error) {
 	return r.WithStoreHandle(st), nil
 }
 
-// WithStoreHandle attaches an already-open store.
-func (r *Runner) WithStoreHandle(st *store.Store) *Runner {
+// WithStoreHandle attaches an already-open store (or any ResultStore
+// wrapper, such as internal/server's circuit breaker).
+func (r *Runner) WithStoreHandle(st ResultStore) *Runner {
 	r.store = st
 	return r
 }
@@ -188,6 +230,15 @@ func canceled(err error) bool {
 // computing and caching it on first use. Errors other than cancellation are
 // cached too, so a broken cell fails fast everywhere it is needed.
 func (r *Runner) Result(w *workloads.Workload, cfg core.Config, width int) (*core.Result, error) {
+	return r.ResultCtx(r.Context(), w, cfg, width)
+}
+
+// ResultCtx is Result bounded by a per-call context instead of the
+// Runner-wide one: a long-running service gives each job its own deadline
+// while sharing one Runner (and its caches) across jobs. Cancellation and
+// deadline expiry of ctx are never cached — a later call with a live
+// context can still succeed.
+func (r *Runner) ResultCtx(ctx context.Context, w *workloads.Workload, cfg core.Config, width int) (*core.Result, error) {
 	key := runKey{w.Name, cfg.Fingerprint(), width}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
@@ -196,7 +247,7 @@ func (r *Runner) Result(w *workloads.Workload, cfg core.Config, width int) (*cor
 	}
 	r.mu.Unlock()
 
-	res, attempts, err := r.compute(w, cfg, width)
+	res, attempts, err := r.compute(ctx, w, cfg, width)
 	if canceled(err) {
 		// A canceled run says nothing about the cell itself; leave the
 		// cache empty so a later run with a live context can succeed.
@@ -221,8 +272,7 @@ func (r *Runner) Result(w *workloads.Workload, cfg core.Config, width int) (*cor
 // compute resolves one cell: store lookup first (when a store is attached),
 // then simulation under retry and stall supervision. It reports how many
 // attempts the retry loop made so failures can carry their attempt count.
-func (r *Runner) compute(w *workloads.Workload, cfg core.Config, width int) (res *core.Result, attempts int, err error) {
-	ctx := r.Context()
+func (r *Runner) compute(ctx context.Context, w *workloads.Workload, cfg core.Config, width int) (res *core.Result, attempts int, err error) {
 	policy := retry.Policy{MaxAttempts: r.Retries + 1, BaseDelay: r.RetryDelay}
 	attempts, err = retry.Do(ctx, policy, func(int) error {
 		res = nil
@@ -247,7 +297,11 @@ func (r *Runner) compute(w *workloads.Workload, cfg core.Config, width int) (res
 		}
 		r.computes.Add(1)
 		timer := perf.Start()
-		got, rerr := watchdog.Run(ctx, r.StallTimeout, func(wctx context.Context, beat func()) (*core.Result, error) {
+		runCtx, cancelCell := ctx, context.CancelFunc(func() {})
+		if r.CellTimeout > 0 {
+			runCtx, cancelCell = context.WithTimeout(ctx, r.CellTimeout)
+		}
+		got, rerr := watchdog.Run(runCtx, r.StallTimeout, func(wctx context.Context, beat func()) (*core.Result, error) {
 			p := core.Params{Width: width, SelfCheck: r.SelfCheck}
 			if r.StallTimeout > 0 {
 				p.Progress = func(core.Progress) { beat() }
@@ -255,7 +309,15 @@ func (r *Runner) compute(w *workloads.Workload, cfg core.Config, width int) (res
 			}
 			return core.RunChecked(wctx, buf.Reader(), cfg, p)
 		})
+		cancelCell()
 		if rerr != nil {
+			// A deadline that fired on the *cell's* derived context while
+			// the sweep's own context is still live is a cell failure, not
+			// a cancellation: convert it so it degrades one cell, caches,
+			// and is never retried.
+			if r.CellTimeout > 0 && ctx.Err() == nil && errors.Is(rerr, context.DeadlineExceeded) {
+				return &CellDeadlineError{Timeout: r.CellTimeout}
+			}
 			return rerr
 		}
 		res = got

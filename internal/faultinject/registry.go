@@ -35,6 +35,12 @@ const (
 	// PointExperiment fires at the start of every experiment cell
 	// computation (Runner.Result).
 	PointExperiment = "experiments.run.result"
+	// PointStoreGet fires on result-store reads behind the serving
+	// layer's circuit breaker (internal/server); chaos campaigns arm it to
+	// simulate a failing disk.
+	PointStoreGet = "server.store.get"
+	// PointStorePut fires on result-store writes behind the breaker.
+	PointStorePut = "server.store.put"
 )
 
 var (

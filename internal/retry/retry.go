@@ -178,6 +178,11 @@ func Do(ctx context.Context, p Policy, fn func(attempt int) error) (attempts int
 		if serr := p.Sleep(ctx, d); serr != nil {
 			return attempt, errors.Join(serr, err)
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			// Belt and braces for Sleep overrides: even a Sleep that
+			// ignored the cancellation must not keep the loop retrying.
+			return attempt, errors.Join(cerr, err)
+		}
 		delay = time.Duration(float64(delay) * p.Multiplier)
 		if delay > p.MaxDelay {
 			delay = p.MaxDelay

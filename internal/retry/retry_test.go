@@ -258,3 +258,54 @@ func TestClassifyOverride(t *testing.T) {
 		t.Fatalf("attempts = %d, want 1", attempts)
 	}
 }
+
+// TestCancelDuringFirstBackoffReturnsImmediately: a cancellation that lands
+// mid-sleep during the first backoff must abort the wait at once — the loop
+// may not finish a multi-second sleep, and no further attempt may run.
+func TestCancelDuringFirstBackoffReturnsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("transient wobble")
+	calls := 0
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	attempts, err := Do(ctx, Policy{MaxAttempts: 5, BaseDelay: 30 * time.Second}, func(int) error {
+		calls++
+		return boom
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do took %v; cancellation mid-backoff must return immediately", elapsed)
+	}
+	if attempts != 1 || calls != 1 {
+		t.Fatalf("attempts = %d, calls = %d; want exactly one attempt", attempts, calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the retried error joined in", err)
+	}
+}
+
+// TestSleepOverrideCannotOutliveCancellation: a custom Sleep that ignores
+// the context (returns nil after cancellation) must not keep the retry loop
+// alive — Do re-checks the context after every wait.
+func TestSleepOverrideCannotOutliveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("flaky")
+	p := Policy{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) error {
+		cancel() // cancellation lands mid-sleep, and this Sleep ignores it
+		return nil
+	}}
+	attempts, err := Do(ctx, p, func(int) error { return boom })
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no attempt after cancellation)", attempts)
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want both context.Canceled and the retried error", err)
+	}
+}

@@ -1,0 +1,284 @@
+package server
+
+// Circuit breaker around result-store I/O. A long-running service must not
+// let a failing disk stall every job on synchronous store calls: after
+// `threshold` consecutive I/O failures the breaker opens and store traffic
+// is served degraded — reads from a bounded in-memory fallback cache,
+// writes stashed into the same cache (durability deferred, never the
+// result) — until a cooldown elapses and a half-open probe is allowed
+// through. One probe success closes the breaker; a probe failure reopens
+// it for another cooldown.
+//
+// What counts as an I/O failure: write errors and injected faults
+// (faultinject.PointStoreGet / PointStorePut). A store *miss* — absent
+// entry, corrupt entry (store.ErrMiss / store.ErrCorruptEntry) — is a
+// healthy answer from a working disk and never trips the breaker.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/faultinject"
+	"repro/internal/store"
+)
+
+// BreakerState is the breaker's position in its state machine.
+type BreakerState int32
+
+// Breaker states.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// ErrBreakerOpen marks store reads rejected while the breaker is open. It
+// wraps store.ErrMiss, so Runner callers uniformly treat it as "recompute".
+var ErrBreakerOpen = fmt.Errorf("%w: circuit breaker open", store.ErrMiss)
+
+// fallbackCap bounds the in-memory fallback cache: enough to ride out a
+// cooldown of heavy traffic, small enough to never threaten memory.
+const fallbackCap = 4096
+
+// BreakerStats is a snapshot of the breaker's counters for /healthz.
+type BreakerStats struct {
+	State         string `json:"state"`
+	Trips         int64  `json:"trips"`           // closed->open transitions
+	Rejected      int64  `json:"rejected"`        // reads rejected while open
+	FallbackHits  int64  `json:"fallback_hits"`   // reads served from the fallback cache
+	DroppedWrites int64  `json:"dropped_writes"`  // writes degraded to the fallback cache
+	CachedEntries int    `json:"cached_entries"`  // current fallback cache size
+}
+
+// Breaker wraps a ResultStore with circuit breaking. It implements
+// experiments.ResultStore, so it slots directly under a Runner.
+type Breaker struct {
+	inner     experiments.ResultStore
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive I/O failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	cache map[store.Key]*core.Result
+	order []store.Key // FIFO eviction order for cache
+
+	trips, rejected, fallbackHits, droppedWrites int64
+}
+
+var _ experiments.ResultStore = (*Breaker)(nil)
+
+// NewBreaker wraps inner. threshold <= 0 defaults to 5 consecutive
+// failures; cooldown <= 0 defaults to 5s.
+func NewBreaker(inner experiments.ResultStore, threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{
+		inner:     inner,
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		cache:     make(map[store.Key]*core.Result),
+	}
+}
+
+// State reports the breaker's current state (advancing open -> half-open
+// when the cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+// Stats snapshots the breaker's counters.
+func (b *Breaker) Stats() store.Stats { return b.inner.Stats() }
+
+// BreakerStats snapshots the breaker-specific counters.
+func (b *Breaker) BreakerStats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return BreakerStats{
+		State:         b.state.String(),
+		Trips:         b.trips,
+		Rejected:      b.rejected,
+		FallbackHits:  b.fallbackHits,
+		DroppedWrites: b.droppedWrites,
+		CachedEntries: len(b.cache),
+	}
+}
+
+// advanceLocked moves open -> half-open once the cooldown has elapsed.
+func (b *Breaker) advanceLocked() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+}
+
+// allow decides whether one store call may reach the disk. In half-open
+// state exactly one in-flight probe is allowed.
+func (b *Breaker) allow() (ok, isProbe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// record feeds one call outcome back into the state machine.
+func (b *Breaker) record(failed, wasProbe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if wasProbe {
+		b.probing = false
+		if failed {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		} else {
+			b.state = BreakerClosed
+			b.fails = 0
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		return
+	}
+	if !failed {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+}
+
+// ioFailure reports whether a Get/Put error is disk damage (trips the
+// breaker) rather than a healthy miss.
+func ioFailure(err error) bool {
+	return err != nil && !errors.Is(err, store.ErrMiss) && !errors.Is(err, store.ErrCorruptEntry)
+}
+
+// stashLocked degrades one entry into the fallback cache, evicting FIFO.
+func (b *Breaker) stashLocked(k store.Key, res *core.Result) {
+	if _, exists := b.cache[k]; !exists {
+		if len(b.order) >= fallbackCap {
+			oldest := b.order[0]
+			b.order = b.order[1:]
+			delete(b.cache, oldest)
+		}
+		b.order = append(b.order, k)
+	}
+	b.cache[k] = res
+}
+
+// Get implements experiments.ResultStore. While the breaker is open it
+// serves the fallback cache and otherwise reports a fast miss — never a
+// blocking disk call.
+func (b *Breaker) Get(k store.Key) (*core.Result, error) {
+	ok, probe := b.allow()
+	if !ok {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if res, hit := b.cache[k]; hit {
+			b.fallbackHits++
+			return res, nil
+		}
+		b.rejected++
+		return nil, ErrBreakerOpen
+	}
+	res, err := b.getInner(k)
+	b.record(ioFailure(err), probe)
+	if err != nil {
+		// Degraded second chance: an entry stashed while the breaker was
+		// open is still the authoritative in-process result.
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if res, hit := b.cache[k]; hit {
+			b.fallbackHits++
+			return res, nil
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+func (b *Breaker) getInner(k store.Key) (*core.Result, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Check(faultinject.PointStoreGet); err != nil {
+			return nil, fmt.Errorf("server: store get: %w", err)
+		}
+	}
+	return b.inner.Get(k)
+}
+
+// PutWithPerf implements experiments.ResultStore. While the breaker is
+// open, writes degrade into the fallback cache and report success: the
+// caller keeps its result either way, the entry is re-readable in-process,
+// and only cross-process durability is deferred.
+func (b *Breaker) PutWithPerf(k store.Key, res *core.Result, p *store.PerfInfo) error {
+	ok, probe := b.allow()
+	if !ok {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.stashLocked(k, res)
+		b.droppedWrites++
+		return nil
+	}
+	err := b.putInner(k, res, p)
+	b.record(ioFailure(err), probe)
+	if err != nil {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.stashLocked(k, res)
+		b.droppedWrites++
+		return err
+	}
+	return nil
+}
+
+func (b *Breaker) putInner(k store.Key, res *core.Result, p *store.PerfInfo) error {
+	if faultinject.Enabled() {
+		if err := faultinject.Check(faultinject.PointStorePut); err != nil {
+			return fmt.Errorf("server: store put: %w", err)
+		}
+	}
+	return b.inner.PutWithPerf(k, res, p)
+}

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 )
@@ -36,6 +37,37 @@ import (
 // hang in a deterministic pipeline will hang again, and retrying doubles
 // the damage.
 var ErrStalled = errors.New("watchdog: stalled")
+
+// abandoned counts worker goroutines that outlived their grace period and
+// were left running (see the package comment). It only ever grows: an
+// abandoned goroutine may eventually unblock and exit, but the watchdog no
+// longer observes it, so the counter records leak *pressure*, not live
+// leaks. Long-running processes (internal/server's /healthz) report it so
+// operators can see a pipeline that keeps wedging before it exhausts
+// memory.
+var abandoned atomic.Int64
+
+// Abandoned reports how many supervised workers have been abandoned
+// process-wide since start.
+func Abandoned() int64 { return abandoned.Load() }
+
+// PanicError reports a panic recovered from a supervised worker goroutine.
+// Without this recovery a panicking worker would crash the whole process
+// from a goroutine no caller can defer around; with it, the panic becomes
+// an ordinary — permanent, never retried — error carrying the panic value
+// and stack. Serving layers use it to isolate one crashing job from its
+// neighbors.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack string // the panicking goroutine's stack
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("watchdog: worker panicked: %v", e.Value) }
+
+// Permanent marks panics as never worth retrying: the pipeline is
+// deterministic, so the same input panics the same way again.
+func (e *PanicError) Permanent() bool { return true }
 
 // outcome carries a worker's result through the done channel, so the
 // caller and a possibly-abandoned worker never share memory.
@@ -97,6 +129,12 @@ func Run[T any](ctx context.Context, stall time.Duration, fn func(ctx context.Co
 
 	done := make(chan outcome[T], 1)
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				var zero T
+				done <- outcome[T]{zero, &PanicError{Value: r, Stack: string(debug.Stack())}}
+			}
+		}()
 		val, err := fn(cctx, beat)
 		done <- outcome[T]{val, err}
 	}()
@@ -117,6 +155,7 @@ func Run[T any](ctx context.Context, stall time.Duration, fn func(ctx context.Co
 			case out := <-done:
 				return out.val, out.err
 			case <-time.After(gracePeriod(stall)):
+				abandoned.Add(1)
 				return zero, fmt.Errorf("watchdog: worker unresponsive %v after cancellation, abandoned: %w",
 					gracePeriod(stall), ctx.Err())
 			}
@@ -139,6 +178,7 @@ func Run[T any](ctx context.Context, stall time.Duration, fn func(ctx context.Co
 				// and the cancel taking effect; its result is real.
 				return out.val, nil
 			case <-time.After(gracePeriod(stall)):
+				abandoned.Add(1)
 				return zero, fmt.Errorf("%w: no progress for %v; worker unresponsive, abandoned", ErrStalled, idle.Round(time.Millisecond))
 			}
 		}

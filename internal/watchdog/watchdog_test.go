@@ -110,3 +110,55 @@ func TestWorkerErrorPassesThrough(t *testing.T) {
 		t.Fatalf("err = %v, want plain worker error", err)
 	}
 }
+
+// TestAbandonedCounterTracksReapedWorkers: every worker that outlives its
+// grace period bumps the process-wide Abandoned counter — the leak-pressure
+// gauge internal/server's /healthz reports.
+func TestAbandonedCounterTracksReapedWorkers(t *testing.T) {
+	unblock := make(chan struct{})
+	t.Cleanup(func() { close(unblock) })
+	before := Abandoned()
+	_, err := Run(context.Background(), 50*time.Millisecond, func(ctx context.Context, beat func()) (int, error) {
+		<-unblock // ignores ctx: wedged until test cleanup
+		return 0, nil
+	})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if got := Abandoned() - before; got != 1 {
+		t.Fatalf("Abandoned grew by %d, want 1", got)
+	}
+	// A healthy supervised run must not move the counter.
+	if _, err := Run(context.Background(), time.Hour, func(ctx context.Context, beat func()) (int, error) {
+		beat()
+		return 1, nil
+	}); err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+	if got := Abandoned() - before; got != 1 {
+		t.Fatalf("Abandoned grew by %d after a healthy run, want still 1", got)
+	}
+}
+
+// TestPanicIsIsolatedIntoPanicError: a panic on the supervised goroutine
+// must not crash the process; it surfaces as a *PanicError that carries the
+// panic value, keeps the stack, and classifies as permanent.
+func TestPanicIsIsolatedIntoPanicError(t *testing.T) {
+	_, err := Run(context.Background(), time.Hour, func(ctx context.Context, beat func()) (int, error) {
+		beat()
+		panic("scheduler state corrupted")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "scheduler state corrupted" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if pe.Stack == "" {
+		t.Fatal("panic stack not captured")
+	}
+	if !pe.Permanent() {
+		t.Fatal("panics must classify as permanent (never retried)")
+	}
+}
