@@ -48,8 +48,12 @@ func main() {
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 		soak       = flag.Bool("soak", false, "run the chaos soak campaign instead of serving")
 		schedules  = flag.Int("schedules", 64, "soak: number of randomized fault schedules")
-		seed       = flag.Int64("seed", 1, "soak: campaign seed")
+		seed       = flag.Int64("seed", 1, "soak/powerfail: campaign seed")
 		soakDir    = flag.String("soak-dir", "", "soak: scratch directory (empty = temp)")
+		powerfail  = flag.Bool("powerfail", false, "run the power-fail crash-consistency campaign instead of serving")
+		trials     = flag.Int("trials", 8, "powerfail: number of randomized kill-points")
+		scrubEvery = flag.Duration("scrub-interval", 0, "background store scrub pass interval (0 = scrubbing off; needs -store)")
+		scrubRate  = flag.Duration("scrub-rate", 10*time.Millisecond, "background scrub per-entry pacing")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,8 +65,13 @@ func main() {
 		cli.Exit("ddserve", runSoak(logger, *seed, *schedules, *soakDir))
 		return
 	}
+	if *powerfail {
+		cli.Exit("ddserve", runPowerFail(logger, *seed, *trials))
+		return
+	}
 	cli.Exit("ddserve", serve(logger, options{
 		addr: *addr, storeDir: *storeDir, drainTimeout: *drainTO,
+		scrubInterval: *scrubEvery, scrubRate: *scrubRate,
 		opt: server.Options{
 			Workers:          *workers,
 			QueueDepth:       *queue,
@@ -79,10 +88,12 @@ func main() {
 }
 
 type options struct {
-	addr         string
-	storeDir     string
-	drainTimeout time.Duration
-	opt          server.Options
+	addr          string
+	storeDir      string
+	drainTimeout  time.Duration
+	scrubInterval time.Duration
+	scrubRate     time.Duration
+	opt           server.Options
 }
 
 func serve(logger *log.Logger, o options) error {
@@ -94,7 +105,18 @@ func serve(logger *log.Logger, o options) error {
 		var rs experiments.ResultStore = st
 		o.opt.Store = rs
 		if n, err := st.Len(); err == nil {
-			logger.Printf("durable store: %s (%d entries)", o.storeDir, n)
+			msg := fmt.Sprintf("durable store: %s (%d entries)", o.storeDir, n)
+			if cleaned := st.Stats().TmpCleaned; cleaned > 0 {
+				msg += fmt.Sprintf(", %d stale temp file(s) cleaned", cleaned)
+			}
+			logger.Print(msg)
+		}
+		if o.scrubInterval > 0 {
+			sc := store.NewScrubber(st, o.scrubRate, o.scrubInterval)
+			o.opt.Scrubber = sc
+			sc.Start()
+			defer sc.Stop()
+			logger.Printf("background scrub: every %s, one entry per %s", o.scrubInterval, o.scrubRate)
 		}
 	}
 	srv := server.New(o.opt)
@@ -132,6 +154,23 @@ func serve(logger *log.Logger, o options) error {
 	}
 	h := srv.HealthSnapshot()
 	logger.Printf("drained clean: %d job records, %d shed, %d quarantined", h.Jobs, h.Shed, h.Quarantined)
+	return nil
+}
+
+// runPowerFail executes the crash-consistency campaign (chaos.RunPowerFail):
+// randomized power cuts mid-sweep over a simulated filesystem, each
+// followed by a verify + resume + byte-identity check. Any violation is a
+// failure (exit 1) — CI gates on it.
+func runPowerFail(logger *log.Logger, seed int64, trials int) error {
+	start := time.Now()
+	sum, err := chaos.RunPowerFail(chaos.PowerFailOptions{Seed: seed, Trials: trials, Log: logger})
+	if err != nil {
+		return err
+	}
+	logger.Printf("powerfail: %d trial(s) in %s", sum.Trials, time.Since(start).Round(time.Millisecond))
+	if n := len(sum.Violations); n > 0 {
+		return fmt.Errorf("powerfail: %d violation(s); first: %s", n, sum.Violations[0])
+	}
 	return nil
 }
 

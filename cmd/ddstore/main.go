@@ -1,0 +1,244 @@
+// ddstore inspects and maintains a durable result store (internal/store):
+// the operator-facing half of the crash-consistency contract in
+// docs/robustness.md §8.
+//
+//	ddstore verify -store results/              # walk + integrity-check every entry
+//	ddstore verify -store results/ -json        # machine-readable report
+//	ddstore repair -store results/              # quarantine corrupt entries to corrupt/
+//	ddstore repair -store results/ -rederive    # ...and recompute the ones whose key allows it
+//	ddstore gc -store results/ -tmp-age 1h -retention 168h
+//
+// verify never modifies the store and exits 3 when any entry fails
+// validation (the corrupt-input exit code shared with ddsim/ddtrace, see
+// docs/robustness.md §4), so CI can gate on a clean store. repair moves
+// every defective entry into the corrupt/ subdirectory — healthy entries
+// are never touched — and writes a machine-readable report to
+// corrupt/repair-report.json; with -rederive it then regenerates the
+// workload trace named by each quarantined entry's key, confirms the
+// trace content hash matches, and recomputes + re-persists the result. gc
+// removes orphaned temp files past -tmp-age and quarantined files past
+// -retention.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(cli.ExitUsage)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+
+	ctx, stop := cli.Context(0)
+	defer stop()
+
+	var err error
+	switch cmd {
+	case "verify":
+		err = runVerify(args)
+	case "repair":
+		err = runRepair(ctx, args)
+	case "gc":
+		err = runGC(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		err = cli.Usagef("unknown subcommand %q (want verify, repair, or gc)", cmd)
+	}
+	cli.Exit("ddstore", err)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ddstore <command> [flags]
+
+commands:
+  verify  -store DIR [-json]                         integrity-check every entry (exit 3 on corruption)
+  repair  -store DIR [-json] [-rederive]             quarantine corrupt entries to corrupt/
+  gc      -store DIR [-tmp-age D] [-retention D] [-json]  remove orphaned temp + aged quarantined files
+`)
+}
+
+// openStore validates the -store flag and opens the store. Unlike the
+// sweep CLIs, an absent directory is a usage error for every ddstore
+// command: maintaining a store that does not exist is always a mistake.
+func openStore(dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, cli.Usagef("-store is required")
+	}
+	fi, err := os.Stat(dir)
+	if err != nil || !fi.IsDir() {
+		return nil, cli.Usagef("store directory %q does not exist", dir)
+	}
+	return store.Open(dir)
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("ddstore verify", flag.ExitOnError)
+	dir := fs.String("store", "", "result store directory")
+	asJSON := fs.Bool("json", false, "emit the report as JSON on stdout")
+	fs.Parse(args)
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		if err := json.NewEncoder(os.Stdout).Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("ddstore: verify %s: %d entr(y/ies) scanned, %d ok, %d temp file(s)\n",
+			*dir, rep.Scanned, rep.OK, rep.TmpFiles)
+		for _, p := range rep.Problems {
+			fmt.Printf("ddstore: %s: %s: %s\n", p.Class, p.File, p.Detail)
+		}
+	}
+	if !rep.Clean() {
+		// Wraps the store + trace corruption taxonomy so cli.Code maps
+		// this to exit 3, the shared corrupt-input code.
+		return fmt.Errorf("%w: %w: %d corrupt entr(y/ies) in %s",
+			store.ErrCorruptEntry, trace.ErrCorruptRecord, len(rep.Problems), *dir)
+	}
+	return nil
+}
+
+func runRepair(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("ddstore repair", flag.ExitOnError)
+	dir := fs.String("store", "", "result store directory")
+	asJSON := fs.Bool("json", false, "emit the report as JSON on stdout")
+	rederive := fs.Bool("rederive", false, "recompute quarantined entries from their workload trace")
+	fs.Parse(args)
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	rep, err := st.Repair()
+	if err != nil {
+		return err
+	}
+
+	type rederivation struct {
+		File  string `json:"file"`
+		Error string `json:"error,omitempty"`
+	}
+	var rederived []rederivation
+	if *rederive {
+		for _, p := range rep.Quarantined {
+			r := rederivation{File: p.File}
+			if p.Key == nil {
+				r.Error = "entry key unrecoverable from the corrupt bytes"
+			} else if err := rederiveEntry(ctx, st, *p.Key); err != nil {
+				if cli.Canceled(err) {
+					return err
+				}
+				r.Error = err.Error()
+			}
+			rederived = append(rederived, r)
+		}
+	}
+
+	if *asJSON {
+		out := struct {
+			store.RepairReport
+			Rederived []rederivation `json:"rederived,omitempty"`
+		}{rep, rederived}
+		if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("ddstore: repair %s: %d entr(y/ies) scanned, %d ok, %d quarantined\n",
+			*dir, rep.Scanned, rep.OK, len(rep.Quarantined))
+		for _, p := range rep.Quarantined {
+			fmt.Printf("ddstore: quarantined %s (%s: %s)\n", p.File, p.Class, p.Detail)
+		}
+		for _, r := range rederived {
+			if r.Error == "" {
+				fmt.Printf("ddstore: rederived %s\n", r.File)
+			} else {
+				fmt.Printf("ddstore: could not rederive %s: %s\n", r.File, r.Error)
+			}
+		}
+	}
+	if len(rep.Failed) > 0 {
+		return fmt.Errorf("ddstore: %d defective entr(y/ies) could not be quarantined", len(rep.Failed))
+	}
+	return nil
+}
+
+// rederiveEntry recomputes one quarantined entry from first principles:
+// regenerate the workload trace at the key's scale, confirm its content
+// hash matches the key (the result is only valid for that exact trace),
+// resolve the configuration by fingerprint, re-run the simulation, and
+// persist the fresh entry under the same key.
+func rederiveEntry(ctx context.Context, st *store.Store, k store.Key) error {
+	if k.Window != 0 {
+		return fmt.Errorf("non-default window size %d: not rederivable from the key alone", k.Window)
+	}
+	w, err := workloads.ByName(k.Workload)
+	if err != nil {
+		return err
+	}
+	buf, _, err := w.TraceCachedCtx(ctx, k.Scale)
+	if err != nil {
+		return err
+	}
+	if h := buf.Hash(); h != k.Trace {
+		return fmt.Errorf("regenerated trace hash %016x does not match the entry key's %016x (workload changed since the entry was written)", h, k.Trace)
+	}
+	var cfg *core.Config
+	for _, c := range core.Configs() {
+		if c.Fingerprint() == k.Config {
+			c := c
+			cfg = &c
+			break
+		}
+	}
+	if cfg == nil {
+		return fmt.Errorf("config fingerprint %q matches no known configuration", k.Config)
+	}
+	res, err := core.RunChecked(ctx, buf.Reader(), *cfg, core.Params{Width: k.Width, SelfCheck: k.Checked})
+	if err != nil {
+		return err
+	}
+	return st.Put(k, res)
+}
+
+func runGC(args []string) error {
+	fs := flag.NewFlagSet("ddstore gc", flag.ExitOnError)
+	dir := fs.String("store", "", "result store directory")
+	tmpAge := fs.Duration("tmp-age", time.Hour, "remove orphaned temp files older than this (0 = any age)")
+	retention := fs.Duration("retention", 7*24*time.Hour, "remove quarantined files older than this (0 = any age)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON on stdout")
+	fs.Parse(args)
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	rep, err := st.GC(*tmpAge, *retention)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return json.NewEncoder(os.Stdout).Encode(rep)
+	}
+	fmt.Printf("ddstore: gc %s: %d temp file(s) removed, %d quarantined file(s) reclaimed\n",
+		*dir, rep.TmpRemoved, rep.QuarantineRemoved)
+	return nil
+}

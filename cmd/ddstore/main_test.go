@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// buildEntry computes one real (small) simulation cell and persists it,
+// returning the store and the exact key the sweep CLIs would use — so the
+// rederive path is tested against a genuinely reconstructible entry.
+func buildEntry(t *testing.T) (*store.Store, store.Key) {
+	t.Helper()
+	w, err := workloads.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 10
+	buf, _, err := w.TraceCachedCtx(context.Background(), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.ConfigA
+	k := store.Key{
+		Trace:    buf.Hash(),
+		Config:   cfg.Fingerprint(),
+		Width:    2,
+		Scale:    scale,
+		Workload: w.Name,
+	}
+	res, err := core.RunChecked(context.Background(), buf.Reader(), cfg, core.Params{Width: k.Width})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(k, res); err != nil {
+		t.Fatal(err)
+	}
+	return st, k
+}
+
+// entryPath locates the single committed entry in a one-entry store.
+func entryPath(t *testing.T, st *store.Store) string {
+	t.Helper()
+	entries, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			return filepath.Join(st.Dir(), e.Name())
+		}
+	}
+	t.Fatal("no committed entry found")
+	return ""
+}
+
+// TestVerifyExitCodes: a clean store verifies with no error; a corrupted
+// one yields an error carrying the corrupt-input exit code (3), for every
+// corruption class.
+func TestVerifyExitCodes(t *testing.T) {
+	st, _ := buildEntry(t)
+	if err := runVerify([]string{"-store", st.Dir()}); err != nil {
+		t.Fatalf("clean store: verify error %v", err)
+	}
+	path := entryPath(t, st)
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range faultinject.ByteFaults {
+		if err := os.WriteFile(path, faultinject.Corrupt(img, f, 9), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := runVerify([]string{"-store", st.Dir()})
+		if err == nil {
+			t.Fatalf("%v: corruption not detected", f)
+		}
+		if !trace.IsCorrupt(err) || cli.Code(err) != cli.ExitCorrupt {
+			t.Fatalf("%v: error %v maps to exit %d, want %d", f, err, cli.Code(err), cli.ExitCorrupt)
+		}
+	}
+	// Restore the good bytes: clean again.
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runVerify([]string{"-store", st.Dir()}); err != nil {
+		t.Fatalf("restored store: verify error %v", err)
+	}
+}
+
+// TestRepairRederive: corrupt the one real entry, repair with -rederive,
+// and the store must end up holding an identical fresh entry under the
+// same key.
+func TestRepairRederive(t *testing.T) {
+	st, k := buildEntry(t)
+	want, err := st.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a digit inside the checksummed result payload: the envelope
+	// (and its key) stays parseable, so repair can identify what to
+	// rederive — the realistic single-field-rot case.
+	path := entryPath(t, st)
+	img, _ := os.ReadFile(path)
+	i := bytes.Index(img, []byte(`"Cycles":`))
+	if i < 0 {
+		t.Fatal("entry has no cycles field")
+	}
+	d := img[i+len(`"Cycles":`)]
+	img2 := append([]byte(nil), img...)
+	img2[i+len(`"Cycles":`)] = '1' + (d-'0'+1)%9
+	os.WriteFile(path, img2, 0o644)
+
+	if err := runRepair(context.Background(), []string{"-store", st.Dir(), "-rederive"}); err != nil {
+		t.Fatalf("repair -rederive: %v", err)
+	}
+	// Fresh store handle so counters/caches can't mask the on-disk state.
+	st2, err := store.Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.Get(k)
+	if err != nil {
+		t.Fatalf("rederived entry missing: %v", err)
+	}
+	if got.Cycles != want.Cycles || got.Instructions != want.Instructions {
+		t.Fatalf("rederived result differs: %d/%d cycles, want %d/%d",
+			got.Cycles, got.Instructions, want.Cycles, want.Instructions)
+	}
+	// The corrupt bytes are preserved in quarantine alongside the report.
+	if _, err := os.Stat(filepath.Join(st.Dir(), "corrupt", filepath.Base(path))); err != nil {
+		t.Fatalf("quarantined bytes missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "corrupt", "repair-report.json")); err != nil {
+		t.Fatalf("repair report missing: %v", err)
+	}
+}
+
+// TestUsageErrors: missing -store and unknown directories are usage
+// errors (exit 2), not crashes.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{{}, {"-store", filepath.Join(t.TempDir(), "absent")}} {
+		err := runVerify(args)
+		if err == nil || cli.Code(err) != cli.ExitUsage {
+			t.Fatalf("runVerify(%v) = %v (exit %d), want usage error", args, err, cli.Code(err))
+		}
+	}
+	if err := runGC([]string{}); err == nil || cli.Code(err) != cli.ExitUsage {
+		t.Fatal("gc without -store accepted")
+	}
+}
+
+// TestGCCommand: end-to-end gc over a store with an aged temp file.
+func TestGCCommand(t *testing.T) {
+	st, _ := buildEntry(t)
+	tmp := filepath.Join(st.Dir(), ".tmp-orphan")
+	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGC([]string{"-store", st.Dir(), "-tmp-age", "0s"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan temp file survived gc: %v", err)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; committed entry must survive gc", n, err)
+	}
+}

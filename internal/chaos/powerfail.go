@@ -1,0 +1,191 @@
+package chaos
+
+// Power-fail campaign: the crash-consistency analogue of the fault-schedule
+// soak. Each trial runs the fixed resume grid against a result store
+// mounted on faultfs.Sim, cuts power at a randomized step mid-sweep (every
+// store write after the cut fails, exactly as a yanked cord would), reboots
+// the simulated disk — dropping un-synced data and directory entries —
+// and then resumes the sweep from whatever survived. The contract under
+// test is the one docs/robustness.md §8 promises: the survived store
+// verifies clean (complete entries or nothing, no torn bytes under live
+// names), and the resumed sweep renders byte-identically to an
+// uninterrupted run.
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/faultfs"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// PowerFailOptions configures a power-fail campaign.
+type PowerFailOptions struct {
+	Seed   int64       // campaign seed; every trial derives from it
+	Trials int         // number of randomized kill-points; <= 0 means 8
+	Scale  int         // workload scale; <= 0 means 60 (the soak default)
+	Log    *log.Logger // nil = silent
+}
+
+// PowerFailSummary is the campaign outcome.
+type PowerFailSummary struct {
+	Trials     int      // trials executed
+	Crashes    int64    // simulated power cuts (== Trials)
+	Survived   int64    // cells served from a crash-survived store, total
+	Recomputed int64    // cells recomputed after crashes, total
+	Violations []string // contract violations; empty means the campaign passed
+}
+
+// powerFailGrid is the sweep the campaign replays: the same fixed grid as
+// the drain-resume check, so the two durability stories cover one another.
+var powerFailGrid = struct {
+	workloads []string
+	configs   []core.Config
+	widths    []int
+}{
+	workloads: []string{"compress", "espresso"},
+	configs:   []core.Config{core.ConfigA, core.ConfigD},
+	widths:    []int{4, 8},
+}
+
+// RunPowerFail executes the campaign. The error reports infrastructure
+// failures only; contract violations land in Summary.Violations.
+func RunPowerFail(opt PowerFailOptions) (*PowerFailSummary, error) {
+	if opt.Trials <= 0 {
+		opt.Trials = 8
+	}
+	if opt.Scale <= 0 {
+		opt.Scale = 60
+	}
+	logf := func(format string, args ...any) {
+		if opt.Log != nil {
+			opt.Log.Printf(format, args...)
+		}
+	}
+
+	// Reference: the full grid, uninterrupted, no store. Every trial's
+	// post-crash resume must render exactly this.
+	reference, err := renderPowerFailGrid(experiments.NewRunner(opt.Scale))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: powerfail reference run: %v", err)
+	}
+
+	sum := &PowerFailSummary{Trials: opt.Trials}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for trial := 0; trial < opt.Trials; trial++ {
+		if v := runPowerFailTrial(opt, rng, trial, reference, sum); v != "" {
+			sum.Violations = append(sum.Violations, fmt.Sprintf("trial %d: %s", trial, v))
+			logf("powerfail trial %d: VIOLATION: %s", trial, v)
+		}
+	}
+	logf("powerfail: %d trial(s), %d crash(es), %d cell(s) survived, %d recomputed, %d violation(s)",
+		sum.Trials, sum.Crashes, sum.Survived, sum.Recomputed, len(sum.Violations))
+	return sum, nil
+}
+
+// runPowerFailTrial executes one randomized kill-point. Returns "" when the
+// contract held.
+func runPowerFailTrial(opt PowerFailOptions, rng *rand.Rand, trial int, reference string, sum *PowerFailSummary) string {
+	sim := faultfs.NewSim(opt.Seed<<16 + int64(trial))
+	const dir = "pfstore"
+	st, err := store.OpenFS(dir, sim)
+	if err != nil {
+		return fmt.Sprintf("open: %v", err)
+	}
+
+	// Arm the cut a random number of mutating steps ahead: one committed
+	// Put is ~7 steps, the grid is 8 cells, so the window covers cuts from
+	// "before the first write" to "after the sweep finished".
+	cells := len(powerFailGrid.workloads) * len(powerFailGrid.configs) * len(powerFailGrid.widths)
+	window := int64(cells*7 + 7)
+	sim.SetCut(sim.Steps() + 1 + rng.Int63n(window))
+
+	// The doomed run: compute cell by cell until the power goes. Results
+	// whose writes failed live only in this runner's memory — which the
+	// crash then loses, because the resume uses a fresh runner.
+	doomed := experiments.NewRunner(opt.Scale).WithStoreHandle(st)
+	if err := forEachPowerFailCell(func(w *workloads.Workload, cfg core.Config, width int) error {
+		if sim.Down() {
+			return nil // the process is dead; remaining cells never ran
+		}
+		_, rerr := doomed.Result(w, cfg, width)
+		return rerr
+	}); err != nil {
+		return fmt.Sprintf("doomed run: %v", err)
+	}
+	sim.Crash()
+	sum.Crashes++
+
+	// Reboot: the survived store must verify clean — complete committed
+	// entries or clean misses, never torn bytes under a live name.
+	st2, err := store.OpenFS(dir, sim)
+	if err != nil {
+		return fmt.Sprintf("reopen: %v", err)
+	}
+	rep, err := st2.Verify()
+	if err != nil {
+		return fmt.Sprintf("verify: %v", err)
+	}
+	if !rep.Clean() {
+		return fmt.Sprintf("survived store fails verify: %+v", rep.Problems)
+	}
+
+	// Resume with no memory of the doomed run and compare renderings.
+	resumed := experiments.NewRunner(opt.Scale).WithStoreHandle(st2)
+	rendered, err := renderPowerFailGrid(resumed)
+	if err != nil {
+		return fmt.Sprintf("resumed run: %v", err)
+	}
+	stats := resumed.StoreStats()
+	sum.Survived += stats.Hits
+	sum.Recomputed += int64(resumed.ComputeCalls())
+	if stats.Corrupt != 0 {
+		return fmt.Sprintf("resumed run read %d corrupt entr(y/ies)", stats.Corrupt)
+	}
+	if rendered != reference {
+		return fmt.Sprintf("resumed report diverged from uninterrupted run:\n--- resumed ---\n%s--- reference ---\n%s", rendered, reference)
+	}
+	return ""
+}
+
+// forEachPowerFailCell walks the grid in its one deterministic order.
+func forEachPowerFailCell(fn func(*workloads.Workload, core.Config, int) error) error {
+	for _, name := range powerFailGrid.workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		for _, cfg := range powerFailGrid.configs {
+			for _, width := range powerFailGrid.widths {
+				if err := fn(w, cfg, width); err != nil {
+					return fmt.Errorf("%s/%s/w%d: %w", name, cfg.Name, width, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// renderPowerFailGrid runs the full grid on r and renders a deterministic
+// per-cell report: the byte-identity oracle for the resume comparison.
+func renderPowerFailGrid(r *experiments.Runner) (string, error) {
+	var b strings.Builder
+	err := forEachPowerFailCell(func(w *workloads.Workload, cfg core.Config, width int) error {
+		res, err := r.Result(w, cfg, width)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%s %s w%d: instrs=%d cycles=%d collapsed=%d mispredicts=%d\n",
+			w.Name, cfg.Name, width, res.Instructions, res.Cycles, res.CollapsedInstrs, res.Mispredicts)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -58,6 +58,9 @@ func ReportStore(tool string, st *store.Store) {
 	if s.WriteErrors > 0 {
 		msg += fmt.Sprintf(", %d write error(s)", s.WriteErrors)
 	}
+	if s.TmpCleaned > 0 {
+		msg += fmt.Sprintf(", %d stale temp file(s) cleaned", s.TmpCleaned)
+	}
 	fmt.Fprintln(os.Stderr, msg)
 }
 

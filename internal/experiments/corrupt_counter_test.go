@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// TestCorruptEntryCountedAndRecomputed: satellite of the crash-consistency
+// issue — a corrupt store entry must not be silently folded into the
+// misses. The runner recomputes (correctness) AND the dedicated corrupt
+// counter surfaces through StoreStats (observability), which is what
+// /healthz and the CLI summaries render.
+func TestCorruptEntryCountedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	w := workloads.All()[0]
+
+	r1, err := NewRunner(60).WithStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r1.Result(w, core.ConfigD, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the one committed entry on disk (truncation: the decode fails,
+	// the envelope does not even parse).
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v, %v; want exactly one", entries, err)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := NewRunner(60).WithStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.Result(w, core.ConfigD, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ComputeCalls() != 1 {
+		t.Fatalf("corrupt entry served without recomputation: ComputeCalls = %d", r2.ComputeCalls())
+	}
+	if got.Cycles != want.Cycles {
+		t.Fatalf("recomputed result differs: %d cycles, want %d", got.Cycles, want.Cycles)
+	}
+	st := r2.StoreStats()
+	if st.Corrupt != 1 {
+		t.Fatalf("StoreStats.Corrupt = %d, want 1 (corrupt reads must not fold into plain misses)", st.Corrupt)
+	}
+	if st.Misses < 1 || st.Hits != 0 {
+		t.Fatalf("StoreStats = %+v; the corrupt read must count as a miss, never a hit", st)
+	}
+	// The recompute re-persisted a good entry: a third runner hits.
+	r3, err := NewRunner(60).WithStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r3.Result(w, core.ConfigD, 8); err != nil {
+		t.Fatal(err)
+	}
+	if r3.ComputeCalls() != 0 || r3.StoreStats().Hits != 1 {
+		t.Fatalf("healed store did not serve the rewritten entry: %+v", r3.StoreStats())
+	}
+}

@@ -1,0 +1,96 @@
+// Package faultfs abstracts the filesystem operations the durable result
+// store performs — create/write/sync/rename/remove/readdir plus directory
+// fsync — behind a small interface with two implementations:
+//
+//   - OS: the real filesystem, used in production;
+//   - Sim: a seeded in-memory power-fail simulator that can cut power at
+//     any injection point, drop or tear un-synced writes, revert un-synced
+//     renames, and replay the surviving state after a crash.
+//
+// The point of the abstraction is the storage analogue of the paper's
+// misspeculation-recovery contract: speculative (un-synced) state must
+// never corrupt committed (synced) state. The store's crash-consistency
+// property test enumerates every possible cut point of a Put sequence over
+// Sim and asserts that reopening the store yields either the complete
+// committed entry or a clean miss — never a half entry
+// (docs/robustness.md §8).
+package faultfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the writable-file surface the store uses: append writes, an
+// explicit durability barrier (Sync), and Close.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem surface the store is written against. Every method
+// matches the corresponding os function; SyncDir is the one addition —
+// fsync on a directory, which is what makes a rename itself durable across
+// power loss (a renamed entry whose directory was never synced may or may
+// not survive a crash, and Sim exercises both outcomes).
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	SyncDir(dir string) error
+}
+
+// OS is the real-filesystem implementation of FS.
+type OS struct{}
+
+var _ FS = OS{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// WriteFile implements FS.
+func (OS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Stat implements FS.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir opens the directory and fsyncs it, making previously renamed or
+// created directory entries durable. On filesystems where directories
+// cannot be fsynced the error is reported to the caller, who treats it as
+// a write error (durability not guaranteed).
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,237 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+// writeEntry performs the store's commit sequence (temp, write, sync,
+// close, rename, syncdir) on any FS; degree controls how far it gets.
+func writeEntry(fsys FS, dir, name string, data []byte, throughStep int) error {
+	steps := []func() error{}
+	var f File
+	steps = append(steps,
+		func() (err error) { f, err = fsys.CreateTemp(dir, ".tmp-*"); return },
+		func() error { _, err := f.Write(data); return err },
+		func() error { return f.Sync() },
+		func() error { return f.Close() },
+		func() error { return fsys.Rename(f.Name(), dir+"/"+name) },
+		func() error { return fsys.SyncDir(dir) },
+	)
+	for i, step := range steps {
+		if i >= throughStep {
+			return nil
+		}
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestSimFullCommitSurvivesCrash(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := NewSim(seed)
+		if err := s.MkdirAll("store", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data := []byte("committed-entry-payload")
+		if err := writeEntry(s, "store", "e.json", data, 6); err != nil {
+			t.Fatal(err)
+		}
+		s.Crash()
+		got, err := s.ReadFile("store/e.json")
+		if err != nil {
+			t.Fatalf("seed %d: fully committed entry lost in crash: %v", seed, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("seed %d: committed entry damaged: %q", seed, got)
+		}
+	}
+}
+
+// TestSimUnsyncedRenameMayRevert: without the directory sync, the renamed
+// entry must sometimes vanish across seeds — that nondeterminism is what a
+// correct writer may not rely on.
+func TestSimUnsyncedRenameMayRevert(t *testing.T) {
+	survived, lost := 0, 0
+	for seed := int64(0); seed < 64; seed++ {
+		s := NewSim(seed)
+		s.MkdirAll("store", 0o755)
+		data := []byte("payload")
+		if err := writeEntry(s, "store", "e.json", data, 5); err != nil { // no SyncDir
+			t.Fatal(err)
+		}
+		s.Crash()
+		got, err := s.ReadFile("store/e.json")
+		switch {
+		case err == nil:
+			// When the entry survives, its data was synced pre-rename, so
+			// it must be complete.
+			if !bytes.Equal(got, data) {
+				t.Fatalf("seed %d: surviving entry torn: %q", seed, got)
+			}
+			survived++
+		case errors.Is(err, fs.ErrNotExist):
+			lost++
+		default:
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if survived == 0 || lost == 0 {
+		t.Fatalf("un-synced rename outcomes not exercised: %d survived, %d lost", survived, lost)
+	}
+}
+
+// TestSimUnsyncedDataTears: data written but never synced must sometimes
+// survive torn — shorter or bit-flipped — never reliably intact.
+func TestSimUnsyncedDataTears(t *testing.T) {
+	intact, damaged := 0, 0
+	data := bytes.Repeat([]byte("abcdefgh"), 32)
+	for seed := int64(0); seed < 64; seed++ {
+		s := NewSim(seed)
+		s.MkdirAll("store", 0o755)
+		f, err := s.CreateTemp("store", ".tmp-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(data)
+		f.Close()
+		name := f.Name()
+		s.Rename(name, "store/e.json")
+		s.SyncDir("store") // link durable, data not
+		s.Crash()
+		got, err := s.ReadFile("store/e.json")
+		if err != nil {
+			t.Fatalf("seed %d: durable link lost: %v", seed, err)
+		}
+		if bytes.Equal(got, data) {
+			intact++
+		} else {
+			damaged++
+		}
+	}
+	if damaged == 0 {
+		t.Fatal("un-synced data never torn across 64 seeds — the simulator is too kind")
+	}
+}
+
+// TestSimRenameRevertRestoresOverwrittenEntry: an un-synced rename over an
+// existing durable entry either commits the new content or restores the
+// old — never leaves nothing, never mixes them.
+func TestSimRenameOverwriteRevert(t *testing.T) {
+	oldSeen, newSeen := 0, 0
+	oldData, newData := []byte("old-committed"), []byte("new-committed")
+	for seed := int64(0); seed < 64; seed++ {
+		s := NewSim(seed)
+		s.MkdirAll("store", 0o755)
+		if err := writeEntry(s, "store", "e.json", oldData, 6); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeEntry(s, "store", "e.json", newData, 5); err != nil { // no SyncDir
+			t.Fatal(err)
+		}
+		s.Crash()
+		got, err := s.ReadFile("store/e.json")
+		if err != nil {
+			t.Fatalf("seed %d: entry vanished entirely: %v", seed, err)
+		}
+		switch {
+		case bytes.Equal(got, oldData):
+			oldSeen++
+		case bytes.Equal(got, newData):
+			newSeen++
+		default:
+			t.Fatalf("seed %d: overwrite crash produced a third content: %q", seed, got)
+		}
+	}
+	if oldSeen == 0 || newSeen == 0 {
+		t.Fatalf("overwrite crash outcomes not exercised: old %d, new %d", oldSeen, newSeen)
+	}
+}
+
+// TestSimCutEnumerationTerminates: arming a cut makes the op at the cut
+// point and everything after it fail with ErrPowerLoss, and Crash reboots.
+func TestSimCutAndReboot(t *testing.T) {
+	s := NewSim(1)
+	s.MkdirAll("store", 0o755) // step 1
+	s.SetCut(s.Steps() + 1)    // allow exactly one more mutation
+	if _, err := s.CreateTemp("store", ".tmp-*"); err != nil {
+		t.Fatalf("op within budget failed: %v", err)
+	}
+	if _, err := s.CreateTemp("store", ".tmp-*"); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("op past the cut: err = %v, want ErrPowerLoss", err)
+	}
+	if !s.Down() {
+		t.Fatal("machine still up after the cut")
+	}
+	if _, err := s.ReadFile("store/x"); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("read while down: err = %v, want ErrPowerLoss", err)
+	}
+	s.Crash()
+	if s.Down() {
+		t.Fatal("machine down after reboot")
+	}
+	if _, err := s.CreateTemp("store", ".tmp-*"); err != nil {
+		t.Fatalf("op after reboot failed: %v", err)
+	}
+}
+
+// TestSimRemoveMayReappear: a removed durable entry reappears after a
+// crash unless the directory was synced.
+func TestSimRemoveDurability(t *testing.T) {
+	reappeared := 0
+	for seed := int64(0); seed < 64; seed++ {
+		s := NewSim(seed)
+		s.MkdirAll("store", 0o755)
+		if err := writeEntry(s, "store", "e.json", []byte("x"), 6); err != nil {
+			t.Fatal(err)
+		}
+		s.Remove("store/e.json")
+		s.Crash()
+		if _, err := s.ReadFile("store/e.json"); err == nil {
+			reappeared++
+		}
+	}
+	if reappeared == 0 {
+		t.Fatal("un-synced remove never reverted across 64 seeds")
+	}
+	// With the sync, the remove is final on every seed.
+	for seed := int64(0); seed < 16; seed++ {
+		s := NewSim(seed)
+		s.MkdirAll("store", 0o755)
+		writeEntry(s, "store", "e.json", []byte("x"), 6)
+		s.Remove("store/e.json")
+		s.SyncDir("store")
+		s.Crash()
+		if _, err := s.ReadFile("store/e.json"); err == nil {
+			t.Fatalf("seed %d: synced remove reverted", seed)
+		}
+	}
+}
+
+func TestSimReadDirAndStat(t *testing.T) {
+	s := NewSim(1)
+	s.MkdirAll("store/corrupt", 0o755)
+	writeEntry(s, "store", "a.json", []byte("aa"), 6)
+	entries, err := s.ReadDir("store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 || names[0] != "a.json" || names[1] != "corrupt" {
+		t.Fatalf("ReadDir = %v, want [a.json corrupt]", names)
+	}
+	fi, err := s.Stat("store/a.json")
+	if err != nil || fi.Size() != 2 || fi.IsDir() {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	if fi, err := s.Stat("store/corrupt"); err != nil || !fi.IsDir() {
+		t.Fatalf("dir Stat = %+v, %v", fi, err)
+	}
+}

@@ -13,6 +13,13 @@ package server
 // (faultinject.PointStoreGet / PointStorePut). A store *miss* — absent
 // entry, corrupt entry (store.ErrMiss / store.ErrCorruptEntry) — is a
 // healthy answer from a working disk and never trips the breaker.
+//
+// Recovery flushes the debt: entries stashed in the fallback cache while
+// the disk was failing are written back by a background flusher as soon as
+// the breaker closes again, so an outage defers durability instead of
+// silently forfeiting it. A flush write that fails feeds the state machine
+// like any other write — the breaker can re-open mid-flush, keeping the
+// remaining entries cached for the next recovery.
 
 import (
 	"errors"
@@ -64,6 +71,7 @@ type BreakerStats struct {
 	Rejected      int64  `json:"rejected"`        // reads rejected while open
 	FallbackHits  int64  `json:"fallback_hits"`   // reads served from the fallback cache
 	DroppedWrites int64  `json:"dropped_writes"`  // writes degraded to the fallback cache
+	FlushedWrites int64  `json:"flushed_writes"`  // cached entries written back after recovery
 	CachedEntries int    `json:"cached_entries"`  // current fallback cache size
 }
 
@@ -81,10 +89,11 @@ type Breaker struct {
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
 
-	cache map[store.Key]*core.Result
-	order []store.Key // FIFO eviction order for cache
+	cache    map[store.Key]*core.Result
+	order    []store.Key // FIFO eviction order for cache
+	flushing bool        // a recovery flush goroutine is running
 
-	trips, rejected, fallbackHits, droppedWrites int64
+	trips, rejected, fallbackHits, droppedWrites, flushed int64
 }
 
 var _ experiments.ResultStore = (*Breaker)(nil)
@@ -130,6 +139,7 @@ func (b *Breaker) BreakerStats() BreakerStats {
 		Rejected:      b.rejected,
 		FallbackHits:  b.fallbackHits,
 		DroppedWrites: b.droppedWrites,
+		FlushedWrites: b.flushed,
 		CachedEntries: len(b.cache),
 	}
 }
@@ -160,7 +170,9 @@ func (b *Breaker) allow() (ok, isProbe bool) {
 	return false, false
 }
 
-// record feeds one call outcome back into the state machine.
+// record feeds one call outcome back into the state machine. Any outcome
+// that lands the breaker closed with fallback debt outstanding kicks off
+// the background flush.
 func (b *Breaker) record(failed, wasProbe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -172,6 +184,7 @@ func (b *Breaker) record(failed, wasProbe bool) {
 		} else {
 			b.state = BreakerClosed
 			b.fails = 0
+			b.maybeFlushLocked()
 		}
 		return
 	}
@@ -180,6 +193,7 @@ func (b *Breaker) record(failed, wasProbe bool) {
 	}
 	if !failed {
 		b.fails = 0
+		b.maybeFlushLocked()
 		return
 	}
 	b.fails++
@@ -187,6 +201,60 @@ func (b *Breaker) record(failed, wasProbe bool) {
 		b.state = BreakerOpen
 		b.openedAt = b.now()
 		b.trips++
+	}
+}
+
+// maybeFlushLocked starts the recovery flush goroutine when the breaker is
+// closed, debt is cached, and no flush is already running.
+func (b *Breaker) maybeFlushLocked() {
+	if b.flushing || len(b.order) == 0 || b.state != BreakerClosed {
+		return
+	}
+	b.flushing = true
+	go b.flush()
+}
+
+// flush writes cached fallback entries back to the inner store, oldest
+// first, until the cache drains or a write fails. Each write's outcome is
+// recorded like foreground traffic, so a still-bad disk re-opens the
+// breaker (which stops the flush and keeps the rest cached). Flushed
+// entries carry no PerfInfo — the metadata was shed when the write
+// degraded, and the result itself is what durability is owed on.
+func (b *Breaker) flush() {
+	for {
+		b.mu.Lock()
+		if b.state != BreakerClosed || len(b.order) == 0 {
+			b.flushing = false
+			b.mu.Unlock()
+			return
+		}
+		k := b.order[0]
+		res := b.cache[k]
+		b.mu.Unlock()
+
+		err := b.putInner(k, res, nil)
+		if ioFailure(err) {
+			b.mu.Lock()
+			b.flushing = false
+			b.mu.Unlock()
+			b.record(true, false)
+			return
+		}
+
+		b.mu.Lock()
+		b.flushed++
+		delete(b.cache, k)
+		if len(b.order) > 0 && b.order[0] == k {
+			b.order = b.order[1:]
+		} else {
+			for i, o := range b.order {
+				if o == k {
+					b.order = append(b.order[:i], b.order[i+1:]...)
+					break
+				}
+			}
+		}
+		b.mu.Unlock()
 	}
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -10,8 +11,11 @@ import (
 	"repro/internal/store"
 )
 
-// stubStore is a scriptable ResultStore for breaker unit tests.
+// stubStore is a scriptable ResultStore for breaker unit tests. It is
+// mutex-guarded because the breaker's recovery flush goroutine reaches it
+// concurrently with test-thread calls.
 type stubStore struct {
+	mu     sync.Mutex
 	getErr error
 	putErr error
 	gets   int
@@ -22,6 +26,8 @@ type stubStore struct {
 func newStubStore() *stubStore { return &stubStore{m: make(map[store.Key]*core.Result)} }
 
 func (s *stubStore) Get(k store.Key) (*core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.gets++
 	if s.getErr != nil {
 		return nil, s.getErr
@@ -33,12 +39,33 @@ func (s *stubStore) Get(k store.Key) (*core.Result, error) {
 }
 
 func (s *stubStore) PutWithPerf(k store.Key, res *core.Result, _ *store.PerfInfo) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.puts++
 	if s.putErr != nil {
 		return s.putErr
 	}
 	s.m[k] = res
 	return nil
+}
+
+// setPutErr / counters / stored: synchronized accessors for tests.
+func (s *stubStore) setPutErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putErr = err
+}
+
+func (s *stubStore) counters() (gets, puts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gets, s.puts
+}
+
+func (s *stubStore) stored(k store.Key) *core.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
 }
 
 func (s *stubStore) Stats() store.Stats { return store.Stats{} }
@@ -128,9 +155,11 @@ func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
 	b, _ := newTestBreaker(inner, 3, time.Minute)
 	boom := errors.New("disk: transient")
 	for i := 0; i < 5; i++ {
-		inner.putErr = boom
+		// Synchronized setter: each success kicks the recovery flusher,
+		// which reaches the stub concurrently.
+		inner.setPutErr(boom)
 		b.PutWithPerf(key(i), res(1), nil) // one failure...
-		inner.putErr = nil
+		inner.setPutErr(nil)
 		b.PutWithPerf(key(i), res(1), nil) // ...never two in a row
 	}
 	if got := b.State(); got != BreakerClosed {
@@ -242,5 +271,103 @@ func TestBreakerFallbackCacheIsBounded(t *testing.T) {
 	}
 	if got, err := b.Get(key(fallbackCap + 99)); err != nil || got.Cycles != int64(fallbackCap+99) {
 		t.Fatalf("newest entry = %v, %v", got, err)
+	}
+}
+
+// waitFlush polls until the breaker's fallback cache drains (or the
+// deadline passes), returning the final stats.
+func waitFlush(t *testing.T, b *Breaker) BreakerStats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := b.BreakerStats()
+		if st.CachedEntries == 0 || time.Now().After(deadline) {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBreakerFlushOnRecovery: entries stashed in the fallback cache while
+// the breaker was open must be written back to the store once the
+// half-open probe succeeds — an outage defers durability, it does not
+// forfeit it.
+func TestBreakerFlushOnRecovery(t *testing.T) {
+	inner := newStubStore()
+	b, clk := newTestBreaker(inner, 1, time.Minute)
+	inner.setPutErr(errors.New("disk: write failed"))
+	b.PutWithPerf(key(0), res(10), nil) // trip; the failed write is stashed
+	for i := 1; i <= 3; i++ {
+		if err := b.PutWithPerf(key(i), res(int64(10*i)), nil); err != nil {
+			t.Fatalf("degraded put %d: %v", i, err)
+		}
+	}
+	if st := b.BreakerStats(); st.CachedEntries != 4 {
+		t.Fatalf("cached = %d, want 4", st.CachedEntries)
+	}
+
+	// Disk heals; the cooldown elapses; a successful probe closes the
+	// breaker and must trigger the write-back.
+	inner.setPutErr(nil)
+	clk.advance(61 * time.Second)
+	if err := b.PutWithPerf(key(9), res(99), nil); err != nil {
+		t.Fatalf("probe put: %v", err)
+	}
+	st := waitFlush(t, b)
+	if st.CachedEntries != 0 || st.FlushedWrites != 4 {
+		t.Fatalf("after recovery: %+v, want 0 cached / 4 flushed", st)
+	}
+	for i := 0; i <= 3; i++ {
+		want := int64(10)
+		if i > 0 {
+			want = int64(10 * i)
+		}
+		got := inner.stored(key(i))
+		if got == nil || got.Cycles != want {
+			t.Fatalf("flushed entry %d = %+v, want cycles %d on disk", i, got, want)
+		}
+	}
+}
+
+// TestBreakerFlushReopensWhenDiskStillBad: a flush write that fails feeds
+// the state machine like foreground traffic — the breaker re-opens and the
+// un-flushed entries stay cached for the next recovery.
+func TestBreakerFlushReopensWhenDiskStillBad(t *testing.T) {
+	inner := newStubStore()
+	b, clk := newTestBreaker(inner, 1, time.Minute)
+	inner.setPutErr(errors.New("disk: write failed"))
+	b.PutWithPerf(key(0), res(1), nil) // trip
+	b.PutWithPerf(key(1), res(2), nil) // degraded stash
+
+	// The disk "heals" just long enough for the probe (a read), then
+	// writes keep failing: the flush must stop and re-open the breaker.
+	clk.advance(61 * time.Second)
+	if _, err := b.Get(key(50)); !errors.Is(err, store.ErrMiss) {
+		t.Fatalf("probe get = %v, want plain miss", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.State() != BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never re-opened; state %v, stats %+v", b.State(), b.BreakerStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := b.BreakerStats()
+	if st.CachedEntries != 2 || st.FlushedWrites != 0 {
+		t.Fatalf("after failed flush: %+v, want both entries still cached", st)
+	}
+
+	// Full recovery on the next cooldown drains the debt.
+	inner.setPutErr(nil)
+	clk.advance(61 * time.Second)
+	if _, err := b.Get(key(50)); !errors.Is(err, store.ErrMiss) {
+		t.Fatalf("second probe get = %v", err)
+	}
+	st = waitFlush(t, b)
+	if st.CachedEntries != 0 || st.FlushedWrites != 2 {
+		t.Fatalf("after second recovery: %+v, want 0 cached / 2 flushed", st)
+	}
+	if got := inner.stored(key(1)); got == nil || got.Cycles != 2 {
+		t.Fatalf("stashed entry not flushed: %+v", got)
 	}
 }

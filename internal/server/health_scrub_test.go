@@ -1,0 +1,68 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// TestHealthzSurfacesCorruptCounterAndScrub: the crash-consistency
+// observability contract end to end — a corrupt store entry shows up in
+// /healthz's store counters the moment a read rejects it, and the
+// background scrubber's counters appear and advance as it quarantines the
+// damage.
+func TestHealthzSurfacesCorruptCounterAndScrub(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.Key{Workload: "w", Config: "cfg", Width: 8, Scale: 1}
+	if err := st.Put(k, res(7)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v, %v", entries, err)
+	}
+	data, _ := os.ReadFile(entries[0])
+	if err := os.WriteFile(entries[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := store.NewScrubber(st, time.Millisecond, 10*time.Millisecond)
+	_, ts, c := testServer(t, Options{Workers: 1, Store: st, Scrubber: sc})
+
+	// A read that rejects the corrupt entry must surface in the dedicated
+	// counter (not silently fold into misses).
+	if _, err := st.Get(k); err == nil {
+		t.Fatal("corrupt entry served")
+	}
+	var h Health
+	getJSON(t, c, ts.URL+"/healthz", &h)
+	if h.Store == nil || h.Store.Corrupt != 1 {
+		t.Fatalf("healthz store stats = %+v, want corrupt = 1", h.Store)
+	}
+	if h.Scrub == nil {
+		t.Fatal("healthz missing scrub section with a scrubber configured")
+	}
+
+	sc.Start()
+	defer sc.Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		var h Health
+		getJSON(t, c, ts.URL+"/healthz", &h)
+		return h.Scrub != nil && h.Scrub.Quarantined >= 1 && h.Scrub.Passes >= 1
+	})
+	if _, err := os.Stat(filepath.Join(dir, "corrupt", filepath.Base(entries[0]))); err != nil {
+		t.Fatalf("scrubber did not preserve the quarantined entry: %v", err)
+	}
+	// The damage is contained: the store root verifies clean again.
+	rep, err := st.Verify()
+	if err != nil || !rep.Clean() {
+		t.Fatalf("store not clean after scrub: %+v, %v", rep, err)
+	}
+}

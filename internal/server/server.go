@@ -74,6 +74,10 @@ type Options struct {
 	// MaxJobs bounds retained terminal job records; <= 0 means 65536.
 	// The oldest terminal jobs are forgotten first (404 afterwards).
 	MaxJobs int
+	// Scrubber, when non-nil, is the store's background integrity scrub;
+	// the server only reports its counters on /healthz — the owner
+	// (ddserve) starts and stops it around the serve lifetime.
+	Scrubber *store.Scrubber
 }
 
 func (o Options) withDefaults() Options {
@@ -625,8 +629,9 @@ type Health struct {
 	Quarantined       int           `json:"quarantined"`
 	WatchdogAbandoned int64         `json:"watchdog_abandoned"`
 	Goroutines        int           `json:"goroutines"`
-	Breaker           *BreakerStats `json:"breaker,omitempty"`
-	Store             *store.Stats  `json:"store,omitempty"`
+	Breaker           *BreakerStats     `json:"breaker,omitempty"`
+	Store             *store.Stats      `json:"store,omitempty"`
+	Scrub             *store.ScrubStats `json:"scrub,omitempty"`
 }
 
 // HealthSnapshot builds the health document (also used by ddserve logs).
@@ -654,6 +659,10 @@ func (s *Server) HealthSnapshot() Health {
 		h.Breaker = &bs
 		ss := s.breaker.Stats()
 		h.Store = &ss
+	}
+	if s.opt.Scrubber != nil {
+		sc := s.opt.Scrubber.Stats()
+		h.Scrub = &sc
 	}
 	return h
 }

@@ -1,0 +1,232 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+)
+
+func timeNowMinus(d time.Duration) time.Time { return time.Now().Add(-d) }
+
+// putSteps measures how many Sim steps one Put consumes, so the property
+// tests can enumerate every cut point without hard-coding the commit
+// sequence's length.
+func putSteps(t *testing.T) int64 {
+	t.Helper()
+	sim := faultfs.NewSim(0)
+	st, err := OpenFS("store", sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sim.Steps()
+	if err := st.Put(sampleKey(), sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	return sim.Steps() - before
+}
+
+// TestPowerFailEveryCutPoint is the crash-consistency property test: for
+// every possible cut point within a Put, across many seeds, reopening the
+// survived store yields either the complete committed entry or a clean
+// miss (ErrMiss) — never a partial read, never a corruption error. And
+// whenever Put itself returned nil, the entry MUST survive: that nil is
+// the store's durability promise, and it holds only because put syncs the
+// parent directory after the rename.
+func TestPowerFailEveryCutPoint(t *testing.T) {
+	steps := putSteps(t)
+	if steps < 6 {
+		t.Fatalf("Put consumed %d sim steps, expected at least 6 — is the commit sequence intact?", steps)
+	}
+	k, want := sampleKey(), sampleResult()
+	for seed := int64(0); seed < 16; seed++ {
+		for cut := int64(0); cut <= steps; cut++ {
+			sim := faultfs.NewSim(seed*1000 + cut)
+			st, err := OpenFS("store", sim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.SetCut(sim.Steps() + cut)
+			putErr := st.Put(k, want)
+			if cut < steps && putErr == nil {
+				t.Fatalf("seed %d cut %d: Put succeeded despite a cut mid-sequence", seed, cut)
+			}
+			if cut == steps && putErr != nil {
+				t.Fatalf("seed %d cut %d: full-budget Put failed: %v", seed, cut, putErr)
+			}
+			sim.Crash()
+
+			st2, err := OpenFS("store", sim)
+			if err != nil {
+				t.Fatalf("seed %d cut %d: reopen after crash: %v", seed, cut, err)
+			}
+			got, err := st2.Get(k)
+			switch {
+			case err == nil:
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d cut %d: surviving entry differs from what was written", seed, cut)
+				}
+			case errors.Is(err, ErrMiss) && !errors.Is(err, ErrCorruptEntry):
+				if putErr == nil {
+					t.Fatalf("seed %d cut %d: Put promised durability but the entry is gone: %v", seed, cut, err)
+				}
+			default:
+				t.Fatalf("seed %d cut %d: reopen yielded neither a hit nor a clean miss: %v", seed, cut, err)
+			}
+
+			// The survived store must also verify clean: torn temp files
+			// are informational, but no committed name may hold bad bytes.
+			rep, err := st2.Verify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("seed %d cut %d: survived store fails verify: %+v", seed, cut, rep.Problems)
+			}
+		}
+	}
+}
+
+// TestPowerFailOverwriteKeepsOldOrNew: cutting a Put that overwrites an
+// existing committed entry must leave either the old or the new result —
+// complete in both cases — never nothing and never a blend.
+func TestPowerFailOverwriteKeepsOldOrNew(t *testing.T) {
+	steps := putSteps(t)
+	k := sampleKey()
+	oldRes, newRes := sampleResult(), sampleResult()
+	newRes.Cycles += 777 // distinguishable but same key
+	for seed := int64(0); seed < 8; seed++ {
+		for cut := int64(0); cut <= steps; cut++ {
+			sim := faultfs.NewSim(seed*1000 + cut)
+			st, err := OpenFS("store", sim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Put(k, oldRes); err != nil {
+				t.Fatal(err)
+			}
+			sim.SetCut(sim.Steps() + cut)
+			st.Put(k, newRes)
+			sim.Crash()
+
+			st2, err := OpenFS("store", sim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := st2.Get(k)
+			if err != nil {
+				t.Fatalf("seed %d cut %d: committed entry lost across an interrupted overwrite: %v", seed, cut, err)
+			}
+			if !reflect.DeepEqual(got, oldRes) && !reflect.DeepEqual(got, newRes) {
+				t.Fatalf("seed %d cut %d: overwrite crash produced a third result", seed, cut)
+			}
+		}
+	}
+}
+
+// TestPowerFailCatchesMissingDirSync is the negative control for the
+// property above: a writer that skips the parent-directory fsync (the
+// pre-fix store.Put) must be caught by the simulator — on some seed, its
+// "successful" write vanishes across a crash. If this test ever fails, the
+// simulator has stopped enforcing the rule that makes the real fix
+// necessary.
+func TestPowerFailCatchesMissingDirSync(t *testing.T) {
+	k, res := sampleKey(), sampleResult()
+	lost := 0
+	for seed := int64(0); seed < 64; seed++ {
+		sim := faultfs.NewSim(seed)
+		st, err := OpenFS("store", sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replay put's commit sequence minus the final SyncDir.
+		data := encodeForTest(t, k, res)
+		f, err := sim.CreateTemp("store", tmpPrefix+"*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Rename(f.Name(), filepath.Join("store", k.filename())); err != nil {
+			t.Fatal(err)
+		}
+		sim.Crash()
+		if _, err := st.Get(k); errors.Is(err, ErrMiss) {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("a dir-sync-free commit never lost data across 64 seeds — the simulator no longer enforces rename durability")
+	}
+}
+
+// encodeForTest renders the exact bytes put would write for (k, res).
+func encodeForTest(t *testing.T, k Key, res *core.Result) []byte {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(k, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := faultfs.OS{}.ReadFile(filepath.Join(st.Dir(), k.filename()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestOpenCleansStaleTmp: stale temp files left by a crashed writer are
+// removed at Open (and counted), while fresh ones — possibly a live
+// concurrent writer's — are left alone.
+func TestOpenCleansStaleTmp(t *testing.T) {
+	sim := faultfs.NewSim(3)
+	st, err := OpenFS("store", sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		f, err := sim.CreateTemp("store", tmpPrefix+"*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("orphan"))
+		f.Close()
+		if i < 2 { // backdate two of the three past the stale age
+			if err := sim.SetMtime(f.Name(), timeNowMinus(2*staleTmpAge)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sim.SyncDir("store")
+	if got := st.Stats().TmpCleaned; got != 0 {
+		t.Fatalf("TmpCleaned before reopen = %d, want 0", got)
+	}
+
+	st2, err := OpenFS("store", sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Stats().TmpCleaned; got != 2 {
+		t.Fatalf("TmpCleaned = %d, want 2", got)
+	}
+	rep, err := st2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TmpFiles != 1 {
+		t.Fatalf("fresh temp files after cleanup = %d, want 1", rep.TmpFiles)
+	}
+}

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ScrubStats is a snapshot of a Scrubber's lifetime counters.
+type ScrubStats struct {
+	Passes      int64 `json:"passes"`      // completed full walks of the store
+	Scanned     int64 `json:"scanned"`     // entries checksum-verified
+	Corrupt     int64 `json:"corrupt"`     // entries that failed validation
+	Quarantined int64 `json:"quarantined"` // corrupt entries successfully moved to corrupt/
+}
+
+// Scrubber is a background, rate-limited integrity scrub over a store:
+// it walks the committed entries, re-validates each one the way Get would,
+// and quarantines the ones that fail — so latent disk corruption is found
+// and contained before a sweep ever requests the damaged key. The analogy
+// to the paper is deliberate: the scrub is the storage layer's background
+// verification of committed state, just as the checked simulator mode
+// re-verifies speculatively collapsed results.
+//
+// The rate limit (one entry per step interval) bounds the IO the scrub
+// steals from foreground serving; the pass interval sets how long the
+// store may go un-scrubbed end to end.
+type Scrubber struct {
+	store *Store
+	step  time.Duration // pause between entries within a pass
+	pause time.Duration // pause between consecutive passes
+
+	passes, scanned, corrupt, quarantined atomic.Int64
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewScrubber creates a scrubber over s. step is the per-entry rate limit
+// (minimum 1ms enforced so a zero value cannot spin), pause the idle time
+// between full passes (minimum 10ms).
+func NewScrubber(s *Store, step, pause time.Duration) *Scrubber {
+	if step < time.Millisecond {
+		step = time.Millisecond
+	}
+	if pause < 10*time.Millisecond {
+		pause = 10 * time.Millisecond
+	}
+	return &Scrubber{store: s, step: step, pause: pause}
+}
+
+// Start launches the background scrub loop. Calling Start twice without an
+// intervening Stop is a no-op.
+func (sc *Scrubber) Start() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.started {
+		return
+	}
+	sc.started = true
+	sc.stop = make(chan struct{})
+	sc.done = make(chan struct{})
+	go sc.run(sc.stop, sc.done)
+}
+
+// Stop halts the scrub loop and waits for it to exit. Safe to call when
+// never started, and idempotent.
+func (sc *Scrubber) Stop() {
+	sc.mu.Lock()
+	if !sc.started {
+		sc.mu.Unlock()
+		return
+	}
+	sc.started = false
+	stop, done := sc.stop, sc.done
+	sc.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// Stats returns a snapshot of the scrubber's counters.
+func (sc *Scrubber) Stats() ScrubStats {
+	return ScrubStats{
+		Passes:      sc.passes.Load(),
+		Scanned:     sc.scanned.Load(),
+		Corrupt:     sc.corrupt.Load(),
+		Quarantined: sc.quarantined.Load(),
+	}
+}
+
+func (sc *Scrubber) run(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		sc.pass(stop)
+		select {
+		case <-stop:
+			return
+		case <-time.After(sc.pause):
+		}
+	}
+}
+
+// pass walks the store once, one entry per rate-limit tick. The entry list
+// is snapshotted up front; entries written mid-pass are picked up next
+// pass.
+func (sc *Scrubber) pass(stop chan struct{}) {
+	entries, err := sc.store.fsys.ReadDir(sc.store.dir)
+	if err != nil {
+		return
+	}
+	first := true
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, tmpPrefix) || filepath.Ext(name) != ".json" {
+			continue
+		}
+		if !first {
+			select {
+			case <-stop:
+				return
+			case <-time.After(sc.step):
+			}
+		}
+		first = false
+		sc.scrubOne(name)
+	}
+	sc.passes.Add(1)
+}
+
+// scrubOne validates a single entry and quarantines it on failure. A file
+// that vanished since the directory snapshot (GC, concurrent repair) is
+// skipped silently.
+func (sc *Scrubber) scrubOne(name string) {
+	data, err := sc.store.fsys.ReadFile(filepath.Join(sc.store.dir, name))
+	if err != nil {
+		return
+	}
+	sc.scanned.Add(1)
+	k, _, err := Decode(data)
+	if err == nil && k.filename() == name {
+		return
+	}
+	sc.corrupt.Add(1)
+	if sc.store.Quarantine(name) == nil {
+		sc.quarantined.Add(1)
+	}
+}

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestScrubberQuarantinesCorruptEntry: the background scrub must find a
+// latently corrupted entry without any Get ever touching it, quarantine
+// it, and keep counting passes over the now-clean store.
+func TestScrubberQuarantinesCorruptEntry(t *testing.T) {
+	st, victim, others := corpusStore(t)
+	path := filepath.Join(st.Dir(), victim.filename())
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, faultinject.Corrupt(img, faultinject.CorruptRecordBit, 11), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := NewScrubber(st, time.Millisecond, 10*time.Millisecond)
+	sc.Start()
+	defer sc.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := sc.Stats()
+		if s.Quarantined >= 1 && s.Passes >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scrubber never quarantined the corrupt entry: %+v", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sc.Stop()
+
+	s := sc.Stats()
+	if s.Corrupt != 1 || s.Quarantined != 1 {
+		t.Fatalf("scrub stats = %+v, want exactly one corrupt/quarantined", s)
+	}
+	if s.Scanned < 3 {
+		t.Fatalf("scanned %d entries, want at least the 3 healthy ones", s.Scanned)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), corruptDirName, victim.filename())); err != nil {
+		t.Fatalf("corrupt entry not preserved in quarantine: %v", err)
+	}
+	for _, k := range others {
+		if _, err := st.Get(k); err != nil {
+			t.Fatalf("healthy entry lost to the scrubber: %v", err)
+		}
+	}
+	rep, err := st.Verify()
+	if err != nil || !rep.Clean() {
+		t.Fatalf("store not clean after scrub: %+v, %v", rep, err)
+	}
+}
+
+// TestScrubberStartStopIdempotent: double Start is a no-op, Stop without
+// Start is safe, double Stop is safe.
+func TestScrubberStartStopIdempotent(t *testing.T) {
+	st, _, _ := corpusStore(t)
+	sc := NewScrubber(st, time.Millisecond, 10*time.Millisecond)
+	sc.Stop() // never started
+	sc.Start()
+	sc.Start() // no-op
+	deadline := time.Now().Add(5 * time.Second)
+	for sc.Stats().Passes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scrubber made no pass")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	sc.Stop()
+	sc.Stop() // idempotent
+	if s := sc.Stats(); s.Corrupt != 0 {
+		t.Fatalf("clean store scrub reported corruption: %+v", s)
+	}
+}

@@ -36,11 +36,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/trace"
 )
 
@@ -109,30 +111,86 @@ func sanitize(s string) string {
 
 // Stats is a snapshot of the store's counters.
 type Stats struct {
-	Hits        int64 // entries served
-	Misses      int64 // lookups that fell through to computation
-	Corrupt     int64 // entries rejected by integrity validation (subset of Misses)
-	Writes      int64 // entries persisted
-	WriteErrors int64 // failed persist attempts (best-effort; result still returned)
+	Hits        int64 `json:"hits"`        // entries served
+	Misses      int64 `json:"misses"`      // lookups that fell through to computation
+	Corrupt     int64 `json:"corrupt"`     // entries rejected by integrity validation (subset of Misses)
+	Writes      int64 `json:"writes"`      // entries persisted
+	WriteErrors int64 `json:"write_errors"` // failed persist attempts (best-effort; result still returned)
+	TmpCleaned  int64 `json:"tmp_cleaned"`  // stale temp files removed at Open
 }
+
+// staleTmpAge is how old an orphaned temp file must be before Open
+// removes it. The age guard keeps Open from yanking a temp file another
+// live process is writing into the same directory right now; a crashed
+// writer's leftovers cross the threshold soon enough (ddstore gc removes
+// them on demand with a configurable age).
+const staleTmpAge = time.Hour
+
+// tmpPrefix marks in-flight entry writes; anything carrying it under a
+// live name is garbage by definition.
+const tmpPrefix = ".tmp-"
+
+// corruptDirName is the quarantine subdirectory repair moves damaged
+// entries into.
+const corruptDirName = "corrupt"
 
 // Store is a durable result store rooted at one directory. All methods are
 // safe for concurrent use.
 type Store struct {
-	dir string
+	dir  string
+	fsys faultfs.FS
 
-	hits, misses, corrupt, writes, writeErrs atomic.Int64
+	hits, misses, corrupt, writes, writeErrs, tmpCleaned atomic.Int64
 }
 
-// Open creates (if needed) and opens a store directory.
+// Open creates (if needed) and opens a store directory on the real
+// filesystem.
 func Open(dir string) (*Store, error) {
+	return OpenFS(dir, faultfs.OS{})
+}
+
+// OpenFS is Open over an explicit filesystem — faultfs.OS in production,
+// a *faultfs.Sim under the power-fail property tests and chaos campaigns.
+// Opening sweeps stale temp files left behind by a crashed writer (older
+// than one hour; Stats.TmpCleaned counts them) so they cannot accumulate
+// forever.
+func OpenFS(dir string, fsys faultfs.FS) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, fsys: fsys}
+	s.cleanStaleTmp()
+	return s, nil
+}
+
+// cleanStaleTmp removes orphaned temp files past the stale age. Failures
+// are ignored: cleanup is hygiene, never a reason to refuse to open.
+func (s *Store) cleanStaleTmp() {
+	entries, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-staleTmpAge)
+	removed := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil || fi.ModTime().After(cutoff) {
+			continue
+		}
+		if s.fsys.Remove(filepath.Join(s.dir, e.Name())) == nil {
+			s.tmpCleaned.Add(1)
+			removed = true
+		}
+	}
+	if removed {
+		_ = s.fsys.SyncDir(s.dir)
+	}
 }
 
 // Dir reports the store's root directory.
@@ -146,6 +204,7 @@ func (s *Store) Stats() Stats {
 		Corrupt:     s.corrupt.Load(),
 		Writes:      s.writes.Load(),
 		WriteErrors: s.writeErrs.Load(),
+		TmpCleaned:  s.tmpCleaned.Load(),
 	}
 }
 
@@ -174,7 +233,7 @@ type envelope struct {
 // trace corruption taxonomy) and are additionally counted in
 // Stats.Corrupt. Get never returns a result that failed validation.
 func (s *Store) Get(k Key) (*core.Result, error) {
-	data, err := os.ReadFile(filepath.Join(s.dir, k.filename()))
+	data, err := s.fsys.ReadFile(filepath.Join(s.dir, k.filename()))
 	if err != nil {
 		s.misses.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrMiss, err)
@@ -217,9 +276,12 @@ func Decode(data []byte) (Key, *core.Result, error) {
 	return env.Key, &res, nil
 }
 
-// Put persists res under k via temp-file + fsync + atomic rename. A
-// failed Put leaves no partial entry behind (the temp file is removed) and
-// the previous entry, if any, intact.
+// Put persists res under k via temp-file + fsync + atomic rename + parent
+// directory fsync. A failed Put leaves no partial entry behind (the temp
+// file is removed) and the previous entry, if any, intact. A nil return is
+// a durability promise: the entry survives power loss from this point on
+// (the directory fsync is what makes the rename itself durable — see
+// docs/robustness.md §8).
 func (s *Store) Put(k Key, res *core.Result) error {
 	return s.PutWithPerf(k, res, nil)
 }
@@ -252,7 +314,7 @@ func (s *Store) put(k Key, res *core.Result, p *PerfInfo) (err error) {
 		return fmt.Errorf("store: encoding entry: %w", err)
 	}
 
-	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	f, err := s.fsys.CreateTemp(s.dir, tmpPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -260,7 +322,7 @@ func (s *Store) put(k Key, res *core.Result, p *PerfInfo) (err error) {
 	defer func() {
 		if err != nil {
 			f.Close()
-			os.Remove(tmp)
+			s.fsys.Remove(tmp)
 		}
 	}()
 	if _, err = f.Write(data); err != nil {
@@ -272,17 +334,23 @@ func (s *Store) put(k Key, res *core.Result, p *PerfInfo) (err error) {
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("store: closing %s: %w", tmp, err)
 	}
-	if err = os.Rename(tmp, filepath.Join(s.dir, k.filename())); err != nil {
-		os.Remove(tmp)
+	if err = s.fsys.Rename(tmp, filepath.Join(s.dir, k.filename())); err != nil {
+		s.fsys.Remove(tmp)
 		return fmt.Errorf("store: committing entry: %w", err)
+	}
+	// The rename puts the entry under its live name, but only the parent
+	// directory's fsync makes that name durable: without it, a power cut
+	// here can silently lose an entry Put already reported as persisted.
+	if err = s.fsys.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("store: syncing directory %s: %w", s.dir, err)
 	}
 	return nil
 }
 
 // Len reports the number of committed entries currently in the store
-// directory (temp files excluded).
+// directory (temp files and the corrupt/ quarantine excluded).
 func (s *Store) Len() (int, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
 		return 0, fmt.Errorf("store: %w", err)
 	}

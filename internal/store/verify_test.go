@@ -1,0 +1,222 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// corpusStore builds an on-disk store holding a handful of healthy entries
+// and returns it plus the filename of the entry keyed by victim.
+func corpusStore(t *testing.T) (*Store, Key, []Key) {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sampleKey()
+	others := []Key{}
+	for i := 0; i < 3; i++ {
+		k := sampleKey()
+		k.Width = 2 << i
+		k.Workload = "espresso"
+		others = append(others, k)
+		if err := st.Put(k, sampleResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put(victim, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	return st, victim, others
+}
+
+// TestVerifyDetectsEveryCorruptionClass: each byte-level corruption class
+// from internal/faultinject, applied to a committed entry, must be flagged
+// by Verify — the acceptance criterion tying the store's integrity story
+// to the same corrupter arsenal the trace format is tested against.
+func TestVerifyDetectsEveryCorruptionClass(t *testing.T) {
+	for _, f := range faultinject.ByteFaults {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			st, victim, _ := corpusStore(t)
+			path := filepath.Join(st.Dir(), victim.filename())
+			img, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, faultinject.Corrupt(img, f, 42), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := st.Verify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Scanned != 4 || rep.OK != 3 {
+				t.Fatalf("scanned %d ok %d, want 4/3", rep.Scanned, rep.OK)
+			}
+			if len(rep.Problems) != 1 || rep.Problems[0].File != victim.filename() {
+				t.Fatalf("problems = %+v, want exactly the corrupted entry", rep.Problems)
+			}
+			if c := rep.Problems[0].Class; c != ProblemDecode && c != ProblemMisplaced {
+				t.Fatalf("problem class = %q", c)
+			}
+		})
+	}
+}
+
+// TestVerifyDetectsMisplacedEntry: a valid entry sitting under a filename
+// its key does not map to (copied, renamed, restored to the wrong place)
+// is dead weight Get will never serve — Verify must flag it.
+func TestVerifyDetectsMisplacedEntry(t *testing.T) {
+	st, victim, _ := corpusStore(t)
+	src := filepath.Join(st.Dir(), victim.filename())
+	img, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(st.Dir(), "stray-w9-s9-0000000000000000.json"), img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) != 1 || rep.Problems[0].Class != ProblemMisplaced {
+		t.Fatalf("problems = %+v, want one misplaced", rep.Problems)
+	}
+	if rep.Problems[0].Key == nil || rep.Problems[0].Key.canonical() != victim.canonical() {
+		t.Fatalf("misplaced problem did not recover the embedded key: %+v", rep.Problems[0])
+	}
+}
+
+// TestRepairQuarantinesWithoutTouchingHealthy: repair must move exactly
+// the corrupt entries into corrupt/, leave every healthy entry readable,
+// and write the machine-readable report. A second pass is a no-op.
+func TestRepairQuarantinesWithoutTouchingHealthy(t *testing.T) {
+	st, victim, others := corpusStore(t)
+	path := filepath.Join(st.Dir(), victim.filename())
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, faultinject.Corrupt(img, faultinject.CorruptRecordBit, 7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := st.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].File != victim.filename() || len(rep.Failed) != 0 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	// The corrupt entry is gone from the root and preserved in corrupt/.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still under its live name: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), corruptDirName, victim.filename())); err != nil {
+		t.Fatalf("quarantined bytes not preserved: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), corruptDirName, repairReportName)); err != nil {
+		t.Fatalf("machine-readable repair report missing: %v", err)
+	}
+	// Healthy entries still served.
+	for _, k := range others {
+		if _, err := st.Get(k); err != nil {
+			t.Fatalf("healthy entry %s unreadable after repair: %v", k.filename(), err)
+		}
+	}
+	// Idempotence.
+	rep2, err := st.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Quarantined) != 0 || rep2.Scanned != 3 || rep2.OK != 3 {
+		t.Fatalf("second repair pass not a no-op: %+v", rep2)
+	}
+}
+
+// TestGCPolicies: gc removes aged temp files and aged quarantined entries,
+// honoring the age floors, and leaves everything else alone.
+func TestGCPolicies(t *testing.T) {
+	st, victim, _ := corpusStore(t)
+	// One aged tmp, one fresh tmp.
+	aged := filepath.Join(st.Dir(), tmpPrefix+"aged")
+	fresh := filepath.Join(st.Dir(), tmpPrefix+"fresh")
+	for _, p := range []string{aged, fresh} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(aged, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// One aged quarantined entry.
+	path := filepath.Join(st.Dir(), victim.filename())
+	img, _ := os.ReadFile(path)
+	os.WriteFile(path, faultinject.Corrupt(img, faultinject.CorruptMagic, 1), 0o644)
+	if _, err := st.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	qpath := filepath.Join(st.Dir(), corruptDirName, victim.filename())
+	if err := os.Chtimes(qpath, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := st.GC(24*time.Hour, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TmpRemoved != 1 || rep.QuarantineRemoved != 1 {
+		t.Fatalf("gc report = %+v, want 1 tmp + 1 quarantined removed", rep)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh tmp removed by gc: %v", err)
+	}
+	if _, err := os.Stat(qpath); !os.IsNotExist(err) {
+		t.Fatalf("aged quarantined entry survived gc: %v", err)
+	}
+	// Zero ages mean "any age": the fresh tmp goes too.
+	rep2, err := st.GC(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TmpRemoved != 1 {
+		t.Fatalf("gc(0,0) = %+v, want the fresh tmp removed", rep2)
+	}
+	// Negative ages disable a class entirely.
+	os.WriteFile(fresh, []byte("x"), 0o644)
+	rep3, err := st.GC(-1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.TmpRemoved != 0 || rep3.QuarantineRemoved != 0 {
+		t.Fatalf("gc(-1,-1) = %+v, want nothing removed", rep3)
+	}
+	// Committed entries are never gc'd.
+	n, err := st.Len()
+	if err != nil || n != 3 {
+		t.Fatalf("Len = %d, %v; want 3 committed entries untouched", n, err)
+	}
+}
+
+// TestGetCountsCorrupt: satellite 3 — a corrupt read increments the
+// dedicated corrupt counter (and misses), never hits.
+func TestGetCountsCorrupt(t *testing.T) {
+	st, victim, _ := corpusStore(t)
+	path := filepath.Join(st.Dir(), victim.filename())
+	img, _ := os.ReadFile(path)
+	os.WriteFile(path, faultinject.Corrupt(img, faultinject.CorruptRecordBit, 3), 0o644)
+	if _, err := st.Get(victim); err == nil {
+		t.Fatal("corrupt entry served")
+	}
+	stats := st.Stats()
+	if stats.Corrupt != 1 || stats.Misses != 1 || stats.Hits != 0 {
+		t.Fatalf("stats after corrupt read = %+v", stats)
+	}
+}
