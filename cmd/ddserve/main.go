@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -54,6 +56,7 @@ func main() {
 		trials     = flag.Int("trials", 8, "powerfail: number of randomized kill-points")
 		scrubEvery = flag.Duration("scrub-interval", 0, "background store scrub pass interval (0 = scrubbing off; needs -store)")
 		scrubRate  = flag.Duration("scrub-rate", 10*time.Millisecond, "background scrub per-entry pacing")
+		metricsOn  = flag.Bool("metrics", true, "serve GET /metrics (Prometheus text) and GET /jobs/{id}/trace")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -83,6 +86,7 @@ func main() {
 			QuarantineAfter:  *quarantine,
 			BreakerThreshold: *brkThresh,
 			BreakerCooldown:  *brkCool,
+			DisableMetrics:   !*metricsOn,
 		},
 	}))
 }
@@ -97,8 +101,10 @@ type options struct {
 }
 
 func serve(logger *log.Logger, o options) error {
+	var st *store.Store
 	if o.storeDir != "" {
-		st, err := store.Open(o.storeDir)
+		var err error
+		st, err = store.Open(o.storeDir)
 		if err != nil {
 			return fmt.Errorf("opening store: %w", err)
 		}
@@ -120,6 +126,14 @@ func serve(logger *log.Logger, o options) error {
 		}
 	}
 	srv := server.New(o.opt)
+	// Register the storage layer's families on the server's registry so
+	// one /metrics page carries the whole stack.
+	if st != nil {
+		st.Instrument(srv.Metrics())
+	}
+	if o.opt.Scrubber != nil {
+		o.opt.Scrubber.Instrument(srv.Metrics())
+	}
 	srv.Start()
 
 	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
@@ -154,7 +168,26 @@ func serve(logger *log.Logger, o options) error {
 	}
 	h := srv.HealthSnapshot()
 	logger.Printf("drained clean: %d job records, %d shed, %d quarantined", h.Jobs, h.Shed, h.Quarantined)
+	logMetricsSnapshot(logger, srv)
 	return nil
+}
+
+// logMetricsSnapshot logs the registry's headline job counters on clean
+// drain — the same numbers /metrics served, snapshotted into the shutdown
+// log for post-mortems that only have stderr.
+func logMetricsSnapshot(logger *log.Logger, srv *server.Server) {
+	var buf bytes.Buffer
+	if err := srv.Metrics().WritePrometheus(&buf); err != nil {
+		return
+	}
+	vals, err := metrics.ParseText(&buf)
+	if err != nil {
+		return
+	}
+	logger.Printf("metrics: admitted=%.0f done=%.0f failed=%.0f canceled=%.0f shed=%.0f job_seconds_sum=%.3f",
+		vals["server_jobs_admitted_total"], vals["server_jobs_done_total"],
+		vals["server_jobs_failed_total"], vals["server_jobs_canceled_total"],
+		vals["server_shed_total"], vals["server_job_seconds_sum"])
 }
 
 // runPowerFail executes the crash-consistency campaign (chaos.RunPowerFail):

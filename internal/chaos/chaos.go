@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -237,12 +238,12 @@ func runSchedule(i, kind int, opt Options, sum *Summary) (violations []string) {
 	baseline := runtime.NumGoroutine()
 
 	srvOpt := server.Options{
-		Workers:         1 + rng.Intn(3),
-		QueueDepth:      3 + rng.Intn(6),
-		Scale:           40 + rng.Intn(40),
-		Retries:         rng.Intn(2),
-		QuarantineAfter: 2,
-		DefaultDeadline: 30 * time.Second,
+		Workers:          1 + rng.Intn(3),
+		QueueDepth:       3 + rng.Intn(6),
+		Scale:            40 + rng.Intn(40),
+		Retries:          rng.Intn(2),
+		QuarantineAfter:  2,
+		DefaultDeadline:  30 * time.Second,
 		BreakerThreshold: 3,
 		BreakerCooldown:  200 * time.Millisecond,
 	}
@@ -261,6 +262,7 @@ func runSchedule(i, kind int, opt Options, sum *Summary) (violations []string) {
 	srv.Start()
 	ts := httptest.NewServer(srv.Handler())
 	c := newClient(ts.URL)
+	acceptedBefore := sum.Accepted
 
 	// Submission burst. Oversize it relative to the queue on overload
 	// schedules so shedding is guaranteed.
@@ -357,6 +359,13 @@ func runSchedule(i, kind int, opt Options, sum *Summary) (violations []string) {
 		violations = append(violations, fmt.Sprintf("post-drain readyz: %d (want 503)", code))
 	}
 
+	// Metric invariants: after the drain every admitted job is terminal, so
+	// the registry's outcome counters must exactly partition the admissions
+	// (each server is fresh per schedule, so totals are per-schedule), the
+	// job-latency histogram must have observed each job exactly once, and
+	// the shed counter must match the 429s this client saw.
+	violations = append(violations, checkMetricInvariants(c, sum.Accepted-acceptedBefore, shedHere)...)
+
 	ts.Close()
 	c.c.CloseIdleConnections()
 
@@ -373,6 +382,52 @@ func runSchedule(i, kind int, opt Options, sum *Summary) (violations []string) {
 	if !ok {
 		violations = append(violations, fmt.Sprintf(
 			"goroutine leak after drain: %d running, baseline %d", runtime.NumGoroutine(), baseline))
+	}
+	return violations
+}
+
+// checkMetricInvariants fetches the drained server's /metrics page and
+// asserts the accounting identities docs/observability.md promises:
+//
+//	server_jobs_admitted_total = admitted this schedule
+//	admitted = done + failed + canceled       (outcomes partition jobs)
+//	server_job_seconds_count   = admitted     (one observation per job)
+//	server_shed_total          = 429s observed by the client
+func checkMetricInvariants(c *client, admitted, shed int) (violations []string) {
+	resp, err := c.c.Get(c.base + "/metrics")
+	if err != nil {
+		return []string{"metrics fetch: " + err.Error()}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return []string{fmt.Sprintf("metrics fetch: code %d", resp.StatusCode)}
+	}
+	vals, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return []string{"metrics parse: " + err.Error()}
+	}
+	intOf := func(name string) int {
+		return int(vals[name])
+	}
+	gotAdmitted := intOf("server_jobs_admitted_total")
+	if gotAdmitted != admitted {
+		violations = append(violations, fmt.Sprintf(
+			"metrics: admitted_total %d, client saw %d accepted", gotAdmitted, admitted))
+	}
+	outcomes := intOf("server_jobs_done_total") + intOf("server_jobs_failed_total") +
+		intOf("server_jobs_canceled_total")
+	if outcomes != gotAdmitted {
+		violations = append(violations, fmt.Sprintf(
+			"metrics: outcomes done+failed+canceled = %d do not partition admitted %d",
+			outcomes, gotAdmitted))
+	}
+	if n := intOf("server_job_seconds_count"); n != gotAdmitted {
+		violations = append(violations, fmt.Sprintf(
+			"metrics: job_seconds_count %d != admitted %d", n, gotAdmitted))
+	}
+	if n := intOf("server_shed_total"); n != shed {
+		violations = append(violations, fmt.Sprintf(
+			"metrics: shed_total %d, client saw %d 429s", n, shed))
 	}
 	return violations
 }

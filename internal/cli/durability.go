@@ -9,7 +9,9 @@ package cli
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -64,21 +66,59 @@ func ReportStore(tool string, st *store.Store) {
 	fmt.Fprintln(os.Stderr, msg)
 }
 
-// Progress returns a heartbeat printer that rewrites one stderr line with
-// the instruction and cycle counts, plus a done func that terminates the
-// line (call it once, after the run, when anything was printed).
+// nonTTYProgressEvery throttles progress lines when stderr is not a
+// terminal: one newline-terminated line per interval instead of a
+// carriage-return rewrite per heartbeat, so CI logs stay readable.
+const nonTTYProgressEvery = 2 * time.Second
+
+// Progress returns a heartbeat printer that renders the instruction and
+// cycle counts to stderr, plus a done func that terminates the output
+// (call it once, after the run). On a terminal the printer rewrites one
+// line in place, clearing to end-of-line so a count that shrinks between
+// rewrites never leaves stale trailing characters. When stderr is
+// redirected (CI logs, pipes) it falls back to occasional full lines —
+// \r-rewrites would smear every heartbeat across the captured log.
 func Progress(tool string) (hook func(core.Progress), done func()) {
-	printed := false
+	return progressTo(os.Stderr, stderrIsTTY(), tool, time.Now)
+}
+
+// progressTo is Progress with the writer, TTY-ness, and clock injected for
+// tests.
+func progressTo(w io.Writer, tty bool, tool string, now func() time.Time) (hook func(core.Progress), done func()) {
+	rewriting := false
+	prevLen := 0
+	var lastLine time.Time
 	hook = func(p core.Progress) {
-		printed = true
-		fmt.Fprintf(os.Stderr, "\r%s: %d instructions, %d cycles ", tool, p.Records, p.Cycles)
+		line := fmt.Sprintf("%s: %d instructions, %d cycles", tool, p.Records, p.Cycles)
+		if tty {
+			// Pad over any leftover from a longer previous render.
+			pad := prevLen - len(line)
+			if pad < 0 {
+				pad = 0
+			}
+			fmt.Fprintf(w, "\r%s%s", line, strings.Repeat(" ", pad))
+			prevLen = len(line)
+			rewriting = true
+			return
+		}
+		if t := now(); lastLine.IsZero() || t.Sub(lastLine) >= nonTTYProgressEvery {
+			lastLine = t
+			fmt.Fprintln(w, line)
+		}
 	}
 	done = func() {
-		if printed {
-			fmt.Fprintln(os.Stderr)
+		if rewriting {
+			fmt.Fprintln(w)
 		}
 	}
 	return hook, done
+}
+
+// stderrIsTTY reports whether stderr is a character device (a terminal
+// rather than a pipe or file).
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
 // SimOptions configures one supervised simulation.

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"strings"
@@ -151,5 +152,64 @@ func TestSimulateCancellationIsNotRetried(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("canceled run attempted %d times, want 1", calls)
+	}
+}
+
+func TestProgressTTYRewritesAndClears(t *testing.T) {
+	var buf bytes.Buffer
+	hook, done := progressTo(&buf, true, "tool", time.Now)
+
+	hook(core.Progress{Records: 100000, Cycles: 200000})
+	hook(core.Progress{Records: 5, Cycles: 9}) // shorter render
+	done()
+
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("done() did not terminate the line: %q", out)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\r")
+	if len(lines) != 3 || lines[0] != "" { // leading \r splits an empty first element
+		t.Fatalf("expected two \\r-rewrites, got %q", out)
+	}
+	long, short := lines[1], lines[2]
+	// The shorter rewrite must be padded out to at least the longer one's
+	// width, so no stale characters survive on screen.
+	if len(short) < len(long) {
+		t.Fatalf("short rewrite %q (len %d) does not clear long render %q (len %d)",
+			short, len(short), long, len(long))
+	}
+	if want := "tool: 5 instructions, 9 cycles"; strings.TrimRight(short, " ") != want {
+		t.Fatalf("short rewrite = %q, want %q plus padding", short, want)
+	}
+}
+
+func TestProgressNonTTYThrottlesFullLines(t *testing.T) {
+	var buf bytes.Buffer
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	hook, done := progressTo(&buf, false, "tool", now)
+
+	for i := 0; i < 100; i++ {
+		hook(core.Progress{Records: int64(i), Cycles: int64(2 * i)})
+		clock = clock.Add(100 * time.Millisecond) // 100 beats over 10s
+	}
+	done()
+
+	out := buf.String()
+	if strings.Contains(out, "\r") {
+		t.Fatalf("non-TTY progress used carriage returns: %q", out)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	// 10 seconds of beats at one line per 2s: a handful of lines, not 100.
+	if len(lines) < 2 || len(lines) > 10 {
+		t.Fatalf("non-TTY printed %d lines, want throttled handful: %q", len(lines), out)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "tool: ") || !strings.HasSuffix(l, " cycles") {
+			t.Fatalf("malformed progress line %q", l)
+		}
+	}
+	if buf.Len() == 0 || strings.HasSuffix(out, "\n\n") {
+		t.Fatalf("done() must not add a newline in non-TTY mode: %q", out)
 	}
 }

@@ -18,12 +18,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/metrics"
 	"repro/internal/perf"
 	"repro/internal/retry"
 	"repro/internal/store"
@@ -90,6 +92,7 @@ type Runner struct {
 	ctx       context.Context
 	store     ResultStore
 	perf      *perf.Collector
+	metrics   *RunnerMetrics
 	workers   int
 	cellsDone atomic.Int64
 	computes  atomic.Int64
@@ -176,6 +179,44 @@ func (r *Runner) WithPerf(c *perf.Collector) *Runner {
 	return r
 }
 
+// RunnerMetrics is the instrumentation handle bundle one Runner records
+// into: per-cell simulation durations, resolution outcomes (memory cache
+// hit / store hit / computed / failed), and retry counts. Two runners
+// serving different self-check modes share the underlying registry
+// families, distinguished by the mode label.
+type RunnerMetrics struct {
+	cellSeconds *metrics.Histogram
+	cacheHits   *metrics.Counter
+	storeHits   *metrics.Counter
+	computed    *metrics.Counter
+	failed      *metrics.Counter
+	retries     *metrics.Counter
+}
+
+// NewRunnerMetrics registers (or fetches) the runner metric families in
+// reg and returns the handles for one mode ("plain" / "checked").
+func NewRunnerMetrics(reg *metrics.Registry, mode string) *RunnerMetrics {
+	cells := reg.CounterVec("runner_cells_total",
+		"cell resolutions by outcome (cache_hit, store_hit, computed, failed)", "mode", "outcome")
+	return &RunnerMetrics{
+		cellSeconds: reg.HistogramVec("runner_cell_seconds",
+			"per-cell simulation wall time (computed cells only)", nil, "mode").With(mode),
+		cacheHits: cells.With(mode, "cache_hit"),
+		storeHits: cells.With(mode, "store_hit"),
+		computed:  cells.With(mode, "computed"),
+		failed:    cells.With(mode, "failed"),
+		retries: reg.CounterVec("runner_retries_total",
+			"cell re-attempts granted after transient failures", "mode").With(mode),
+	}
+}
+
+// WithMetrics attaches instrumentation handles (see NewRunnerMetrics).
+// It returns the Runner for chaining.
+func (r *Runner) WithMetrics(m *RunnerMetrics) *Runner {
+	r.metrics = m
+	return r
+}
+
 // WithWorkers sets the Prefetch worker-pool size (0 or negative restores
 // the GOMAXPROCS default). It returns the Runner for chaining.
 func (r *Runner) WithWorkers(n int) *Runner {
@@ -240,20 +281,39 @@ func (r *Runner) Result(w *workloads.Workload, cfg core.Config, width int) (*cor
 // context can still succeed.
 func (r *Runner) ResultCtx(ctx context.Context, w *workloads.Workload, cfg core.Config, width int) (*core.Result, error) {
 	key := runKey{w.Name, cfg.Fingerprint(), width}
+	ctx, span := metrics.StartSpan(ctx, "cell")
+	if span != nil {
+		span.Annotate("workload", w.Name)
+		span.Annotate("config", cfg.Name)
+		span.Annotate("width", strconv.Itoa(width))
+		defer span.End()
+	}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
+		span.Annotate("outcome", "cache_hit")
+		if r.metrics != nil {
+			r.metrics.cacheHits.Inc()
+		}
 		return e.res, e.err
 	}
 	r.mu.Unlock()
 
 	res, attempts, err := r.compute(ctx, w, cfg, width)
+	if r.metrics != nil && attempts > 1 {
+		r.metrics.retries.Add(int64(attempts - 1))
+	}
 	if canceled(err) {
 		// A canceled run says nothing about the cell itself; leave the
 		// cache empty so a later run with a live context can succeed.
+		span.Annotate("outcome", "canceled")
 		return nil, err
 	}
 	if err != nil {
+		span.Annotate("outcome", "failed")
+		if r.metrics != nil {
+			r.metrics.failed.Inc()
+		}
 		err = fmt.Errorf("experiments: %s/config %s/width %d: %w", w.Name, cfg.Name, width, err)
 		if attempts > 1 {
 			err = fmt.Errorf("%w (%d attempts)", err, attempts)
@@ -274,21 +334,35 @@ func (r *Runner) ResultCtx(ctx context.Context, w *workloads.Workload, cfg core.
 // attempts the retry loop made so failures can carry their attempt count.
 func (r *Runner) compute(ctx context.Context, w *workloads.Workload, cfg core.Config, width int) (res *core.Result, attempts int, err error) {
 	policy := retry.Policy{MaxAttempts: r.Retries + 1, BaseDelay: r.RetryDelay}
-	attempts, err = retry.Do(ctx, policy, func(int) error {
+	attempts, err = retry.Do(ctx, policy, func(attempt int) error {
 		res = nil
+		actx, aspan := metrics.StartSpan(ctx, "attempt")
+		if aspan != nil {
+			aspan.Annotate("n", strconv.Itoa(attempt))
+			defer aspan.End()
+		}
 		if faultinject.Enabled() {
 			if ferr := faultinject.Check(faultinject.PointExperiment); ferr != nil {
 				return ferr
 			}
 		}
-		buf, _, terr := w.TraceCachedCtx(ctx, r.Scale)
+		_, tspan := metrics.StartSpan(actx, "trace-gen")
+		buf, _, terr := w.TraceCachedCtx(actx, r.Scale)
+		tspan.End()
 		if terr != nil {
 			return terr
 		}
 		var key store.Key
 		if r.store != nil {
 			key = r.storeKey(w, cfg, width, buf)
-			if got, gerr := r.store.Get(key); gerr == nil {
+			_, gspan := metrics.StartSpan(actx, "store.get")
+			got, gerr := r.store.Get(key)
+			gspan.End()
+			if gerr == nil {
+				aspan.Annotate("outcome", "store_hit")
+				if r.metrics != nil {
+					r.metrics.storeHits.Inc()
+				}
 				res = got
 				return nil
 			}
@@ -297,10 +371,11 @@ func (r *Runner) compute(ctx context.Context, w *workloads.Workload, cfg core.Co
 		}
 		r.computes.Add(1)
 		timer := perf.Start()
-		runCtx, cancelCell := ctx, context.CancelFunc(func() {})
+		runCtx, cancelCell := actx, context.CancelFunc(func() {})
 		if r.CellTimeout > 0 {
-			runCtx, cancelCell = context.WithTimeout(ctx, r.CellTimeout)
+			runCtx, cancelCell = context.WithTimeout(actx, r.CellTimeout)
 		}
+		runCtx, sspan := metrics.StartSpan(runCtx, "simulate")
 		got, rerr := watchdog.Run(runCtx, r.StallTimeout, func(wctx context.Context, beat func()) (*core.Result, error) {
 			p := core.Params{Width: width, SelfCheck: r.SelfCheck}
 			if r.StallTimeout > 0 {
@@ -309,6 +384,7 @@ func (r *Runner) compute(ctx context.Context, w *workloads.Workload, cfg core.Co
 			}
 			return core.RunChecked(wctx, buf.Reader(), cfg, p)
 		})
+		sspan.End()
 		cancelCell()
 		if rerr != nil {
 			// A deadline that fired on the *cell's* derived context while
@@ -323,14 +399,21 @@ func (r *Runner) compute(ctx context.Context, w *workloads.Workload, cfg core.Co
 		res = got
 		cell := perf.Cell{Workload: w.Name, Config: cfg.Name, Width: width,
 			Instructions: got.Instructions, Seconds: timer.Seconds()}
+		aspan.Annotate("outcome", "computed")
+		if r.metrics != nil {
+			r.metrics.computed.Inc()
+			r.metrics.cellSeconds.Observe(cell.Seconds)
+		}
 		if r.perf != nil {
 			r.perf.Record(cell)
 		}
 		if r.store != nil {
 			// Best-effort persistence: a failed write costs durability,
 			// never the result. The store counts it in Stats.WriteErrors.
+			_, pspan := metrics.StartSpan(actx, "store.put")
 			_ = r.store.PutWithPerf(key, got,
 				&store.PerfInfo{Seconds: cell.Seconds, MInstrPerSec: cell.MInstrPerSec()})
+			pspan.End()
 		}
 		return nil
 	})

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUpdates hammers one counter, one gauge, and one histogram
+// from many goroutines; -race is the real assertion, the totals are the
+// sanity check.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test counter")
+	g := r.Gauge("g", "test gauge")
+	h := r.Histogram("h_seconds", "test histogram", []float64{0.01, 0.1, 1})
+	cv := r.CounterVec("cv_total", "labeled", "k")
+
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%3) * 0.05)
+				cv.With("a").Inc()
+				if w == 0 && i%10 == 0 {
+					// Concurrent exposition must be safe too.
+					_ = r.WritePrometheus(&strings.Builder{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := cv.With("a").Value(); got != workers*per {
+		t.Errorf("vec counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different instance")
+	}
+	if h1, h2 := r.Histogram("h", "h", nil), r.Histogram("h", "h", nil); h1 != h2 {
+		t.Fatal("re-registering the same histogram returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("v_total", "v", "a", "b")
+	if v.With("1", "2") != v.With("1", "2") {
+		t.Fatal("same label values returned different children")
+	}
+	if v.With("1", "2") == v.With("2", "1") {
+		t.Fatal("different label values returned the same child")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform over (0, 1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-0.5) > 1e-9 {
+		t.Errorf("p50 of uniform(0,1] = %v, want 0.5 (interpolated)", q)
+	}
+	// Add 100 observations in (1, 2]: p50 now sits at the bucket edge.
+	for i := 1; i <= 100; i++ {
+		h.Observe(1 + float64(i)/100)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-1.0) > 1e-9 {
+		t.Errorf("p50 after second bucket fill = %v, want 1.0", q)
+	}
+	if q := h.Quantile(0.75); math.Abs(q-1.5) > 1e-9 {
+		t.Errorf("p75 = %v, want 1.5", q)
+	}
+	// Overflow bucket reports its lower bound.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Quantile(0.5); q != 1 {
+		t.Errorf("overflow quantile = %v, want 1 (last bound)", q)
+	}
+	// Empty histogram.
+	if q := newHistogram([]float64{1}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	s := h.Summary()
+	if s.Count != 2 || math.Abs(s.Sum-2.0) > 1e-9 {
+		t.Errorf("summary count/sum = %d/%v, want 2/2.0", s.Count, s.Sum)
+	}
+	if s.P99 <= s.P50 {
+		t.Errorf("p99 (%v) <= p50 (%v)", s.P99, s.P50)
+	}
+}
+
+// TestExpositionGolden pins the exact exposition bytes for a small fixed
+// registry: families in name order, children in label order, histogram
+// buckets cumulative with le labels plus _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta_total", "last by name").Add(3)
+	r.Gauge("alpha_depth", "first by name").Set(7)
+	v := r.CounterVec("beta_total", "labeled", "kind", "code")
+	v.With("job", "200").Add(2)
+	v.With("job", "429").Inc()
+	h := r.Histogram("gamma_seconds", "histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("delta", "func gauge", func() float64 { return 1.5 })
+
+	want := `# HELP alpha_depth first by name
+# TYPE alpha_depth gauge
+alpha_depth 7
+# HELP beta_total labeled
+# TYPE beta_total counter
+beta_total{kind="job",code="200"} 2
+beta_total{kind="job",code="429"} 1
+# HELP delta func gauge
+# TYPE delta gauge
+delta 1.5
+# HELP gamma_seconds histogram
+# TYPE gamma_seconds histogram
+gamma_seconds_bucket{le="0.1"} 2
+gamma_seconds_bucket{le="1"} 3
+gamma_seconds_bucket{le="+Inf"} 4
+gamma_seconds_sum 5.6
+gamma_seconds_count 4
+# HELP zeta_total last by name
+# TYPE zeta_total counter
+zeta_total 3
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+
+	// Two renders of the same state are byte-identical.
+	var sb2 strings.Builder
+	_ = r.WritePrometheus(&sb2)
+	if sb.String() != sb2.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+// TestParseTextRoundTrip feeds the writer's output back through the
+// parser and checks the samples survive.
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(41)
+	r.CounterVec("b_total", "b", "x").With("y z").Add(2) // label value with a space
+	h := r.Histogram("h_seconds", "h", []float64{1})
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"a_total":                  41,
+		`b_total{x="y z"}`:         2,
+		`h_seconds_bucket{le="1"}`: 1,
+		"h_seconds_count":          1,
+		"h_seconds_sum":            0.5,
+	} {
+		if got[name] != want {
+			t.Errorf("parsed %s = %v, want %v (all: %v)", name, got[name], want, got)
+		}
+	}
+}

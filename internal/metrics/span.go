@@ -1,0 +1,196 @@
+package metrics
+
+// Per-job trace spans: a lightweight event log of what one job actually
+// did — queue wait, each retry attempt, store lookups, the simulation
+// itself — with parent linkage, rendered as structured JSON on
+// GET /jobs/{id}/trace. This is the single-request complement to the
+// histograms: the histogram says p99 is slow, the span dump says *which
+// phase* of *this* job was slow.
+//
+// The API is deliberately nil-tolerant: TraceFrom on an untraced context
+// returns nil, StartSpan on such a context returns a nil *Span, and every
+// *Span method no-ops on nil — so instrumented code (the runner, the
+// breaker) never branches on "is tracing on?".
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds one trace's memory: a retry storm or a deep
+// sweep cannot grow a job record without limit. Past the cap, StartSpan
+// returns nil spans (and the trace notes how many were dropped).
+const maxSpansPerTrace = 512
+
+// Trace is one job's span log. Create with NewTrace; safe for concurrent
+// use (the worker appends while GET /jobs/{id}/trace snapshots).
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu      sync.Mutex
+	nextID  int
+	spans   []*Span
+	dropped int
+}
+
+// NewTrace starts an empty trace identified by id (the job ID).
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID reports the trace's identifier.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Span is one timed region inside a trace. A nil *Span is a valid no-op
+// receiver for every method.
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int // 0 = root
+
+	mu      sync.Mutex
+	name    string
+	startNS int64 // since trace start
+	endNS   int64 // -1 while open
+	attrs   [][2]string
+}
+
+// StartSpan opens a span under parent (nil parent = root). It returns nil
+// once the trace's span cap is reached.
+func (t *Trace) StartSpan(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.dropped++
+		return nil
+	}
+	t.nextID++
+	s := &Span{tr: t, id: t.nextID, name: name,
+		startNS: int64(time.Since(t.start)), endNS: -1}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.endNS < 0 {
+		s.endNS = int64(time.Since(s.tr.start))
+	}
+}
+
+// Annotate attaches a key/value note to the span (cache hit, error kind,
+// attempt number).
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attrs = append(s.attrs, [2]string{key, value})
+}
+
+// SpanEvent is one span rendered for JSON.
+type SpanEvent struct {
+	ID      int               `json:"id"`
+	Parent  int               `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"` // -1 while the span is open
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceDoc is the GET /jobs/{id}/trace response body.
+type TraceDoc struct {
+	Trace   string      `json:"trace"`
+	Spans   []SpanEvent `json:"spans"`
+	Dropped int         `json:"dropped_spans,omitempty"`
+}
+
+// Doc snapshots the trace for JSON rendering, spans in start order.
+func (t *Trace) Doc() TraceDoc {
+	if t == nil {
+		return TraceDoc{}
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	doc := TraceDoc{Trace: t.id, Dropped: t.dropped}
+	t.mu.Unlock()
+	doc.Spans = make([]SpanEvent, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		ev := SpanEvent{ID: s.id, Parent: s.parent, Name: s.name,
+			StartUS: s.startNS / 1e3, DurUS: -1}
+		if s.endNS >= 0 {
+			ev.DurUS = (s.endNS - s.startNS) / 1e3
+		}
+		if len(s.attrs) > 0 {
+			ev.Attrs = make(map[string]string, len(s.attrs))
+			for _, kv := range s.attrs {
+				ev.Attrs[kv[0]] = kv[1]
+			}
+		}
+		s.mu.Unlock()
+		doc.Spans = append(doc.Spans, ev)
+	}
+	return doc
+}
+
+// --- context plumbing --------------------------------------------------------
+
+type traceCtxKey struct{}
+type spanCtxKey struct{}
+
+// WithTrace returns a context carrying the trace; instrumented layers
+// below (the runner, the breaker) pick it up via TraceFrom/StartSpan.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// spanFrom returns the context's current span, or nil.
+func spanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name under the context's current span (or
+// as a root) and returns a derived context in which the new span is the
+// parent of further StartSpan calls. On an untraced context it returns
+// (ctx, nil) — and a nil span is safe to End/Annotate.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.StartSpan(name, spanFrom(ctx))
+	if s == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanParentLinkage(t *testing.T) {
+	tr := NewTrace("job-1")
+	root := tr.StartSpan("job", nil)
+	child := tr.StartSpan("run", root)
+	grand := tr.StartSpan("simulate", child)
+	grand.Annotate("workload", "compress")
+	grand.End()
+	child.End()
+	root.End()
+
+	doc := tr.Doc()
+	if doc.Trace != "job-1" || len(doc.Spans) != 3 {
+		t.Fatalf("doc = %+v, want 3 spans for job-1", doc)
+	}
+	byName := map[string]SpanEvent{}
+	for _, s := range doc.Spans {
+		byName[s.Name] = s
+	}
+	if byName["job"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["job"].Parent)
+	}
+	if byName["run"].Parent != byName["job"].ID {
+		t.Errorf("run parent = %d, want %d", byName["run"].Parent, byName["job"].ID)
+	}
+	if byName["simulate"].Parent != byName["run"].ID {
+		t.Errorf("simulate parent = %d, want %d", byName["simulate"].Parent, byName["run"].ID)
+	}
+	if byName["simulate"].Attrs["workload"] != "compress" {
+		t.Errorf("annotation lost: %+v", byName["simulate"].Attrs)
+	}
+	for _, s := range doc.Spans {
+		if s.DurUS < 0 {
+			t.Errorf("span %s still open in doc: dur_us = %d", s.Name, s.DurUS)
+		}
+	}
+
+	// The doc must be JSON-serializable (it is an HTTP response body).
+	if _, err := json.Marshal(doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanContextPlumbing(t *testing.T) {
+	// Untraced context: everything no-ops, nothing panics.
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "orphan")
+	if s != nil || ctx2 != ctx {
+		t.Fatal("StartSpan on an untraced context must return (ctx, nil)")
+	}
+	s.End()
+	s.Annotate("k", "v") // nil-safe
+
+	tr := NewTrace("job-2")
+	ctx = WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+	ctx, outer := StartSpan(ctx, "outer")
+	_, inner := StartSpan(ctx, "inner")
+	inner.End()
+	outer.End()
+	doc := tr.Doc()
+	if len(doc.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(doc.Spans))
+	}
+	if doc.Spans[1].Parent != doc.Spans[0].ID {
+		t.Errorf("inner span not parented to outer: %+v", doc.Spans)
+	}
+}
+
+func TestSpanOpenInDoc(t *testing.T) {
+	tr := NewTrace("job-3")
+	tr.StartSpan("still-running", nil)
+	doc := tr.Doc()
+	if len(doc.Spans) != 1 || doc.Spans[0].DurUS != -1 {
+		t.Fatalf("open span must render dur_us=-1, got %+v", doc.Spans)
+	}
+}
+
+// TestSpanCapBounded: past maxSpansPerTrace, StartSpan returns nil and
+// the doc counts the drops — a retry storm cannot grow a job record
+// without bound.
+func TestSpanCapBounded(t *testing.T) {
+	tr := NewTrace("job-4")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		tr.StartSpan("s", nil)
+	}
+	doc := tr.Doc()
+	if len(doc.Spans) != maxSpansPerTrace {
+		t.Errorf("got %d spans, want cap %d", len(doc.Spans), maxSpansPerTrace)
+	}
+	if doc.Dropped != 10 {
+		t.Errorf("dropped = %d, want 10", doc.Dropped)
+	}
+}
+
+// TestSpanConcurrency: concurrent span creation/end and Doc snapshots
+// race-cleanly (run under -race).
+func TestSpanConcurrency(t *testing.T) {
+	tr := NewTrace("job-5")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := tr.StartSpan("s", nil)
+				s.Annotate("i", "x")
+				_ = tr.Doc()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Doc().Spans); got != 400 {
+		t.Errorf("got %d spans, want 400", got)
+	}
+}

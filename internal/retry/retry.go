@@ -24,11 +24,29 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
 	"repro/internal/watchdog"
 )
+
+// Process-wide attempt counters, bridged into the serving metrics
+// registry (retry_attempts_total / retry_backoffs_total on /metrics).
+// Package atomics rather than injected handles: Do is a free function
+// called from half a dozen layers, and the taxonomy is process-global.
+var (
+	totalAttempts atomic.Int64 // fn invocations (first tries included)
+	totalBackoffs atomic.Int64 // backoff sleeps taken (i.e. re-attempts granted)
+)
+
+// Attempts reports how many retryable-operation attempts have run
+// process-wide since start.
+func Attempts() int64 { return totalAttempts.Load() }
+
+// Backoffs reports how many backoff waits (re-attempts granted to a
+// transient failure) have been taken process-wide since start.
+func Backoffs() int64 { return totalBackoffs.Load() }
 
 // Class partitions errors by what retrying can achieve.
 type Class int
@@ -160,6 +178,7 @@ func Do(ctx context.Context, p Policy, fn func(attempt int) error) (attempts int
 	rng := rand.New(rand.NewSource(p.Seed))
 	delay := p.BaseDelay
 	for attempt := 1; ; attempt++ {
+		totalAttempts.Add(1)
 		err = fn(attempt)
 		if err == nil {
 			return attempt, nil
@@ -175,6 +194,7 @@ func Do(ctx context.Context, p Policy, fn func(attempt int) error) (attempts int
 			// Uniform over [d×(1−J), d×(1+J)].
 			d = time.Duration(float64(d) * (1 - p.Jitter + 2*p.Jitter*rng.Float64()))
 		}
+		totalBackoffs.Add(1)
 		if serr := p.Sleep(ctx, d); serr != nil {
 			return attempt, errors.Join(serr, err)
 		}

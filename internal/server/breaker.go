@@ -66,13 +66,14 @@ const fallbackCap = 4096
 
 // BreakerStats is a snapshot of the breaker's counters for /healthz.
 type BreakerStats struct {
-	State         string `json:"state"`
-	Trips         int64  `json:"trips"`           // closed->open transitions
-	Rejected      int64  `json:"rejected"`        // reads rejected while open
-	FallbackHits  int64  `json:"fallback_hits"`   // reads served from the fallback cache
-	DroppedWrites int64  `json:"dropped_writes"`  // writes degraded to the fallback cache
-	FlushedWrites int64  `json:"flushed_writes"`  // cached entries written back after recovery
-	CachedEntries int    `json:"cached_entries"`  // current fallback cache size
+	State          string `json:"state"`
+	Trips          int64  `json:"trips"`            // closed->open transitions
+	Rejected       int64  `json:"rejected"`         // reads rejected while open
+	FallbackHits   int64  `json:"fallback_hits"`    // reads served from the fallback cache
+	DroppedWrites  int64  `json:"dropped_writes"`   // writes degraded to the fallback cache
+	FlushedWrites  int64  `json:"flushed_writes"`   // cached entries written back after recovery
+	HalfOpenProbes int64  `json:"half_open_probes"` // store calls let through as half-open probes
+	CachedEntries  int    `json:"cached_entries"`   // current fallback cache size
 }
 
 // Breaker wraps a ResultStore with circuit breaking. It implements
@@ -93,7 +94,7 @@ type Breaker struct {
 	order    []store.Key // FIFO eviction order for cache
 	flushing bool        // a recovery flush goroutine is running
 
-	trips, rejected, fallbackHits, droppedWrites, flushed int64
+	trips, rejected, fallbackHits, droppedWrites, flushed, probes int64
 }
 
 var _ experiments.ResultStore = (*Breaker)(nil)
@@ -134,13 +135,14 @@ func (b *Breaker) BreakerStats() BreakerStats {
 	defer b.mu.Unlock()
 	b.advanceLocked()
 	return BreakerStats{
-		State:         b.state.String(),
-		Trips:         b.trips,
-		Rejected:      b.rejected,
-		FallbackHits:  b.fallbackHits,
-		DroppedWrites: b.droppedWrites,
-		FlushedWrites: b.flushed,
-		CachedEntries: len(b.cache),
+		State:          b.state.String(),
+		Trips:          b.trips,
+		Rejected:       b.rejected,
+		FallbackHits:   b.fallbackHits,
+		DroppedWrites:  b.droppedWrites,
+		FlushedWrites:  b.flushed,
+		HalfOpenProbes: b.probes,
+		CachedEntries:  len(b.cache),
 	}
 }
 
@@ -164,6 +166,7 @@ func (b *Breaker) allow() (ok, isProbe bool) {
 	case BreakerHalfOpen:
 		if !b.probing {
 			b.probing = true
+			b.probes++
 			return true, true
 		}
 	}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/watchdog"
 	"repro/internal/workloads"
@@ -112,6 +113,13 @@ type Job struct {
 	cfg core.Config
 	// deadline is the normalized per-job deadline (defaults applied).
 	deadline time.Duration
+	// admitted is when admission control accepted the job; the terminal
+	// server_job_seconds observation measures from here.
+	admitted time.Time
+	// trace is the job's span log (GET /jobs/{id}/trace); queuedSpan is
+	// its open queue-wait span, ended when a worker dequeues the job.
+	trace      *metrics.Trace
+	queuedSpan *metrics.Span
 }
 
 // key returns the job's quarantine identity.

@@ -1,0 +1,219 @@
+package server
+
+// Server-side instrumentation: one metrics.Registry owns every family the
+// serving stack exports, and this file is where the server's own signals —
+// per-endpoint request counts and latency, queue pressure, job outcomes,
+// drain phases — are registered and wired. Cross-layer counters that
+// already exist as atomics (breaker, quarantine, watchdog, retry) are
+// bridged with read-through func metrics so /healthz and /metrics can
+// never disagree: there is exactly one underlying counter for each fact.
+
+import (
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/retry"
+	"repro/internal/watchdog"
+)
+
+// serverMetrics bundles the hot-path handles the server records into.
+// Bridged (func) metrics are registered once and need no handle here.
+type serverMetrics struct {
+	requests *metrics.CounterVec   // http_requests_total{endpoint,code}
+	latency  *metrics.HistogramVec // http_request_seconds{endpoint}
+
+	admitted  *metrics.Counter // server_jobs_admitted_total
+	done      *metrics.Counter // server_jobs_done_total
+	failed    *metrics.Counter // server_jobs_failed_total
+	canceled  *metrics.Counter // server_jobs_canceled_total
+	shed      *metrics.Counter // server_shed_total
+	running   *metrics.Gauge   // server_jobs_running
+	jobSecs   *metrics.Histogram
+	quarTrips *metrics.Counter    // server_quarantine_trips_total
+	drains    *metrics.CounterVec // server_drain_total{phase}
+}
+
+// newServerMetrics registers the server families on reg and the
+// read-through bridges over s's existing state. Called once from New,
+// after the queue/quarantine/breaker fields exist.
+func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		requests: reg.CounterVec("http_requests_total",
+			"HTTP requests served, by endpoint and status code", "endpoint", "code"),
+		latency: reg.HistogramVec("http_request_seconds",
+			"HTTP request latency by endpoint", nil, "endpoint"),
+		admitted: reg.Counter("server_jobs_admitted_total",
+			"jobs accepted past admission control"),
+		done: reg.Counter("server_jobs_done_total",
+			"jobs that reached the done state"),
+		failed: reg.Counter("server_jobs_failed_total",
+			"jobs that reached the failed state"),
+		canceled: reg.Counter("server_jobs_canceled_total",
+			"jobs that reached the canceled state"),
+		shed: reg.Counter("server_shed_total",
+			"submissions rejected by admission control (queue full)"),
+		running: reg.Gauge("server_jobs_running",
+			"jobs currently executing on the worker pool"),
+		jobSecs: reg.Histogram("server_job_seconds",
+			"job wall-clock time from admission to a terminal state", nil),
+		quarTrips: reg.Counter("server_quarantine_trips_total",
+			"cells newly quarantined after repeated crashes"),
+		drains: reg.CounterVec("server_drain_total",
+			"drain lifecycle events, by phase (begin, clean, forced)", "phase"),
+	}
+
+	reg.GaugeFunc("server_queue_depth", "reserved queue slots (admitted, not yet dequeued)",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.queued)
+		})
+	reg.GaugeFunc("server_queue_capacity", "admission queue capacity",
+		func() float64 { return float64(s.opt.QueueDepth) })
+	reg.GaugeFunc("server_workers", "worker-pool size",
+		func() float64 { return float64(s.opt.Workers) })
+	reg.GaugeFunc("server_jobs_retained", "job records currently retained",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.jobs))
+		})
+	reg.GaugeFunc("server_quarantined_cells", "cells currently quarantined",
+		func() float64 { return float64(s.quar.count()) })
+	reg.GaugeFunc("server_goroutines", "goroutines in the serving process",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+
+	// Cross-cutting supervision counters (package atomics).
+	reg.CounterFunc("watchdog_stalls_total", "cells reaped by the stall watchdog",
+		func() float64 { return float64(watchdog.Stalls()) })
+	reg.CounterFunc("watchdog_abandoned_total", "stalled worker goroutines abandoned",
+		func() float64 { return float64(watchdog.Abandoned()) })
+	reg.CounterFunc("retry_attempts_total", "retryable-operation attempts (first tries included)",
+		func() float64 { return float64(retry.Attempts()) })
+	reg.CounterFunc("retry_backoffs_total", "backoff waits granted to transient failures",
+		func() float64 { return float64(retry.Backoffs()) })
+
+	if s.breaker != nil {
+		b := s.breaker
+		reg.GaugeFunc("breaker_state", "store circuit-breaker state (0 closed, 1 open, 2 half-open)",
+			func() float64 { return float64(b.State()) })
+		reg.CounterFunc("breaker_trips_total", "closed-to-open breaker transitions",
+			func() float64 { return float64(b.BreakerStats().Trips) })
+		reg.CounterFunc("breaker_rejected_total", "store reads rejected while the breaker was open",
+			func() float64 { return float64(b.BreakerStats().Rejected) })
+		reg.CounterFunc("breaker_fallback_hits_total", "store reads served from the fallback cache",
+			func() float64 { return float64(b.BreakerStats().FallbackHits) })
+		reg.CounterFunc("breaker_dropped_writes_total", "store writes degraded into the fallback cache",
+			func() float64 { return float64(b.BreakerStats().DroppedWrites) })
+		reg.CounterFunc("breaker_flushed_writes_total", "fallback-cache entries written back after recovery",
+			func() float64 { return float64(b.BreakerStats().FlushedWrites) })
+		reg.CounterFunc("breaker_half_open_probes_total", "store calls let through as half-open probes",
+			func() float64 { return float64(b.BreakerStats().HalfOpenProbes) })
+		reg.GaugeFunc("breaker_cached_entries", "current fallback-cache size",
+			func() float64 { return float64(b.BreakerStats().CachedEntries) })
+	}
+	return m
+}
+
+// observeOutcome records one job reaching a terminal state.
+func (m *serverMetrics) observeOutcome(st JobState, elapsed time.Duration) {
+	switch st {
+	case StateDone:
+		m.done.Inc()
+	case StateFailed:
+		m.failed.Inc()
+	case StateCanceled:
+		m.canceled.Inc()
+	}
+	m.jobSecs.Observe(elapsed.Seconds())
+}
+
+// statusRecorder captures the status code a handler writes so the request
+// counter can label it. An untouched recorder means an implicit 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrumented wraps one endpoint handler with the request counter and
+// latency histogram. The endpoint label is the route pattern, not the raw
+// URL, so label cardinality stays bounded.
+func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.met.latency.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h(rec, r)
+		hist.Observe(time.Since(start).Seconds())
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.met.requests.With(endpoint, statusText(code)).Inc()
+	}
+}
+
+// statusText renders a status code as its label value. A tiny switch for
+// the codes this server actually emits keeps the hot path allocation-free.
+func statusText(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusAccepted:
+		return "202"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusTooManyRequests:
+		return "429"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	return strconv.Itoa(code)
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleJobTrace serves GET /jobs/{id}/trace: the job's span log.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var tr *metrics.Trace
+	if ok {
+		tr = j.trace
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errDoc{Error: "unknown job"})
+		return
+	}
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, errDoc{Error: "job has no trace"})
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Doc())
+}

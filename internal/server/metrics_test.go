@@ -1,0 +1,184 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+)
+
+// fetchMetrics GETs /metrics and parses the exposition into a sample map.
+func fetchMetrics(t *testing.T, c *http.Client, base string) map[string]float64 {
+	t.Helper()
+	resp, err := c.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	vals, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing /metrics: %v", err)
+	}
+	return vals
+}
+
+func TestMetricsEndpointCountsJobs(t *testing.T) {
+	_, ts, c := testServer(t, Options{Workers: 2, QueueDepth: 8})
+	id := submitJob(t, c, ts.URL, JobSpec{Workload: "compress", Config: "D", Width: 4})
+	if job := waitTerminal(t, c, ts.URL, id); job.State != StateDone {
+		t.Fatalf("job state = %s, error = %v", job.State, job.Error)
+	}
+
+	vals := fetchMetrics(t, c, ts.URL)
+	for name, want := range map[string]float64{
+		"server_jobs_admitted_total": 1,
+		"server_jobs_done_total":     1,
+		"server_jobs_failed_total":   0,
+		"server_job_seconds_count":   1,
+		"server_jobs_running":        0,
+	} {
+		if got := vals[name]; got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	// The per-endpoint request counter saw the submission (202) and the
+	// runner recorded the computed cell.
+	if got := vals[`http_requests_total{endpoint="/jobs",code="202"}`]; got != 1 {
+		t.Errorf("http_requests_total /jobs 202 = %g, want 1", got)
+	}
+	if got := vals[`runner_cells_total{mode="plain",outcome="computed"}`]; got != 1 {
+		t.Errorf("runner computed cells = %g, want 1", got)
+	}
+	if vals["server_job_seconds_sum"] <= 0 {
+		t.Error("server_job_seconds_sum not positive after one job")
+	}
+}
+
+func TestMetricsPartitionOutcomes(t *testing.T) {
+	// Two clean jobs and one deterministic failure: outcome counters must
+	// exactly partition admissions and the latency histogram must observe
+	// every job once.
+	faultinject.ArmFunc(faultinject.PointCoreRun, func() error {
+		panic("metrics test: injected cell panic")
+	}, 2) // first two computes clean, then every compute panics
+	defer faultinject.Reset()
+
+	_, ts, c := testServer(t, Options{Workers: 1, QueueDepth: 8, Retries: 0})
+	spec := JobSpec{Workload: "compress", Config: "A", Width: 4}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, submitJob(t, c, ts.URL, spec))
+	}
+	for _, id := range ids {
+		waitTerminal(t, c, ts.URL, id)
+	}
+
+	vals := fetchMetrics(t, c, ts.URL)
+	admitted := vals["server_jobs_admitted_total"]
+	outcomes := vals["server_jobs_done_total"] + vals["server_jobs_failed_total"] +
+		vals["server_jobs_canceled_total"]
+	if admitted != 3 {
+		t.Fatalf("admitted_total = %g, want 3", admitted)
+	}
+	if outcomes != admitted {
+		t.Fatalf("done+failed+canceled = %g does not partition admitted %g", outcomes, admitted)
+	}
+	if n := vals["server_job_seconds_count"]; n != admitted {
+		t.Fatalf("job_seconds_count = %g, want %g", n, admitted)
+	}
+	if vals["server_jobs_failed_total"] == 0 {
+		t.Fatal("expected at least one failed job from the injected panic")
+	}
+}
+
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts, c := testServer(t, Options{Workers: 1, QueueDepth: 8})
+	id := submitJob(t, c, ts.URL, JobSpec{Workload: "compress", Config: "A", Width: 4})
+	waitTerminal(t, c, ts.URL, id)
+
+	var doc metrics.TraceDoc
+	if code := getJSON(t, c, ts.URL+"/jobs/"+id+"/trace", &doc); code != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/trace = %d", id, code)
+	}
+	if doc.Trace != id {
+		t.Fatalf("trace id = %q, want %q", doc.Trace, id)
+	}
+	byName := make(map[string]metrics.SpanEvent)
+	for _, sp := range doc.Spans {
+		byName[sp.Name] = sp
+	}
+	for _, want := range []string{"queued", "run", "cell", "attempt", "simulate"} {
+		sp, ok := byName[want]
+		if !ok {
+			t.Fatalf("trace missing span %q (have %v)", want, names(doc.Spans))
+		}
+		if sp.DurUS < 0 {
+			t.Errorf("span %q still open in a terminal job's trace", want)
+		}
+	}
+	// Parent linkage: the cell span nests under run, the attempt under cell.
+	if byName["cell"].Parent != byName["run"].ID {
+		t.Errorf("cell span parent = %d, want run span %d", byName["cell"].Parent, byName["run"].ID)
+	}
+	if byName["attempt"].Parent != byName["cell"].ID {
+		t.Errorf("attempt span parent = %d, want cell span %d", byName["attempt"].Parent, byName["cell"].ID)
+	}
+
+	if code := getJSON(t, c, ts.URL+"/jobs/job-999/trace", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job trace = %d, want 404", code)
+	}
+}
+
+func names(spans []metrics.SpanEvent) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+func TestMetricsCanBeDisabled(t *testing.T) {
+	_, ts, c := testServer(t, Options{DisableMetrics: true})
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics with DisableMetrics = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRetryAfterConsistent pins the satellite fix: both shed paths — the
+// 429 queue-full refusal and the 503 draining refusal — must advertise the
+// same computed Retry-After, not a hardcoded constant on one of them.
+func TestRetryAfterConsistent(t *testing.T) {
+	srv := New(Options{Workers: 2, QueueDepth: 8})
+	full := httptest.NewRecorder()
+	srv.shedResponse(full, admitFull)
+	draining := httptest.NewRecorder()
+	srv.shedResponse(draining, admitDraining)
+
+	if full.Code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full shed = %d, want 429", full.Code)
+	}
+	if draining.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining shed = %d, want 503", draining.Code)
+	}
+	fa, da := full.Header().Get("Retry-After"), draining.Header().Get("Retry-After")
+	if fa == "" || da == "" {
+		t.Fatalf("missing Retry-After: 429 %q, 503 %q", fa, da)
+	}
+	if fa != da {
+		t.Fatalf("Retry-After disagrees: 429 says %q, 503 says %q", fa, da)
+	}
+}

@@ -29,11 +29,11 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/watchdog"
@@ -78,6 +78,11 @@ type Options struct {
 	// the server only reports its counters on /healthz — the owner
 	// (ddserve) starts and stops it around the serve lifetime.
 	Scrubber *store.Scrubber
+	// DisableMetrics removes the GET /metrics and GET /jobs/{id}/trace
+	// endpoints. The registry still exists (Metrics() keeps working, and
+	// internal instrumentation is unconditional); only the HTTP surface
+	// is withheld.
+	DisableMetrics bool
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +142,9 @@ type Server struct {
 	queue  chan *Job
 	wg     sync.WaitGroup
 
+	reg *metrics.Registry
+	met *serverMetrics
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	terminal []string // FIFO of terminal job IDs for MaxJobs eviction
@@ -145,9 +153,6 @@ type Server struct {
 	draining bool
 	started  bool
 	nextID   int64
-
-	running atomic.Int64
-	shed    atomic.Int64
 }
 
 // New builds a Server (workers not yet started; call Start).
@@ -168,7 +173,9 @@ func New(opt Options) *Server {
 		s.breaker = NewBreaker(opt.Store, opt.BreakerThreshold, opt.BreakerCooldown)
 		st = s.breaker
 	}
-	mk := func(selfCheck bool) *experiments.Runner {
+	s.reg = metrics.NewRegistry()
+	s.met = newServerMetrics(s.reg, s)
+	mk := func(selfCheck bool, mode string) *experiments.Runner {
 		r := experiments.NewRunner(opt.Scale)
 		r.SelfCheck = selfCheck
 		r.Retries = opt.Retries
@@ -176,20 +183,30 @@ func New(opt Options) *Server {
 		if st != nil {
 			r.WithStoreHandle(st)
 		}
+		r.WithMetrics(experiments.NewRunnerMetrics(s.reg, mode))
 		return r
 	}
-	s.plain, s.checked = mk(false), mk(true)
+	s.plain, s.checked = mk(false, "plain"), mk(true, "checked")
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
-	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("POST /sweeps", s.handleSubmitSweep)
-	mux.HandleFunc("GET /sweeps/{id}", s.handleGetSweep)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /jobs", s.instrumented("/jobs", s.handleSubmitJob))
+	mux.HandleFunc("GET /jobs/{id}", s.instrumented("/jobs/{id}", s.handleGetJob))
+	mux.HandleFunc("POST /sweeps", s.instrumented("/sweeps", s.handleSubmitSweep))
+	mux.HandleFunc("GET /sweeps/{id}", s.instrumented("/sweeps/{id}", s.handleGetSweep))
+	mux.HandleFunc("GET /healthz", s.instrumented("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrumented("/readyz", s.handleReadyz))
+	if !opt.DisableMetrics {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+		mux.HandleFunc("GET /jobs/{id}/trace", s.instrumented("/jobs/{id}/trace", s.handleJobTrace))
+	}
 	s.mux = mux
 	return s
 }
+
+// Metrics returns the server's registry so owners (ddserve) can register
+// further families — store I/O latency, scrubber pace — on the same
+// /metrics page.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Handler returns the HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -223,6 +240,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	close(s.queue) // admissions are guarded by draining under the same mutex
 	s.mu.Unlock()
+	s.met.drains.With("begin").Inc()
 
 	done := make(chan struct{})
 	go func() {
@@ -231,9 +249,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.met.drains.With("clean").Inc()
 		return nil
 	case <-ctx.Done():
 		s.cancel() // forced: cancel in-flight jobs
+		s.met.drains.With("forced").Inc()
 		select {
 		case <-done:
 			return fmt.Errorf("server: drain deadline exceeded; in-flight jobs canceled: %w", ctx.Err())
@@ -251,7 +271,7 @@ func (s *Server) Draining() bool {
 }
 
 // Shed reports how many submissions were rejected by admission control.
-func (s *Server) Shed() int64 { return s.shed.Load() }
+func (s *Server) Shed() int64 { return s.met.shed.Value() }
 
 // runnerFor picks the runner matching the job's self-check mode.
 func (s *Server) runnerFor(j *Job) *experiments.Runner {
@@ -270,6 +290,7 @@ func (s *Server) worker() {
 		s.queued--
 		draining := s.draining
 		s.mu.Unlock()
+		job.queuedSpan.End()
 		if draining || s.ctx.Err() != nil {
 			s.finish(job, StateCanceled, nil,
 				&JobError{Kind: KindDrain, Message: "server draining; job was never started"})
@@ -288,11 +309,13 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	s.setState(job, StateRunning)
-	s.running.Add(1)
-	defer s.running.Add(-1)
+	s.met.running.Add(1)
+	defer s.met.running.Add(-1)
 
 	ctx, cancel := context.WithTimeout(s.ctx, job.deadline)
 	defer cancel()
+	ctx = metrics.WithTrace(ctx, job.trace)
+	ctx, run := metrics.StartSpan(ctx, "run")
 
 	var res *core.Result
 	var err error
@@ -310,8 +333,12 @@ func (s *Server) runJob(job *Job) {
 
 	jerr := classify(err, s.Draining())
 	if jerr != nil {
+		run.Annotate("outcome", jerr.Kind)
+		run.End()
 		if jerr.Kind == KindPanic {
-			s.quar.recordCrash(key)
+			if s.quar.recordCrash(key) {
+				s.met.quarTrips.Inc()
+			}
 		}
 		state := StateFailed
 		if jerr.Kind == KindDrain || jerr.Kind == KindCanceled {
@@ -320,6 +347,8 @@ func (s *Server) runJob(job *Job) {
 		s.finish(job, state, nil, jerr)
 		return
 	}
+	run.Annotate("outcome", "done")
+	run.End()
 	s.finish(job, StateDone, &JobResult{
 		IPC:          res.IPC(),
 		Cycles:       res.Cycles,
@@ -337,6 +366,8 @@ func (s *Server) setState(j *Job, st JobState) {
 }
 
 func (s *Server) finish(j *Job, st JobState, res *JobResult, jerr *JobError) {
+	j.queuedSpan.End() // no-op if the job left the queue normally
+	s.met.observeOutcome(st, time.Since(j.admitted))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.State = st
@@ -418,9 +449,13 @@ func (s *Server) admit(jobs []*Job, sweepID string) admitErr {
 		s.nextID++
 		j.ID = "job-" + strconv.FormatInt(s.nextID, 10)
 		j.Sweep = sweepID
+		j.admitted = time.Now()
+		j.trace = metrics.NewTrace(j.ID)
+		j.queuedSpan = j.trace.StartSpan("queued", nil)
 		s.jobs[j.ID] = j
 		s.queue <- j
 	}
+	s.met.admitted.Add(int64(len(jobs)))
 	return admitOK
 }
 
@@ -450,15 +485,17 @@ type errDoc struct {
 	Error string `json:"error"`
 }
 
-// shed writes the load-shedding refusal for one admission failure.
+// shed writes the load-shedding refusal for one admission failure. Both
+// refusals advertise the same computed Retry-After estimate — a draining
+// server's clients should poll on the queue-drain timescale too, not a
+// hardcoded 30s that disagrees with the 429 path.
 func (s *Server) shedResponse(w http.ResponseWriter, why admitErr) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	switch why {
 	case admitDraining:
-		w.Header().Set("Retry-After", "30")
 		writeJSON(w, http.StatusServiceUnavailable, errDoc{Error: "server is draining"})
 	default:
-		s.shed.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		s.met.shed.Inc()
 		writeJSON(w, http.StatusTooManyRequests, errDoc{Error: "queue full; retry later"})
 	}
 }
@@ -619,16 +656,16 @@ func renderSweepReport(jobs []Job) string {
 
 // Health is the GET /healthz document.
 type Health struct {
-	State             string        `json:"state"` // serving | draining
-	Workers           int           `json:"workers"`
-	QueueDepth        int           `json:"queue_depth"`
-	Queued            int           `json:"queued"`
-	Running           int64         `json:"running"`
-	Jobs              int           `json:"jobs"` // retained job records
-	Shed              int64         `json:"shed"`
-	Quarantined       int           `json:"quarantined"`
-	WatchdogAbandoned int64         `json:"watchdog_abandoned"`
-	Goroutines        int           `json:"goroutines"`
+	State             string            `json:"state"` // serving | draining
+	Workers           int               `json:"workers"`
+	QueueDepth        int               `json:"queue_depth"`
+	Queued            int               `json:"queued"`
+	Running           int64             `json:"running"`
+	Jobs              int               `json:"jobs"` // retained job records
+	Shed              int64             `json:"shed"`
+	Quarantined       int               `json:"quarantined"`
+	WatchdogAbandoned int64             `json:"watchdog_abandoned"`
+	Goroutines        int               `json:"goroutines"`
 	Breaker           *BreakerStats     `json:"breaker,omitempty"`
 	Store             *store.Stats      `json:"store,omitempty"`
 	Scrub             *store.ScrubStats `json:"scrub,omitempty"`
@@ -649,8 +686,8 @@ func (s *Server) HealthSnapshot() Health {
 		Jobs:       len(s.jobs),
 	}
 	s.mu.Unlock()
-	h.Running = s.running.Load()
-	h.Shed = s.shed.Load()
+	h.Running = s.met.running.Value()
+	h.Shed = s.met.shed.Value()
 	h.Quarantined = s.quar.count()
 	h.WatchdogAbandoned = watchdog.Abandoned()
 	h.Goroutines = runtime.NumGoroutine()

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // ScrubStats is a snapshot of a Scrubber's lifetime counters.
@@ -80,6 +82,18 @@ func (sc *Scrubber) Stop() {
 	sc.mu.Unlock()
 	close(stop)
 	<-done
+}
+
+// Instrument registers the scrubber's counters and pace with the serving
+// metrics registry — read-through bridges over the same atomics Stats()
+// snapshots, so /metrics and /healthz can never disagree.
+func (sc *Scrubber) Instrument(reg *metrics.Registry) {
+	reg.CounterFunc("store_scrub_passes_total", "completed full scrub walks of the store", func() float64 { return float64(sc.passes.Load()) })
+	reg.CounterFunc("store_scrub_scanned_total", "store entries checksum-verified by the scrubber", func() float64 { return float64(sc.scanned.Load()) })
+	reg.CounterFunc("store_scrub_corrupt_total", "store entries the scrubber found corrupt", func() float64 { return float64(sc.corrupt.Load()) })
+	reg.CounterFunc("store_scrub_quarantined_total", "corrupt entries the scrubber quarantined", func() float64 { return float64(sc.quarantined.Load()) })
+	reg.GaugeFunc("store_scrub_step_seconds", "configured per-entry scrub pacing", func() float64 { return sc.step.Seconds() })
+	reg.GaugeFunc("store_scrub_pause_seconds", "configured pause between scrub passes", func() float64 { return sc.pause.Seconds() })
 }
 
 // Stats returns a snapshot of the scrubber's counters.

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultfs"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -111,10 +112,10 @@ func sanitize(s string) string {
 
 // Stats is a snapshot of the store's counters.
 type Stats struct {
-	Hits        int64 `json:"hits"`        // entries served
-	Misses      int64 `json:"misses"`      // lookups that fell through to computation
-	Corrupt     int64 `json:"corrupt"`     // entries rejected by integrity validation (subset of Misses)
-	Writes      int64 `json:"writes"`      // entries persisted
+	Hits        int64 `json:"hits"`         // entries served
+	Misses      int64 `json:"misses"`       // lookups that fell through to computation
+	Corrupt     int64 `json:"corrupt"`      // entries rejected by integrity validation (subset of Misses)
+	Writes      int64 `json:"writes"`       // entries persisted
 	WriteErrors int64 `json:"write_errors"` // failed persist attempts (best-effort; result still returned)
 	TmpCleaned  int64 `json:"tmp_cleaned"`  // stale temp files removed at Open
 }
@@ -141,6 +142,26 @@ type Store struct {
 	fsys faultfs.FS
 
 	hits, misses, corrupt, writes, writeErrs, tmpCleaned atomic.Int64
+
+	// I/O latency histograms, armed by Instrument. Atomic pointers so a
+	// late Instrument call can never race a concurrent Get/Put.
+	getLatency, putLatency atomic.Pointer[metrics.Histogram]
+}
+
+// Instrument registers the store's counters and I/O latency histograms
+// with the serving metrics registry: the counters are read-through
+// bridges over the same atomics Stats() snapshots (one source of truth,
+// two views), and every subsequent Get/Put observes its wall-clock
+// duration into store_get_seconds / store_put_seconds.
+func (s *Store) Instrument(reg *metrics.Registry) {
+	reg.CounterFunc("store_hits_total", "store entries served", func() float64 { return float64(s.hits.Load()) })
+	reg.CounterFunc("store_misses_total", "store lookups that fell through to computation", func() float64 { return float64(s.misses.Load()) })
+	reg.CounterFunc("store_corrupt_total", "store entries rejected by integrity validation", func() float64 { return float64(s.corrupt.Load()) })
+	reg.CounterFunc("store_writes_total", "store entries persisted", func() float64 { return float64(s.writes.Load()) })
+	reg.CounterFunc("store_write_errors_total", "failed store persist attempts", func() float64 { return float64(s.writeErrs.Load()) })
+	reg.CounterFunc("store_tmp_cleaned_total", "stale temp files removed at open", func() float64 { return float64(s.tmpCleaned.Load()) })
+	s.getLatency.Store(reg.Histogram("store_get_seconds", "store read latency (disk + decode + verify)", nil))
+	s.putLatency.Store(reg.Histogram("store_put_seconds", "store write latency (encode + fsync + rename + dir fsync)", nil))
 }
 
 // Open creates (if needed) and opens a store directory on the real
@@ -233,6 +254,10 @@ type envelope struct {
 // trace corruption taxonomy) and are additionally counted in
 // Stats.Corrupt. Get never returns a result that failed validation.
 func (s *Store) Get(k Key) (*core.Result, error) {
+	if h := s.getLatency.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start).Seconds()) }()
+	}
 	data, err := s.fsys.ReadFile(filepath.Join(s.dir, k.filename()))
 	if err != nil {
 		s.misses.Add(1)
@@ -289,6 +314,10 @@ func (s *Store) Put(k Key, res *core.Result) error {
 // PutWithPerf is Put carrying optional performance metadata in the entry
 // envelope (nil p writes an entry identical to Put's).
 func (s *Store) PutWithPerf(k Key, res *core.Result, p *PerfInfo) error {
+	if h := s.putLatency.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start).Seconds()) }()
+	}
 	err := s.put(k, res, p)
 	if err != nil {
 		s.writeErrs.Add(1)

@@ -51,6 +51,17 @@ var abandoned atomic.Int64
 // process-wide since start.
 func Abandoned() int64 { return abandoned.Load() }
 
+// stalls counts operations reaped as ErrStalled process-wide. Like
+// abandoned, it is a package-level atomic bridged into the serving
+// registry (internal/server wires it to watchdog_stalls_total on
+// /metrics) so stall pressure is visible without plumbing a handle
+// through every Run call site.
+var stalls atomic.Int64
+
+// Stalls reports how many supervised operations have been reaped as
+// stalled process-wide since start.
+func Stalls() int64 { return stalls.Load() }
+
 // PanicError reports a panic recovered from a supervised worker goroutine.
 // Without this recovery a panicking worker would crash the whole process
 // from a goroutine no caller can defer around; with it, the panic becomes
@@ -172,6 +183,7 @@ func Run[T any](ctx context.Context, stall time.Duration, fn func(ctx context.Co
 			select {
 			case out := <-done:
 				if out.err != nil {
+					stalls.Add(1)
 					return zero, fmt.Errorf("%w: no progress for %v (worker exited: %v)", ErrStalled, idle.Round(time.Millisecond), out.err)
 				}
 				// The worker squeaked through between the staleness check
@@ -179,6 +191,7 @@ func Run[T any](ctx context.Context, stall time.Duration, fn func(ctx context.Co
 				return out.val, nil
 			case <-time.After(gracePeriod(stall)):
 				abandoned.Add(1)
+				stalls.Add(1)
 				return zero, fmt.Errorf("%w: no progress for %v; worker unresponsive, abandoned", ErrStalled, idle.Round(time.Millisecond))
 			}
 		}
