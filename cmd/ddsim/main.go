@@ -176,7 +176,7 @@ func runExperiments(ctx context.Context, id string, scale int, widthsArg string,
 	}
 	if st != nil {
 		r.WithStoreHandle(st)
-		defer cli.ReportStore("ddsim", st)
+		defer cli.ReportStore("ddsim", "", st)
 	}
 	progressed := false
 	r.OnCellDone = func(done int) {
@@ -291,7 +291,7 @@ func runTraceFile(ctx context.Context, path, config string, width, window int, o
 		Store: st, Key: key, Retries: opts.retries, Stall: opts.stall, Progress: progress,
 	}, cfg, core.Params{Width: width, WindowSize: window, SelfCheck: opts.selfCheck}, open)
 	done()
-	cli.ReportStore("ddsim", st)
+	cli.ReportStore("ddsim", "", st)
 	if err != nil {
 		return err
 	}
@@ -337,7 +337,7 @@ func runSingle(ctx context.Context, benchmark, config string, width, window, sca
 	}, cfg, core.Params{Width: width, WindowSize: window, SelfCheck: opts.selfCheck},
 		func() (trace.Source, error) { return buf.Reader(), nil })
 	done()
-	cli.ReportStore("ddsim", st)
+	cli.ReportStore("ddsim", "", st)
 	if err != nil {
 		return err
 	}

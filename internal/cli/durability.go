@@ -47,13 +47,19 @@ func OpenStore(dir string, resume bool) (*store.Store, error) {
 }
 
 // ReportStore prints the store's hit/miss summary to stderr (no-op on a
-// nil store). The resume-smoke CI job greps this line.
-func ReportStore(tool string, st *store.Store) {
+// nil store). role, when non-empty, names the process's cluster role
+// ("worker", "coordinator peers=3") so multi-process logs attribute store
+// traffic; the bare format is unchanged when role is empty — the
+// resume-smoke CI job greps this line.
+func ReportStore(tool, role string, st *store.Store) {
 	if st == nil {
 		return
 	}
 	s := st.Stats()
 	msg := fmt.Sprintf("%s: store: %d hit(s), %d miss(es)", tool, s.Hits, s.Misses)
+	if role != "" {
+		msg = fmt.Sprintf("%s [%s]: store: %d hit(s), %d miss(es)", tool, role, s.Hits, s.Misses)
+	}
 	if s.Corrupt > 0 {
 		msg += fmt.Sprintf(", %d corrupt entr(y/ies) recomputed", s.Corrupt)
 	}

@@ -1,0 +1,330 @@
+package cluster
+
+// End-to-end tests for the compute plane: a real Worker behind httptest, a
+// Coordinator dispatching to it, and local execution as the referee.
+// Simulation is deterministic, so every remote result must be Diff-empty
+// against the local one — that is the whole point of the plane.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+const testScale = 40
+
+func testOpts() Options {
+	return Options{
+		Seed:       1,
+		BatchSize:  4,
+		Linger:     time.Millisecond,
+		HedgeAfter: -1, // off unless the test is about hedging
+		ProbeEvery: -1, // dispatch outcomes drive health in tests
+		Retries:    2,
+	}
+}
+
+func localCell(t *testing.T, w *workloads.Workload, cfg core.Config, width int) *core.Result {
+	t.Helper()
+	buf, _, err := w.TraceCachedCtx(context.Background(), testScale)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	res, err := core.RunChecked(context.Background(), buf.Reader(), cfg, core.Params{Width: width})
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	return res
+}
+
+func mustWorkload(t *testing.T, name string) *workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatalf("workload %s: %v", name, err)
+	}
+	return w
+}
+
+func mustConfig(t *testing.T, name string) core.Config {
+	t.Helper()
+	cfg, err := core.ConfigByName(name)
+	if err != nil {
+		t.Fatalf("config %s: %v", name, err)
+	}
+	return cfg
+}
+
+func TestExecuteCellMatchesLocalAndShipsTraceOnce(t *testing.T) {
+	wk := NewWorker(WorkerOptions{})
+	ts := httptest.NewServer(wk.Handler())
+	defer ts.Close()
+
+	coord, err := New([]string{ts.URL}, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	w := mustWorkload(t, "compress")
+	for _, cfgName := range []string{"A", "D"} {
+		cfg := mustConfig(t, cfgName)
+		got, err := coord.ExecuteCell(context.Background(), w, cfg, 4, testScale, false)
+		if err != nil {
+			t.Fatalf("ExecuteCell(%s): %v", cfgName, err)
+		}
+		want := localCell(t, w, cfg, 4)
+		if diff := want.Diff(got); len(diff) > 0 {
+			t.Fatalf("remote result diverges from local (%s): %v", cfgName, diff)
+		}
+	}
+
+	// One workload, two cells: the trace crossed the wire exactly once.
+	if n := coord.ships.With("w0").Value(); n != 1 {
+		t.Fatalf("trace shipped %d times, want 1", n)
+	}
+	if n := wk.shipsIn.Value(); n != 1 {
+		t.Fatalf("worker received %d trace ships, want 1", n)
+	}
+	if n := wk.cells.With("computed").Value(); n != 2 {
+		t.Fatalf("worker computed %d cells, want 2", n)
+	}
+	if n := coord.fallbacks.Value(); n != 0 {
+		t.Fatalf("local fallback used %d times on a healthy cluster", n)
+	}
+}
+
+func TestTraceReshippedAfterWorkerRestart(t *testing.T) {
+	// An indirection handler stands in for a worker process: "restart"
+	// swaps in a fresh Worker whose in-memory trace cache is empty.
+	var h atomic.Value
+	wk1 := NewWorker(WorkerOptions{})
+	h.Store(wk1.Handler())
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	coord, err := New([]string{ts.URL}, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	w := mustWorkload(t, "espresso")
+	cfg := mustConfig(t, "A")
+	if _, err := coord.ExecuteCell(context.Background(), w, cfg, 4, testScale, false); err != nil {
+		t.Fatalf("first cell: %v", err)
+	}
+
+	h.Store(NewWorker(WorkerOptions{}).Handler()) // restart: cache gone
+
+	got, err := coord.ExecuteCell(context.Background(), w, cfg, 8, testScale, false)
+	if err != nil {
+		t.Fatalf("post-restart cell: %v", err)
+	}
+	want := localCell(t, w, cfg, 8)
+	if diff := want.Diff(got); len(diff) > 0 {
+		t.Fatalf("post-restart result diverges: %v", diff)
+	}
+	if n := coord.ships.With("w0").Value(); n != 2 {
+		t.Fatalf("trace shipped %d times across a restart, want 2", n)
+	}
+}
+
+func TestLocalFallbackWhenNoWorkerHealthy(t *testing.T) {
+	// A server that answers 500 to everything: transport-class failures
+	// mark the worker unhealthy, and execution degrades to local.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	opts := testOpts()
+	opts.FailThreshold = 1
+	coord, err := New([]string{ts.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	w := mustWorkload(t, "compress")
+	cfg := mustConfig(t, "B")
+	got, err := coord.ExecuteCell(context.Background(), w, cfg, 4, testScale, false)
+	if err != nil {
+		t.Fatalf("ExecuteCell with dead worker: %v", err)
+	}
+	want := localCell(t, w, cfg, 4)
+	if diff := want.Diff(got); len(diff) > 0 {
+		t.Fatalf("fallback result diverges: %v", diff)
+	}
+	if n := coord.fallbacks.Value(); n == 0 {
+		t.Fatal("no local fallback recorded with every worker dead")
+	}
+}
+
+func TestTransportFailureFailsOverToHealthyPeer(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "chaos: worker killed", http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	wk := NewWorker(WorkerOptions{})
+	alive := httptest.NewServer(wk.Handler())
+	defer alive.Close()
+
+	opts := testOpts()
+	opts.FailThreshold = 1
+	coord, err := New([]string{dead.URL, alive.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Enough cells that some rendezvous-hash onto the dead worker; all
+	// must still resolve, remotely or locally, matching local execution.
+	w := mustWorkload(t, "li")
+	for _, width := range []int{4, 8, 16} {
+		for _, cfgName := range []string{"A", "C", "E"} {
+			cfg := mustConfig(t, cfgName)
+			got, err := coord.ExecuteCell(context.Background(), w, cfg, width, testScale, false)
+			if err != nil {
+				t.Fatalf("cell %s/w%d: %v", cfgName, width, err)
+			}
+			want := localCell(t, w, cfg, width)
+			if diff := want.Diff(got); len(diff) > 0 {
+				t.Fatalf("cell %s/w%d diverges: %v", cfgName, width, diff)
+			}
+		}
+	}
+	if n := wk.cells.With("computed").Value() + wk.cells.With("store_hit").Value(); n == 0 {
+		t.Fatal("healthy peer computed nothing; failover never happened")
+	}
+}
+
+func TestHedgeAccountingIdentityHoldsAfterClose(t *testing.T) {
+	// Worker 0 is slow (but correct); worker 1 is fast. With an aggressive
+	// hedge timer, stragglers get speculatively re-dispatched, and the
+	// loser of each race must land in hedge_wasted — never in a result.
+	slowWk := NewWorker(WorkerOptions{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/cells" {
+			time.Sleep(150 * time.Millisecond)
+		}
+		slowWk.Handler().ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+	fastWk := NewWorker(WorkerOptions{})
+	fast := httptest.NewServer(fastWk.Handler())
+	defer fast.Close()
+
+	opts := testOpts()
+	opts.HedgeAfter = 30 * time.Millisecond
+	opts.BatchSize = 1
+	coord, err := New([]string{slow.URL, fast.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := mustWorkload(t, "compress")
+	for _, cfgName := range []string{"A", "B", "C", "D", "E"} {
+		cfg := mustConfig(t, cfgName)
+		got, err := coord.ExecuteCell(context.Background(), w, cfg, 4, testScale, false)
+		if err != nil {
+			t.Fatalf("cell %s: %v", cfgName, err)
+		}
+		want := localCell(t, w, cfg, 4)
+		if diff := want.Diff(got); len(diff) > 0 {
+			t.Fatalf("cell %s diverges under hedging: %v", cfgName, diff)
+		}
+	}
+
+	coord.Close() // waits out in-flight sends: identity must hold exactly
+	for _, n := range coord.Workers() {
+		d := coord.dispatched.With(n).Value()
+		sum := coord.completed.With(n).Value() + coord.failed.With(n).Value() + coord.hedgeWasted.With(n).Value()
+		if d != sum {
+			t.Errorf("%s: dispatched %d != completed+failed+hedge_wasted %d", n, d, sum)
+		}
+	}
+	if coord.hedges.Value() == 0 {
+		t.Fatal("hedge timer never fired against a 150ms-slow worker")
+	}
+}
+
+func TestPermanentRemoteErrorSurfacesWithoutRetryOrFallback(t *testing.T) {
+	// A worker that always answers a permanent failure: the coordinator
+	// must hand it straight to the caller — no re-dispatch, no fallback.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"outcomes":[{"error":{"kind":"invariant","message":"scoreboard out of sync"}}]}`))
+	}))
+	defer ts.Close()
+
+	opts := testOpts()
+	opts.BatchSize = 1
+	coord, err := New([]string{ts.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	w := mustWorkload(t, "compress")
+	_, err = coord.ExecuteCell(context.Background(), w, mustConfig(t, "A"), 4, testScale, false)
+	re, ok := err.(*RemoteError)
+	if !ok {
+		t.Fatalf("want *RemoteError, got %T: %v", err, err)
+	}
+	if re.Kind != KindInvariant || !re.Permanent() {
+		t.Fatalf("want permanent invariant error, got kind %q", re.Kind)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("permanent failure was dispatched %d times, want 1", n)
+	}
+	if n := coord.fallbacks.Value(); n != 0 {
+		t.Fatalf("permanent failure fell back locally %d times", n)
+	}
+}
+
+func TestRunnerWithExecutorRendersIdenticalReport(t *testing.T) {
+	// The executor seam end-to-end: the same experiment rendered through a
+	// cluster-backed runner must be byte-identical to the local runner's.
+	wk := NewWorker(WorkerOptions{})
+	ts := httptest.NewServer(wk.Handler())
+	defer ts.Close()
+
+	coord, err := New([]string{ts.URL}, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	local := experiments.NewRunner(testScale)
+	local.Widths = []int{4, 8}
+	remote := experiments.NewRunner(testScale).WithExecutor(coord)
+	remote.Widths = []int{4, 8}
+
+	set := workloads.PointerChasingSet()
+	lr, err := experiments.FigureIPC(local, "fig4", set)
+	if err != nil {
+		t.Fatalf("local FigureIPC: %v", err)
+	}
+	rr, err := experiments.FigureIPC(remote, "fig4", set)
+	if err != nil {
+		t.Fatalf("remote FigureIPC: %v", err)
+	}
+	if lr.Text != rr.Text {
+		t.Fatalf("reports diverge:\n--- local ---\n%s\n--- remote ---\n%s", lr.Text, rr.Text)
+	}
+	if computed := wk.cells.With("computed").Value(); computed == 0 {
+		t.Fatal("remote runner computed nothing on the worker")
+	}
+}

@@ -1,0 +1,160 @@
+package cluster
+
+// Health tracking: each worker carries a small state machine fed by both
+// active probes (GET /workerz on a timer) and passive dispatch outcomes
+// (every batch send is evidence). Consecutive transport failures mark a
+// worker unhealthy; too many healthy<->unhealthy transitions inside a
+// sliding window mark it *flapping* and quarantine it for a cooldown, so
+// a worker that oscillates (half-dead process, lossy link) cannot keep
+// churning the dispatch plan. The clock is injectable for tests.
+
+import (
+	"sync"
+	"time"
+)
+
+// healthConfig tunes the tracker. Zero fields take the defaults.
+type healthConfig struct {
+	// FailThreshold is the number of consecutive transport failures that
+	// mark a worker unhealthy. Default 2.
+	FailThreshold int
+	// FlapWindow is the sliding window over which transitions are counted.
+	// Default 30s.
+	FlapWindow time.Duration
+	// FlapThreshold is the number of up/down transitions inside FlapWindow
+	// that triggers quarantine. Default 4.
+	FlapThreshold int
+	// QuarantineFor is the cooldown a flapping worker sits out. Default 15s.
+	QuarantineFor time.Duration
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c *healthConfig) fill() {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 30 * time.Second
+	}
+	if c.FlapThreshold <= 0 {
+		c.FlapThreshold = 4
+	}
+	if c.QuarantineFor <= 0 {
+		c.QuarantineFor = 15 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// workerHealth is one worker's state.
+type workerHealth struct {
+	healthy          bool
+	consecutiveFails int
+	transitions      []time.Time // up<->down flips inside the flap window
+	quarantinedUntil time.Time
+}
+
+// healthTracker tracks every worker by name.
+type healthTracker struct {
+	cfg healthConfig
+
+	mu      sync.Mutex
+	workers map[string]*workerHealth
+}
+
+func newHealthTracker(names []string, cfg healthConfig) *healthTracker {
+	cfg.fill()
+	t := &healthTracker{cfg: cfg, workers: make(map[string]*workerHealth, len(names))}
+	for _, n := range names {
+		// Workers start healthy: the coordinator dispatches optimistically
+		// and lets the first failures reroute, rather than serializing
+		// startup behind a probe round.
+		t.workers[n] = &workerHealth{healthy: true}
+	}
+	return t
+}
+
+// Observe feeds one dispatch or probe outcome for the named worker.
+// ok=true is a successful transport round trip (the batch may still carry
+// cell-level failures — those are taxonomy, not health).
+func (t *healthTracker) Observe(name string, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.workers[name]
+	if w == nil {
+		return
+	}
+	now := t.cfg.Now()
+	if ok {
+		w.consecutiveFails = 0
+		if !w.healthy {
+			t.flip(w, now)
+			w.healthy = true
+		}
+		return
+	}
+	w.consecutiveFails++
+	if w.healthy && w.consecutiveFails >= t.cfg.FailThreshold {
+		t.flip(w, now)
+		w.healthy = false
+	}
+}
+
+// flip records a health transition and quarantines on a flap burst.
+// Caller holds t.mu.
+func (t *healthTracker) flip(w *workerHealth, now time.Time) {
+	cutoff := now.Add(-t.cfg.FlapWindow)
+	kept := w.transitions[:0]
+	for _, ts := range w.transitions {
+		if ts.After(cutoff) {
+			kept = append(kept, ts)
+		}
+	}
+	w.transitions = append(kept, now)
+	if len(w.transitions) >= t.cfg.FlapThreshold {
+		w.quarantinedUntil = now.Add(t.cfg.QuarantineFor)
+		w.transitions = w.transitions[:0]
+	}
+}
+
+// Usable reports whether the worker should receive dispatches: healthy and
+// not inside a quarantine cooldown.
+func (t *healthTracker) Usable(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.workers[name]
+	if w == nil {
+		return false
+	}
+	if t.cfg.Now().Before(w.quarantinedUntil) {
+		return false
+	}
+	return w.healthy
+}
+
+// Quarantined reports whether the worker is currently sitting out a flap
+// cooldown (for status pages; Usable already folds this in).
+func (t *healthTracker) Quarantined(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.workers[name]
+	if w == nil {
+		return false
+	}
+	return t.cfg.Now().Before(w.quarantinedUntil)
+}
+
+// UsableWorkers returns the names of workers eligible for dispatch, in the
+// tracker-construction order of names (the caller passes the canonical
+// ordered list to keep output deterministic).
+func (t *healthTracker) UsableWorkers(names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if t.Usable(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package cluster
+
+// Property suite for the rendezvous partitioner. The properties the
+// dispatch plane leans on:
+//
+//   - exactly-once: every cell lands in exactly one worker's shard;
+//   - determinism: a fixed (keys, workers, seed) shards identically;
+//   - seed sensitivity: different seeds shuffle the assignment;
+//   - minimal rebalancing: removing one worker moves only that worker's
+//     cells — every other cell keeps its owner, so no cell is ever lost
+//     (and no cache is ever churned) by a worker loss.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomKeys builds a sweep-shaped key set: workloads x configs x widths,
+// with sizes drawn from rng.
+func randomKeys(rng *rand.Rand) []string {
+	nw := 1 + rng.Intn(8)
+	nc := 1 + rng.Intn(6)
+	nd := 1 + rng.Intn(5)
+	keys := make([]string, 0, nw*nc*nd)
+	for w := 0; w < nw; w++ {
+		for c := 0; c < nc; c++ {
+			for d := 0; d < nd; d++ {
+				keys = append(keys, fmt.Sprintf("wl%d|cfg%d|%d", w, c, 1<<d))
+			}
+		}
+	}
+	return keys
+}
+
+func workerNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%d", i)
+	}
+	return out
+}
+
+func TestPartitionExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		workers := workerNames(1 + rng.Intn(17))
+		keys := randomKeys(rng)
+		seed := rng.Int63()
+		shards := Partition(keys, workers, seed)
+		if len(shards) != len(workers) {
+			t.Fatalf("trial %d: %d shards for %d workers", trial, len(shards), len(workers))
+		}
+		seen := make(map[int]int)
+		for w, shard := range shards {
+			for _, idx := range shard {
+				if idx < 0 || idx >= len(keys) {
+					t.Fatalf("trial %d: worker %d has out-of-range index %d", trial, w, idx)
+				}
+				seen[idx]++
+			}
+		}
+		if len(seen) != len(keys) {
+			t.Fatalf("trial %d: %d of %d keys assigned", trial, len(seen), len(keys))
+		}
+		for idx, n := range seen {
+			if n != 1 {
+				t.Fatalf("trial %d: key %d assigned %d times", trial, idx, n)
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministicForFixedSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		workers := workerNames(1 + rng.Intn(17))
+		keys := randomKeys(rng)
+		seed := rng.Int63()
+		a := Partition(keys, workers, seed)
+		b := Partition(keys, workers, seed)
+		for w := range a {
+			if len(a[w]) != len(b[w]) {
+				t.Fatalf("trial %d: worker %d shard sizes differ: %d vs %d", trial, w, len(a[w]), len(b[w]))
+			}
+			for j := range a[w] {
+				if a[w][j] != b[w][j] {
+					t.Fatalf("trial %d: worker %d diverges at position %d", trial, w, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionSeedShufflesAssignment(t *testing.T) {
+	// With plenty of keys over several workers, two seeds agreeing on
+	// every owner would mean the seed isn't feeding the hash.
+	workers := workerNames(5)
+	keys := randomKeys(rand.New(rand.NewSource(3)))
+	for len(keys) < 40 {
+		keys = append(keys, fmt.Sprintf("extra|%d", len(keys)))
+	}
+	moved := 0
+	for _, k := range keys {
+		if Owner(k, workers, 1) != Owner(k, workers, 2) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("changing the seed moved none of %d keys", len(keys))
+	}
+}
+
+func TestPartitionRebalanceMovesOnlyLostWorkersCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(16) // need at least 2 to lose one
+		workers := workerNames(n)
+		keys := randomKeys(rng)
+		seed := rng.Int63()
+
+		before := make([]string, len(keys))
+		for i, k := range keys {
+			before[i] = workers[Owner(k, workers, seed)]
+		}
+
+		lost := rng.Intn(n)
+		survivors := make([]string, 0, n-1)
+		for i, w := range workers {
+			if i != lost {
+				survivors = append(survivors, w)
+			}
+		}
+
+		assigned := 0
+		for i, k := range keys {
+			after := survivors[Owner(k, survivors, seed)]
+			assigned++
+			if before[i] != workers[lost] && after != before[i] {
+				t.Fatalf("trial %d: losing %s moved key %q from %s to %s",
+					trial, workers[lost], k, before[i], after)
+			}
+			if before[i] == workers[lost] && after == workers[lost] {
+				t.Fatalf("trial %d: key %q still assigned to lost worker", trial, k)
+			}
+		}
+		if assigned != len(keys) {
+			t.Fatalf("trial %d: %d of %d keys survived rebalancing", trial, assigned, len(keys))
+		}
+	}
+}
+
+func TestOwnerPanicsOnEmptyWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Owner with no workers did not panic")
+		}
+	}()
+	Owner("key", nil, 0)
+}

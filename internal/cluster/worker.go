@@ -1,0 +1,300 @@
+package cluster
+
+// Worker is the execution half of the compute plane: a minimal HTTP API
+// that accepts batches of cells (POST /cells), executes them on a bounded
+// local concurrency budget, and answers with per-cell outcomes. Traces
+// arrive separately (POST /traces), at most once per content hash, and are
+// cached in memory; results cache in the existing durable store when one
+// is attached, so a worker restarted mid-sweep resumes from disk exactly
+// like a single-process run would.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// ResultStore is the durable-store surface the worker consumes — the same
+// shape the experiments runner uses, so *store.Store (or the serving
+// layer's circuit breaker) plugs into both sides of the wire.
+type ResultStore interface {
+	Get(store.Key) (*core.Result, error)
+	PutWithPerf(store.Key, *core.Result, *store.PerfInfo) error
+	Stats() store.Stats
+}
+
+// WorkerOptions configures a Worker. The zero value works: no store,
+// GOMAXPROCS-bounded concurrency, a 64-trace cache.
+type WorkerOptions struct {
+	// Store, when non-nil, serves cells already on disk without
+	// simulation and persists every computed cell.
+	Store ResultStore
+	// MaxConcurrent bounds simultaneously executing cells across all
+	// in-flight batches; <= 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// MaxTraces bounds the in-memory trace cache; <= 0 means 64. Eviction
+	// is FIFO: an evicted trace simply gets re-shipped on next use.
+	MaxTraces int
+}
+
+// Worker executes cell batches. Create with NewWorker; mount its handlers
+// via Handler (standalone) or through internal/server's Options.Worker.
+type Worker struct {
+	opt WorkerOptions
+	sem chan struct{}
+
+	mu     sync.Mutex
+	traces map[uint64]*trace.Buffer
+	order  []uint64 // FIFO eviction order
+
+	cells       *metrics.CounterVec // cluster_worker_cells_total{outcome}
+	batches     *metrics.Counter
+	shipsIn     *metrics.Counter
+	evictions   *metrics.Counter
+	cellSeconds *metrics.Histogram
+}
+
+// NewWorker builds a Worker.
+func NewWorker(opt WorkerOptions) *Worker {
+	if opt.MaxConcurrent <= 0 {
+		opt.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if opt.MaxTraces <= 0 {
+		opt.MaxTraces = 64
+	}
+	w := &Worker{
+		opt:    opt,
+		sem:    make(chan struct{}, opt.MaxConcurrent),
+		traces: make(map[uint64]*trace.Buffer),
+	}
+	w.register(metrics.NewRegistry())
+	return w
+}
+
+// register binds the worker's metric handles to reg. Called with a private
+// registry at construction; Instrument rebinds onto a shared one.
+func (w *Worker) register(reg *metrics.Registry) {
+	w.cells = reg.CounterVec("cluster_worker_cells_total",
+		"cells answered by this worker, by outcome (computed, store_hit, trace_missing, failed)", "outcome")
+	w.batches = reg.Counter("cluster_worker_batches_total", "cell batches received")
+	w.shipsIn = reg.Counter("cluster_worker_trace_ships_total", "traces received and cached")
+	w.evictions = reg.Counter("cluster_worker_trace_evictions_total", "traces evicted from the cache")
+	w.cellSeconds = reg.Histogram("cluster_worker_cell_seconds",
+		"per-cell execution wall time (computed cells only)", nil)
+	reg.GaugeFunc("cluster_worker_traces_cached", "traces currently cached in memory",
+		func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return float64(len(w.traces))
+		})
+}
+
+// Instrument re-registers the worker's families on a shared registry (the
+// serving process's /metrics page). Call before serving traffic.
+func (w *Worker) Instrument(reg *metrics.Registry) { w.register(reg) }
+
+// Handler returns a standalone mux carrying the worker endpoints — used by
+// tests and harnesses; ddserve mounts the same handlers through
+// internal/server so they share its instrumentation middleware.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cells", w.HandleCells)
+	mux.HandleFunc("POST /traces", w.HandleTraces)
+	mux.HandleFunc("GET /workerz", w.HandleStatus)
+	return mux
+}
+
+// cacheTrace inserts buf under its hash, evicting FIFO past the cap.
+func (w *Worker) cacheTrace(h uint64, buf *trace.Buffer) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.traces[h]; ok {
+		return
+	}
+	w.traces[h] = buf
+	w.order = append(w.order, h)
+	for len(w.order) > w.opt.MaxTraces {
+		evict := w.order[0]
+		w.order = w.order[1:]
+		delete(w.traces, evict)
+		w.evictions.Inc()
+	}
+}
+
+func (w *Worker) lookupTrace(h uint64) (*trace.Buffer, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	buf, ok := w.traces[h]
+	return buf, ok
+}
+
+// TracesCached reports the current trace-cache population.
+func (w *Worker) TracesCached() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.traces)
+}
+
+// maxTraceBody bounds one shipped trace (256 MiB covers the largest
+// workload scales by two orders of magnitude).
+const maxTraceBody = 256 << 20
+
+// HandleTraces accepts POST /traces?hash=<%016x>: the trace bytes in the
+// v3 binary format. The worker re-hashes what it decoded and refuses a
+// mismatch — a trace corrupted in flight must not poison the cache.
+func (w *Worker) HandleTraces(rw http.ResponseWriter, r *http.Request) {
+	var want uint64
+	if _, err := fmt.Sscanf(r.URL.Query().Get("hash"), "%016x", &want); err != nil {
+		http.Error(rw, "cluster: bad or missing hash parameter", http.StatusBadRequest)
+		return
+	}
+	tr, err := trace.NewReader(io.LimitReader(r.Body, maxTraceBody))
+	if err != nil {
+		http.Error(rw, "cluster: bad trace stream: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	buf := trace.Drain(tr)
+	if err := trace.SourceErr(tr); err != nil {
+		http.Error(rw, "cluster: corrupt trace stream: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if got := buf.Hash(); got != want {
+		http.Error(rw, fmt.Sprintf("cluster: shipped trace hashes to %016x, header says %016x", got, want),
+			http.StatusBadRequest)
+		return
+	}
+	w.cacheTrace(want, buf)
+	w.shipsIn.Inc()
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+// HandleCells executes POST /cells: a batch of cells, answered positionally.
+func (w *Worker) HandleCells(rw http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := readJSON(r, &req); err != nil {
+		http.Error(rw, "cluster: bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Cells) == 0 || len(req.Cells) > maxBatchCells {
+		http.Error(rw, fmt.Sprintf("cluster: batch size %d out of range [1, %d]", len(req.Cells), maxBatchCells),
+			http.StatusBadRequest)
+		return
+	}
+	w.batches.Inc()
+	out := make([]CellOutcome, len(req.Cells))
+	var wg sync.WaitGroup
+	for i := range req.Cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = w.executeCell(r, req.Cells[i])
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(rw, http.StatusOK, batchResponse{Outcomes: out})
+}
+
+// executeCell resolves one cell: validation, trace lookup, store lookup,
+// then simulation on the concurrency budget. Panics are isolated into
+// KindPanic outcomes — one poisoned cell must never take the worker down.
+func (w *Worker) executeCell(r *http.Request, spec CellSpec) (out CellOutcome) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			w.cells.With("failed").Inc()
+			out = CellOutcome{Error: &RemoteError{Kind: KindPanic,
+				Message: fmt.Sprintf("cell panicked worker-side: %v", rec)}}
+		}
+	}()
+	fail := func(kind, msg string) CellOutcome {
+		w.cells.With("failed").Inc()
+		return CellOutcome{Error: &RemoteError{Kind: kind, Message: msg}}
+	}
+	h, err := spec.hash()
+	if err != nil {
+		return fail(KindInvalid, err.Error())
+	}
+	if spec.Width < 1 || spec.Width > 4096 {
+		return fail(KindInvalid, fmt.Sprintf("width %d out of range [1, 4096]", spec.Width))
+	}
+	if spec.Scale < 1 {
+		return fail(KindInvalid, fmt.Sprintf("scale %d < 1 (the coordinator normalizes scale)", spec.Scale))
+	}
+	key := store.Key{Trace: h, Config: spec.Config.Fingerprint(), Width: spec.Width,
+		Scale: spec.Scale, Window: spec.Window, Checked: spec.SelfCheck, Workload: spec.Workload}
+	if w.opt.Store != nil {
+		if res, err := w.opt.Store.Get(key); err == nil {
+			data, merr := marshalResult(res)
+			if merr == nil {
+				w.cells.With("store_hit").Inc()
+				return CellOutcome{Result: data, FromStore: true}
+			}
+			// Fall through and recompute: an unmarshalable store hit is a
+			// programming error worth surviving, not serving.
+		}
+	}
+	buf, ok := w.lookupTrace(h)
+	if !ok {
+		w.cells.With("trace_missing").Inc()
+		return CellOutcome{TraceMissing: true}
+	}
+
+	// The concurrency budget bounds simultaneous simulations across every
+	// in-flight batch; a canceled request (hedge loser, coordinator gone)
+	// stops waiting instead of holding a slot reservation.
+	ctx := r.Context()
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	case <-ctx.Done():
+		return fail(KindCanceled, ctx.Err().Error())
+	}
+	start := time.Now()
+	res, err := core.RunChecked(ctx, buf.Reader(), spec.Config,
+		core.Params{Width: spec.Width, WindowSize: spec.Window, SelfCheck: spec.SelfCheck})
+	if err != nil {
+		re := classifyRemote(err)
+		w.cells.With("failed").Inc()
+		return CellOutcome{Error: re}
+	}
+	w.cellSeconds.Observe(time.Since(start).Seconds())
+	data, err := marshalResult(res)
+	if err != nil {
+		return fail(KindSim, "encoding result: "+err.Error())
+	}
+	if w.opt.Store != nil {
+		// Best-effort persistence, same contract as the runner's: a failed
+		// write costs durability, never the result.
+		_ = w.opt.Store.PutWithPerf(key, res, nil)
+	}
+	w.cells.With("computed").Inc()
+	return CellOutcome{Result: data}
+}
+
+// WorkerStatus is the GET /workerz document.
+type WorkerStatus struct {
+	Worker       bool         `json:"worker"` // always true; presence is the health probe
+	TracesCached int          `json:"traces_cached"`
+	Cells        int64        `json:"cells"` // cells answered (all outcomes)
+	Store        *store.Stats `json:"store,omitempty"`
+}
+
+// HandleStatus serves GET /workerz — the coordinator's health probe.
+func (w *Worker) HandleStatus(rw http.ResponseWriter, r *http.Request) {
+	st := WorkerStatus{Worker: true, TracesCached: w.TracesCached()}
+	for _, o := range []string{"computed", "store_hit", "trace_missing", "failed"} {
+		st.Cells += w.cells.With(o).Value()
+	}
+	if w.opt.Store != nil {
+		s := w.opt.Store.Stats()
+		st.Store = &s
+	}
+	writeJSON(rw, http.StatusOK, st)
+}

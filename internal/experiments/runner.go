@@ -91,6 +91,7 @@ type Runner struct {
 
 	ctx       context.Context
 	store     ResultStore
+	exec      Executor
 	perf      *perf.Collector
 	metrics   *RunnerMetrics
 	workers   int
@@ -120,6 +121,19 @@ type ResultStore interface {
 	Get(store.Key) (*core.Result, error)
 	PutWithPerf(store.Key, *core.Result, *store.PerfInfo) error
 	Stats() store.Stats
+}
+
+// Executor computes one sweep cell. It is the remote-execution seam: the
+// Runner keeps its memory cache, durable store, taxonomy retry, and report
+// rendering, and only the "simulate" step is delegated — locally by
+// default, or across a worker cluster when internal/cluster's Coordinator
+// is plugged in (it satisfies this interface without either package
+// importing the other). Scale is always >= 1 (the Runner normalizes its 0
+// = workload-default convention before the call). Implementations must be
+// deterministic in the result: the sweep report is byte-compared across
+// executors.
+type Executor interface {
+	ExecuteCell(ctx context.Context, w *workloads.Workload, cfg core.Config, width, scale int, selfCheck bool) (*core.Result, error)
 }
 
 // ErrCellDeadline matches (via errors.Is) cell failures caused by the
@@ -167,6 +181,14 @@ func (r *Runner) WithStore(dir string) (*Runner, error) {
 // wrapper, such as internal/server's circuit breaker).
 func (r *Runner) WithStoreHandle(st ResultStore) *Runner {
 	r.store = st
+	return r
+}
+
+// WithExecutor delegates cell computation to exec (nil restores the local
+// simulator). Store lookups, retry, stall-free deadline accounting, and
+// persistence stay Runner-side. It returns the Runner for chaining.
+func (r *Runner) WithExecutor(exec Executor) *Runner {
+	r.exec = exec
 	return r
 }
 
@@ -375,16 +397,28 @@ func (r *Runner) compute(ctx context.Context, w *workloads.Workload, cfg core.Co
 		if r.CellTimeout > 0 {
 			runCtx, cancelCell = context.WithTimeout(actx, r.CellTimeout)
 		}
-		runCtx, sspan := metrics.StartSpan(runCtx, "simulate")
-		got, rerr := watchdog.Run(runCtx, r.StallTimeout, func(wctx context.Context, beat func()) (*core.Result, error) {
-			p := core.Params{Width: width, SelfCheck: r.SelfCheck}
-			if r.StallTimeout > 0 {
-				p.Progress = func(core.Progress) { beat() }
-				p.ProgressEvery = stallHeartbeatEvery
-			}
-			return core.RunChecked(wctx, buf.Reader(), cfg, p)
-		})
-		sspan.End()
+		var got *core.Result
+		var rerr error
+		if r.exec != nil {
+			// Delegated execution (e.g. a worker cluster). The cell
+			// deadline still applies; stall supervision does not — progress
+			// heartbeats don't cross the wire, and the executor owns its
+			// own straggler handling (per-batch deadlines, hedging).
+			runCtx, sspan := metrics.StartSpan(runCtx, "execute")
+			got, rerr = r.exec.ExecuteCell(runCtx, w, cfg, width, r.scaleFor(w), r.SelfCheck)
+			sspan.End()
+		} else {
+			runCtx, sspan := metrics.StartSpan(runCtx, "simulate")
+			got, rerr = watchdog.Run(runCtx, r.StallTimeout, func(wctx context.Context, beat func()) (*core.Result, error) {
+				p := core.Params{Width: width, SelfCheck: r.SelfCheck}
+				if r.StallTimeout > 0 {
+					p.Progress = func(core.Progress) { beat() }
+					p.ProgressEvery = stallHeartbeatEvery
+				}
+				return core.RunChecked(wctx, buf.Reader(), cfg, p)
+			})
+			sspan.End()
+		}
 		cancelCell()
 		if rerr != nil {
 			// A deadline that fired on the *cell's* derived context while
@@ -420,14 +454,19 @@ func (r *Runner) compute(ctx context.Context, w *workloads.Workload, cfg core.Co
 	return res, attempts, err
 }
 
+// scaleFor normalizes the Runner's 0 = workload-default scale convention.
+func (r *Runner) scaleFor(w *workloads.Workload) int {
+	if r.Scale <= 0 {
+		return w.DefaultScale
+	}
+	return r.Scale
+}
+
 // storeKey builds the durable identity of one cell: the trace *content*
 // hash (not its name), the injective config fingerprint, and the run
 // shape. Workload name and scale ride along for human-readable filenames.
 func (r *Runner) storeKey(w *workloads.Workload, cfg core.Config, width int, buf *trace.Buffer) store.Key {
-	scale := r.Scale
-	if scale <= 0 {
-		scale = w.DefaultScale
-	}
+	scale := r.scaleFor(w)
 	return store.Key{
 		Trace:    r.traceHash(w, buf),
 		Config:   cfg.Fingerprint(),

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -135,7 +136,12 @@ func classify(err error, draining bool) *JobError {
 	}
 	var inv *core.InvariantError
 	var pe *watchdog.PanicError
+	var re *cluster.RemoteError
 	switch {
+	case errors.As(err, &re):
+		// A remote failure arrives pre-classified in the same taxonomy;
+		// carry the kind through so clients cannot tell where a cell ran.
+		return &JobError{Kind: re.Kind, Message: err.Error()}
 	case errors.As(err, &pe):
 		return &JobError{Kind: KindPanic, Message: pe.Error()}
 	case errors.As(err, &inv):
