@@ -7,8 +7,8 @@
 //	ddbench -out BENCH_pr.json \
 //	        -baseline bench/BENCH_baseline.json      # measure + gate
 //
-// Three benchmarks cover the performance surfaces the scheduler rewrite
-// locked in (see docs/performance.md):
+// Four benchmarks cover the performance surfaces the scheduler rewrite and
+// the streaming trace plane locked in (see docs/performance.md):
 //
 //   - table1: the cold Table 1 pipeline — flush the trace cache, compile,
 //     assemble, emulate all six workloads, render the table. Dominated by
@@ -18,12 +18,16 @@
 //     and the iterative group chooser; carries the allocs/op gate.
 //   - core_visit/short: scheduling of a short trace, isolating per-run
 //     setup + the visit loop from experiment plumbing.
+//   - trace_pipeline: the streaming first pass — VM execution feeding the
+//     scheduler through the bounded pipe, nothing materialized. Guards the
+//     producer/consumer overlap the trace plane's memory bound depends on.
 //
 // Exit codes: 0 ok (no regressions), 1 regression or benchmark failure,
 // 2 usage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -158,6 +162,27 @@ func measure(scale int) ([]perf.Point, error) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.Run(short.Reader(), core.ConfigD, core.Params{Width: 8})
+		}
+	})
+	if failure != nil {
+		return nil, failure
+	}
+
+	// Streaming first pass: the VM regenerates the trace live, records flow
+	// to the scheduler through the bounded pipe — the provider path every
+	// memory-bounded run takes. Compared against sched/espresso/D/w8, the
+	// delta is the cost (or win, on multicore) of pipelined generation.
+	bench("trace_pipeline", int64(tr.Len()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, err := espresso.Stream(context.Background(), scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			core.Run(src, core.ConfigD, core.Params{Width: 8})
+			if err := trace.SourceErr(src); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	return points, failure

@@ -16,16 +16,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
+	"unsafe"
 
 	"repro/internal/asm"
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/isa"
 	"repro/internal/minic"
 	"repro/internal/perf"
 	"repro/internal/store"
@@ -43,6 +46,8 @@ func main() {
 		resume    = flag.Bool("resume", false, "require -store to already exist (catches typos before recomputing a sweep)")
 		retries    = flag.Int("retries", 0, "re-attempts after a transient -selfcheck failure")
 		stall      = flag.Duration("stall-timeout", 0, "reap the -selfcheck simulation after this much progress silence (0 = off)")
+		spoolDir   = flag.String("spool", "", "spool the dynamic trace to this directory instead of holding it in memory")
+		maxTraceMB = flag.Int64("max-trace-mem", 0, "in-memory trace budget in MiB; a larger trace re-executes on demand (0 = unbounded)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		benchJSON  = flag.String("benchjson", "", "write execution/simulation throughput (BENCH_*.json trajectory point) to this file")
@@ -53,11 +58,13 @@ func main() {
 		os.Exit(cli.ExitUsage)
 	}
 	cli.Exit("ddrun", run(flag.Arg(0), *mixFlag, *selfCheck, *maxSteps, *timeout,
-		*storeDir, *resume, *retries, *stall, *cpuProfile, *memProfile, *benchJSON))
+		*storeDir, *resume, *retries, *stall, *spoolDir, *maxTraceMB<<20,
+		*cpuProfile, *memProfile, *benchJSON))
 }
 
 func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Duration,
 	storeDir string, resume bool, retries int, stall time.Duration,
+	spoolDir string, maxTraceMem int64,
 	cpuProfile, memProfile, benchJSON string) (err error) {
 	ctx, stop := cli.Context(timeout)
 	defer stop()
@@ -106,11 +113,16 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 	}
 
 	needTrace := mixFlag || selfCheck || coll != nil
-	var buf *trace.Buffer
+	var prov trace.Provider
+	var nrec int64
+	var hash uint64
 	var out []int32
 	timer := perf.Start()
 	if needTrace {
-		buf, out, err = vm.Trace(prog, vm.WithMaxSteps(maxSteps), vm.WithContext(ctx))
+		prov, out, err = traceProvider(ctx, prog, maxSteps, spoolDir, maxTraceMem, path)
+		if err == nil {
+			hash, nrec, err = prov.ContentHash()
+		}
 	} else {
 		out, err = vm.Exec(prog, vm.WithMaxSteps(maxSteps), vm.WithContext(ctx))
 	}
@@ -119,14 +131,23 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 	}
 	if coll != nil {
 		coll.Record(perf.Cell{Workload: filepath.Base(path), Config: "exec", Width: 1,
-			Instructions: int64(buf.Len()), Seconds: timer.Seconds()})
+			Instructions: nrec, Seconds: timer.Seconds()})
 	}
 	for _, v := range out {
 		fmt.Println(v)
 	}
 	if mixFlag {
-		fmt.Fprintf(os.Stderr, "%d dynamic instructions\n", buf.Len())
-		mix := trace.CollectMix(buf.Reader())
+		fmt.Fprintf(os.Stderr, "%d dynamic instructions\n", nrec)
+		src, err := prov.Open()
+		if err != nil {
+			return err
+		}
+		mix := trace.CollectMix(src)
+		if err := trace.SourceErr(src); err != nil {
+			trace.CloseSource(src)
+			return err
+		}
+		trace.CloseSource(src)
 		fmt.Fprint(os.Stderr, mix.String())
 	}
 	if selfCheck {
@@ -135,7 +156,7 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 		opt := cli.SimOptions{
 			Store: st,
 			Key: store.Key{
-				Trace:    buf.Hash(),
+				Trace:    hash,
 				Config:   core.ConfigD.Fingerprint(),
 				Width:    8,
 				Scale:    1,
@@ -148,7 +169,7 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 		}
 		res, fromStore, err := cli.Simulate(ctx, opt, core.ConfigD,
 			core.Params{Width: 8, SelfCheck: true},
-			func() (trace.Source, error) { return buf.Reader(), nil })
+			func() (trace.Source, error) { return prov.Open() })
 		done()
 		cli.ReportStore("ddrun", "", st)
 		if err != nil {
@@ -166,4 +187,60 @@ func run(path string, mixFlag, selfCheck bool, maxSteps int64, timeout time.Dura
 			how, res.SelfChecks, res.Instructions)
 	}
 	return nil
+}
+
+// traceProvider executes prog once and returns its dynamic trace as a
+// provider plus the program's output, under the chosen trace-plane
+// strategy: -spool streams records straight to disk (never materialized),
+// -max-trace-mem buffers only while the trace fits and re-executes on
+// demand past it, and the default keeps the classic in-memory buffer.
+func traceProvider(ctx context.Context, prog *isa.Program, maxSteps int64,
+	spoolDir string, maxMem int64, path string) (trace.Provider, []int32, error) {
+	if spoolDir == "" && maxMem <= 0 {
+		buf, out, err := vm.Trace(prog, vm.WithMaxSteps(maxSteps), vm.WithContext(ctx))
+		return buf, out, err
+	}
+	stream := func() (*vm.TraceStream, error) {
+		return vm.StreamTrace(ctx, prog, 0, vm.WithMaxSteps(maxSteps))
+	}
+	ts, err := stream()
+	if err != nil {
+		return nil, nil, err
+	}
+	if spoolDir != "" {
+		// No cross-run reuse: unlike workload spools, the program behind a
+		// path can change between invocations, so every run writes afresh.
+		sp, err := trace.SpoolFrom(filepath.Join(spoolDir, filepath.Base(path)+".trace"), ts)
+		if err != nil {
+			trace.CloseSource(ts)
+			return nil, nil, err
+		}
+		out, _ := ts.Output()
+		return sp, out, nil
+	}
+	maxRecords := maxMem / int64(unsafe.Sizeof(trace.Record{}))
+	hs := trace.NewHasher()
+	buf := &trace.Buffer{}
+	var rec trace.Record
+	for ts.Next(&rec) {
+		hs.WriteRecord(&rec)
+		if buf != nil {
+			if int64(buf.Len()) >= maxRecords {
+				buf = nil
+			} else {
+				buf.Append(rec)
+			}
+		}
+	}
+	if err := ts.Err(); err != nil {
+		return nil, nil, err
+	}
+	out, _ := ts.Output()
+	if buf != nil {
+		return buf, out, nil
+	}
+	prov := trace.NewRegenProviderHashed(func() (trace.ErrSource, error) {
+		return stream()
+	}, hs.Sum64(), hs.Records())
+	return prov, out, nil
 }

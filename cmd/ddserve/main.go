@@ -52,6 +52,8 @@ func main() {
 		brkThresh  = flag.Int("breaker-threshold", 5, "consecutive store I/O failures before the breaker opens")
 		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open time before a half-open probe")
 		scale      = flag.Int("scale", 0, "workload scale for all jobs (0 = workload defaults)")
+		spoolDir   = flag.String("spool", "", "spool workload traces to this directory instead of holding them in memory")
+		maxTraceMB = flag.Int64("max-trace-mem", 0, "in-memory trace budget in MiB; larger traces regenerate on demand (0 = unbounded)")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 		soak       = flag.Bool("soak", false, "run the chaos soak campaign instead of serving")
 		schedules  = flag.Int("schedules", 64, "soak: number of randomized fault schedules")
@@ -98,6 +100,8 @@ func main() {
 			StallTimeout:     *stall,
 			Retries:          *retries,
 			Scale:            *scale,
+			TraceSpoolDir:    *spoolDir,
+			MaxTraceMem:      *maxTraceMB << 20,
 			QuarantineAfter:  *quarantine,
 			BreakerThreshold: *brkThresh,
 			BreakerCooldown:  *brkCool,
@@ -149,13 +153,15 @@ func serve(logger *log.Logger, o options) error {
 	// rides on -coordinator (not -workers, which has always been the local
 	// pool size).
 	if o.worker {
-		o.opt.Worker = cluster.NewWorker(cluster.WorkerOptions{Store: storeOrNil(st)})
+		o.opt.Worker = cluster.NewWorker(cluster.WorkerOptions{Store: storeOrNil(st),
+			SpoolDir: o.opt.TraceSpoolDir, MaxTraceMem: o.opt.MaxTraceMem})
 	}
 	var coord *cluster.Coordinator
 	if o.coordinator != "" {
 		urls := splitPeers(o.coordinator)
 		var err error
-		coord, err = cluster.New(urls, cluster.Options{Seed: o.seed, HedgeAfter: o.hedgeAfter})
+		coord, err = cluster.New(urls, cluster.Options{Seed: o.seed, HedgeAfter: o.hedgeAfter,
+			TraceSpoolDir: o.opt.TraceSpoolDir, MaxTraceMem: o.opt.MaxTraceMem})
 		if err != nil {
 			return fmt.Errorf("coordinator: %w", err)
 		}

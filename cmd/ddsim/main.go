@@ -55,6 +55,7 @@ type robustOpts struct {
 	stall     time.Duration
 	selfCheck bool
 	perf      *perf.Collector
+	traceOpts workloads.ProviderOptions
 }
 
 func main() {
@@ -66,6 +67,8 @@ func main() {
 		width      = flag.Int("width", 8, "maximum issue width")
 		window     = flag.Int("window", 0, "window size (default 2x width)")
 		scale      = flag.Int("scale", 0, "workload scale (0 = per-benchmark default)")
+		spoolDir   = flag.String("spool", "", "spool workload traces to this directory instead of holding them in memory")
+		maxTraceMB = flag.Int64("max-trace-mem", 0, "in-memory trace budget in MiB; larger traces regenerate on demand (0 = unbounded)")
 		widths     = flag.String("widths", "", "comma-separated issue widths for experiments (default 4,8,16,32,2048)")
 		listFlag   = flag.Bool("list", false, "list experiments and benchmarks")
 		csvFlag    = flag.Bool("csv", false, "emit experiment data as CSV instead of tables")
@@ -97,7 +100,8 @@ func main() {
 	}
 
 	opts := robustOpts{store: *storeDir, resume: *resume, retries: *retries,
-		stall: *stall, selfCheck: *selfCheck}
+		stall: *stall, selfCheck: *selfCheck,
+		traceOpts: workloads.ProviderOptions{SpoolDir: *spoolDir, MaxMem: *maxTraceMB << 20}}
 	if *benchJSON != "" {
 		opts.perf = new(perf.Collector)
 	}
@@ -167,6 +171,12 @@ func runExperiments(ctx context.Context, id string, scale int, widthsArg string,
 	r.SelfCheck = opts.selfCheck
 	r.Retries = opts.retries
 	r.StallTimeout = opts.stall
+	if opts.traceOpts.SpoolDir != "" {
+		r.WithTraceSpool(opts.traceOpts.SpoolDir)
+	}
+	if opts.traceOpts.MaxMem > 0 {
+		r.WithMaxTraceMem(opts.traceOpts.MaxMem)
+	}
 	if opts.perf != nil {
 		r.WithPerf(opts.perf)
 	}
@@ -317,17 +327,21 @@ func runSingle(ctx context.Context, benchmark, config string, width, window, sca
 	if err != nil {
 		return err
 	}
-	buf, _, err := w.TraceCachedCtx(ctx, scale)
+	prov, err := w.Provider(ctx, scale, opts.traceOpts)
 	if err != nil {
 		return err
 	}
 	var key store.Key
 	if st != nil {
+		hash, _, herr := prov.ContentHash()
+		if herr != nil {
+			return herr
+		}
 		effScale := scale
 		if effScale <= 0 {
 			effScale = w.DefaultScale
 		}
-		key = store.Key{Trace: buf.Hash(), Config: cfg.Fingerprint(), Width: width,
+		key = store.Key{Trace: hash, Config: cfg.Fingerprint(), Width: width,
 			Scale: effScale, Window: window, Checked: opts.selfCheck, Workload: w.Name}
 	}
 	progress, done := cli.Progress("ddsim")
@@ -335,7 +349,7 @@ func runSingle(ctx context.Context, benchmark, config string, width, window, sca
 	res, fromStore, err := cli.Simulate(ctx, cli.SimOptions{
 		Store: st, Key: key, Retries: opts.retries, Stall: opts.stall, Progress: progress,
 	}, cfg, core.Params{Width: width, WindowSize: window, SelfCheck: opts.selfCheck},
-		func() (trace.Source, error) { return buf.Reader(), nil })
+		func() (trace.Source, error) { return prov.Open() })
 	done()
 	cli.ReportStore("ddsim", "", st)
 	if err != nil {

@@ -4,21 +4,30 @@
 //	ddtrace -benchmark compress -o compress.trace      # generate
 //	ddtrace -benchmark li -scale 500 -o li.trace       # bigger run
 //	ddtrace -program prog.mc -o prog.trace             # trace any MiniC program
+//	ddtrace -benchmark go -o - | ddtrace -info -       # stream through a pipe
 //	ddtrace -info compress.trace                       # header + mix
 //	ddtrace -selfcheck -info compress.trace            # also simulate with invariant sweeps
 //
 // Simulate a saved trace with ddsim -trace compress.trace.
 //
+// Generation streams: records flow from the executing VM straight into the
+// output file through a bounded pipe, so tracing a benchmark at any scale
+// holds O(pipe) records in memory. "-o -" writes the trace to stdout and
+// "-info -" reads one from stdin, so traces can cross process boundaries
+// without ever touching the filesystem.
+//
 // Robustness: -timeout and SIGINT/SIGTERM cancel generation; a canceled or
 // failed generation deletes the partial output file instead of leaving a
-// truncated trace behind. Exit codes: 0 ok, 1 failure, 2 usage, 3 corrupt
-// trace input, 130 canceled (see docs/robustness.md).
+// truncated trace behind (a partial stdout stream is the consumer's to
+// detect — the truncation fails its reader). Exit codes: 0 ok, 1 failure,
+// 2 usage, 3 corrupt trace input, 130 canceled (see docs/robustness.md).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -36,8 +45,8 @@ func main() {
 		benchmark = flag.String("benchmark", "", "workload to trace (compress, espresso, eqntott, li, go, ijpeg)")
 		program   = flag.String("program", "", "MiniC (.mc) or SV8 assembly (.s) file to trace instead")
 		scale     = flag.Int("scale", 0, "workload scale (0 = default)")
-		output    = flag.String("o", "", "output trace file")
-		info      = flag.String("info", "", "print a trace file's statistics instead of generating")
+		output    = flag.String("o", "", "output trace file (- = stdout)")
+		info      = flag.String("info", "", "print a trace file's statistics instead of generating (- = stdin)")
 		timeout   = flag.Duration("timeout", 0, "bound the run's wall-clock time (0 = none)")
 		selfCheck = flag.Bool("selfcheck", false, "with -info: also simulate the trace (config D, width 8) with invariant sweeps")
 	)
@@ -59,114 +68,159 @@ func main() {
 	cli.Exit("ddtrace", err)
 }
 
-func generate(ctx context.Context, benchmark, program string, scale int, output string) error {
-	var src trace.Source
-	switch {
-	case benchmark != "":
+// openSource starts the generation stream: records arrive as the VM
+// executes, never materialized. The returned source must be closed.
+func openSource(ctx context.Context, benchmark, program string, scale int) (trace.ErrSource, error) {
+	if benchmark != "" {
 		w, err := workloads.ByName(benchmark)
 		if err != nil {
-			return cli.Usagef("%v", err)
+			return nil, cli.Usagef("%v", err)
 		}
-		buf, _, err := w.RunCtx(ctx, scale)
-		if err != nil {
-			return err
-		}
-		src = buf.Reader()
-	default:
-		text, err := os.ReadFile(program)
-		if err != nil {
-			return err
-		}
-		asmText := string(text)
-		if strings.HasSuffix(program, ".mc") {
-			if asmText, err = minic.Compile(string(text)); err != nil {
-				return err
-			}
-		}
-		prog, err := asm.Assemble(asmText)
-		if err != nil {
-			return err
-		}
-		buf, _, err := vm.Trace(prog, vm.WithContext(ctx))
-		if err != nil {
-			return err
-		}
-		src = buf.Reader()
+		return w.Stream(ctx, scale)
 	}
+	text, err := os.ReadFile(program)
+	if err != nil {
+		return nil, err
+	}
+	asmText := string(text)
+	if strings.HasSuffix(program, ".mc") {
+		if asmText, err = minic.Compile(string(text)); err != nil {
+			return nil, err
+		}
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		return nil, err
+	}
+	return vm.StreamTrace(ctx, prog, 0)
+}
 
-	f, err := os.Create(output)
+// nonSeeking hides an *os.File's Seek method so trace.NewWriter treats
+// stdout as a pure stream: pipes reject seeks, and a count-less header is
+// exactly what the reader's stream-to-EOF mode is for.
+type nonSeeking struct{ io.Writer }
+
+func generate(ctx context.Context, benchmark, program string, scale int, output string) error {
+	src, err := openSource(ctx, benchmark, program, scale)
 	if err != nil {
 		return err
 	}
-	// Never leave a partial trace behind: any failure (including
-	// cancellation mid-write) removes the output file.
-	keep := false
-	defer func() {
-		f.Close()
-		if !keep {
-			os.Remove(output)
+	defer trace.CloseSource(src)
+
+	var dst io.Writer
+	var f *os.File
+	toStdout := output == "-"
+	if toStdout {
+		dst = nonSeeking{os.Stdout}
+	} else {
+		f, err = os.Create(output)
+		if err != nil {
+			return err
 		}
-	}()
-	w, err := trace.NewWriter(f)
-	if err != nil {
-		return err
+		dst = f
+		// Never leave a partial trace behind: any failure (including
+		// cancellation mid-write) removes the output file.
+		keep := false
+		defer func() {
+			f.Close()
+			if !keep {
+				os.Remove(output)
+			}
+		}()
+		defer func() { keep = err == nil }()
+	}
+	w, werr := trace.NewWriter(dst)
+	if werr != nil {
+		return werr
 	}
 	var rec trace.Record
 	for i := 0; src.Next(&rec); i++ {
 		if i&4095 == 0 {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("writing %s canceled after %d records: %w", output, w.Count(), err)
+			if cerr := ctx.Err(); cerr != nil {
+				err = fmt.Errorf("writing %s canceled after %d records: %w", output, w.Count(), cerr)
+				return err
 			}
 		}
-		if err := w.Write(&rec); err != nil {
+		if werr := w.Write(&rec); werr != nil {
+			err = werr
 			return err
 		}
 	}
-	if err := trace.SourceErr(src); err != nil {
-		return fmt.Errorf("trace source failed after %d records: %w", w.Count(), err)
-	}
-	if err := w.Close(); err != nil {
+	if serr := trace.SourceErr(src); serr != nil {
+		err = fmt.Errorf("trace source failed after %d records: %w", w.Count(), serr)
 		return err
 	}
-	if err := f.Close(); err != nil {
+	if werr := w.Close(); werr != nil {
+		err = werr
 		return err
 	}
-	keep = true
-	fmt.Printf("wrote %d records to %s\n", w.Count(), output)
+	if !toStdout {
+		if werr := f.Close(); werr != nil {
+			err = werr
+			return err
+		}
+	}
+	// The report goes to stderr when the trace itself owns stdout.
+	report := io.Writer(os.Stdout)
+	if toStdout {
+		report = os.Stderr
+	}
+	fmt.Fprintf(report, "wrote %d records to %s\n", w.Count(), output)
 	return nil
 }
 
+// teeMix observes every record that passes through a source — the one-pass
+// way to collect the mix while something else (the checked simulator)
+// consumes the stream, which is the only option when the stream is stdin.
+type teeMix struct {
+	src trace.Source
+	mix trace.Mix
+}
+
+func (t *teeMix) Next(rec *trace.Record) bool {
+	if !t.src.Next(rec) {
+		return false
+	}
+	t.mix.Observe(rec)
+	return true
+}
+
+func (t *teeMix) Err() error { return trace.SourceErr(t.src) }
+
 func printInfo(ctx context.Context, path string, selfCheck bool) error {
-	f, err := os.Open(path)
+	var in io.Reader
+	name := path
+	if path == "-" {
+		in = os.Stdin
+		name = "<stdin>"
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	r, err := trace.NewReader(in)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		return err
-	}
-	mix := trace.CollectMix(r)
-	if err := r.Err(); err != nil {
-		return err
-	}
-	fmt.Printf("%s:\n%s", path, mix.String())
 	if !selfCheck {
+		mix := trace.CollectMix(r)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n%s", name, mix.String())
 		return nil
 	}
-	// Re-read the file and run the checked simulator over it: one command
-	// that validates both the trace's encoding and the scheduler.
-	if _, err := f.Seek(0, 0); err != nil {
-		return err
-	}
-	r2, err := trace.NewReader(f)
-	if err != nil {
-		return err
-	}
-	res, err := core.RunChecked(ctx, r2, core.ConfigD, core.Params{Width: 8, SelfCheck: true})
+	// One pass validates the encoding, collects the mix, and runs the
+	// checked simulator — stdin cannot be re-read, and a file needn't be.
+	tee := &teeMix{src: r}
+	res, err := core.RunChecked(ctx, tee, core.ConfigD, core.Params{Width: 8, SelfCheck: true})
 	if err != nil {
 		return fmt.Errorf("self-check failed: %w", err)
 	}
+	fmt.Printf("%s:\n%s", name, tee.mix.String())
 	fmt.Printf("self-check ok: %d invariant sweeps over %d instructions, 0 violations\n",
 		res.SelfChecks, res.Instructions)
 	return nil

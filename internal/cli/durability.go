@@ -158,6 +158,9 @@ func Simulate(ctx context.Context, opt SimOptions, cfg core.Config, params core.
 		if serr != nil {
 			return serr
 		}
+		// Sources from trace providers may hold a file or a live generation
+		// goroutine; release it even when the simulation aborts mid-stream.
+		defer trace.CloseSource(s)
 		got, rerr := watchdog.Run(ctx, opt.Stall, func(wctx context.Context, beat func()) (*core.Result, error) {
 			p := params
 			user := opt.Progress

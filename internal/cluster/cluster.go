@@ -178,18 +178,29 @@ func classifyRemote(err error) *RemoteError {
 	return &RemoteError{Kind: KindSim, Message: err.Error()}
 }
 
-// encodeTrace serializes a trace buffer in the v3 binary format for
-// shipping (the same frame ddtrace writes, checksums included).
-func encodeTrace(buf *trace.Buffer) ([]byte, error) {
+// encodeTrace serializes one open of a trace provider in the v3 binary
+// format for shipping (the same frame ddtrace writes, checksums included).
+// A provider whose stream fails mid-encode fails the encode — a truncated
+// trace must never go on the wire as a plausible short one.
+func encodeTrace(prov trace.Provider) ([]byte, error) {
+	src, err := prov.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer trace.CloseSource(src)
 	var b bytesBuffer
 	tw, err := trace.NewWriter(&b)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < buf.Len(); i++ {
-		if err := tw.Write(buf.At(i)); err != nil {
+	var rec trace.Record
+	for src.Next(&rec) {
+		if err := tw.Write(&rec); err != nil {
 			return nil, err
 		}
+	}
+	if err := trace.SourceErr(src); err != nil {
+		return nil, err
 	}
 	if err := tw.Close(); err != nil {
 		return nil, err

@@ -63,7 +63,9 @@ func mustConfig(t *testing.T, name string) core.Config {
 }
 
 func TestExecuteCellMatchesLocalAndShipsTraceOnce(t *testing.T) {
-	wk := NewWorker(WorkerOptions{})
+	// Regeneration disabled: this test pins the shipping fallback's
+	// at-most-once contract (the regeneration path has its own tests).
+	wk := NewWorker(WorkerOptions{DisableRegen: true})
 	ts := httptest.NewServer(wk.Handler())
 	defer ts.Close()
 
@@ -104,8 +106,10 @@ func TestExecuteCellMatchesLocalAndShipsTraceOnce(t *testing.T) {
 func TestTraceReshippedAfterWorkerRestart(t *testing.T) {
 	// An indirection handler stands in for a worker process: "restart"
 	// swaps in a fresh Worker whose in-memory trace cache is empty.
+	// Regeneration is disabled so the workers must ask for bytes — this
+	// test covers the shipping fallback's restart protocol.
 	var h atomic.Value
-	wk1 := NewWorker(WorkerOptions{})
+	wk1 := NewWorker(WorkerOptions{DisableRegen: true})
 	h.Store(wk1.Handler())
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		h.Load().(http.Handler).ServeHTTP(w, r)
@@ -124,7 +128,7 @@ func TestTraceReshippedAfterWorkerRestart(t *testing.T) {
 		t.Fatalf("first cell: %v", err)
 	}
 
-	h.Store(NewWorker(WorkerOptions{}).Handler()) // restart: cache gone
+	h.Store(NewWorker(WorkerOptions{DisableRegen: true}).Handler()) // restart: cache gone
 
 	got, err := coord.ExecuteCell(context.Background(), w, cfg, 8, testScale, false)
 	if err != nil {

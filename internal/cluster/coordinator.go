@@ -70,6 +70,18 @@ type Options struct {
 	// after local fallback) — normally nil, because the runner above the
 	// Executor seam already owns the store.
 	Store ResultStore
+	// TraceSpoolDir routes the coordinator's own trace generation (for
+	// hashing, shipping, and local fallback) through an on-disk spool
+	// (workloads.ProviderOptions.SpoolDir).
+	TraceSpoolDir string
+	// MaxTraceMem bounds the coordinator's in-memory trace footprint
+	// (workloads.ProviderOptions.MaxMem); ignored when TraceSpoolDir is set.
+	MaxTraceMem int64
+	// DisableShipping turns off whole-trace shipping: a worker answering
+	// trace_missing (it could not regenerate the trace from its spec) is
+	// treated as a transient failure instead of being sent the bytes, so
+	// cells resolve only via spec regeneration or local fallback.
+	DisableShipping bool
 	// now is the injectable clock for tests.
 	now func() time.Time
 }
@@ -119,10 +131,10 @@ type Coordinator struct {
 
 	batchers map[string]*batcher
 
-	mu       sync.Mutex
-	traceBuf map[uint64]*trace.Buffer // for local fallback + shipping
-	traceEnc map[uint64][]byte        // encoded-once wire bytes
-	shipped  map[string]map[uint64]bool
+	mu        sync.Mutex
+	traceProv map[uint64]trace.Provider // for local fallback + shipping
+	traceEnc  map[uint64][]byte         // encoded-once wire bytes
+	shipped   map[string]map[uint64]bool
 
 	// metric handles (rebound by Instrument)
 	dispatched  *metrics.CounterVec // cluster_dispatched_total{worker}
@@ -153,9 +165,9 @@ func New(urls []string, opt Options) (*Coordinator, error) {
 		batchers: make(map[string]*batcher, len(urls)),
 		ctx:      ctx,
 		cancel:   cancel,
-		traceBuf: make(map[uint64]*trace.Buffer),
-		traceEnc: make(map[uint64][]byte),
-		shipped:  make(map[string]map[uint64]bool),
+		traceProv: make(map[uint64]trace.Provider),
+		traceEnc:  make(map[uint64][]byte),
+		shipped:   make(map[string]map[uint64]bool),
 	}
 	for i, u := range urls {
 		name := fmt.Sprintf("w%d", i)
@@ -293,27 +305,30 @@ func (c *Coordinator) StatusAll() []Status {
 // Executor seam
 
 // ExecuteCell implements experiments.Executor: resolve one sweep cell
-// through the cluster. The trace comes from the workload's cache (already
-// generated by the runner for its store key), so holding it for shipping
-// and fallback costs nothing extra.
+// through the cluster. The trace resolves through the workload's provider
+// under the coordinator's own trace-plane options; in the common case only
+// its content hash travels — workers regenerate from the (workload, scale)
+// spec and the bytes are shipped only when they cannot.
 func (c *Coordinator) ExecuteCell(ctx context.Context, w *workloads.Workload, cfg core.Config, width, scale int, selfCheck bool) (*core.Result, error) {
 	if scale <= 0 {
 		scale = w.DefaultScale
 	}
-	buf, _, err := w.TraceCachedCtx(ctx, scale)
+	prov, err := w.Provider(ctx, scale, workloads.ProviderOptions{
+		SpoolDir: c.opt.TraceSpoolDir, MaxMem: c.opt.MaxTraceMem})
 	if err != nil {
 		return nil, err
 	}
-	return c.executeBuffer(ctx, buf, CellSpec{
+	return c.executeProvider(ctx, prov, CellSpec{
 		Config: cfg, Width: width, Scale: scale, SelfCheck: selfCheck, Workload: w.Name,
 	})
 }
 
 // ExecuteTrace routes an arbitrary trace buffer (e.g. a tracegen grid
 // point) through the cluster. Scale is fixed at 1: raw traces have no
-// workload scale; the value only disambiguates store keys.
+// workload scale; the value only disambiguates store keys. Specs without a
+// workload name are unregenerable, so workers resolve them by shipping.
 func (c *Coordinator) ExecuteTrace(ctx context.Context, buf *trace.Buffer, cfg core.Config, width, window int, selfCheck bool) (*core.Result, error) {
-	return c.executeBuffer(ctx, buf, CellSpec{
+	return c.executeProvider(ctx, buf, CellSpec{
 		Config: cfg, Width: width, Window: window, Scale: 1, SelfCheck: selfCheck,
 	})
 }
@@ -325,8 +340,11 @@ func (s CellSpec) cellKey() string {
 	return fmt.Sprintf("%s|%s|%d|%d|%d|%t", s.TraceHash, s.Config.Fingerprint(), s.Width, s.Window, s.Scale, s.SelfCheck)
 }
 
-func (c *Coordinator) executeBuffer(ctx context.Context, buf *trace.Buffer, spec CellSpec) (*core.Result, error) {
-	h := c.internTrace(buf)
+func (c *Coordinator) executeProvider(ctx context.Context, prov trace.Provider, spec CellSpec) (*core.Result, error) {
+	h, err := c.internTrace(prov)
+	if err != nil {
+		return nil, err
+	}
 	spec.TraceHash = hashString(h)
 	key := spec.cellKey()
 
@@ -346,7 +364,7 @@ func (c *Coordinator) executeBuffer(ctx context.Context, buf *trace.Buffer, spec
 			target = c.pickWorker(key, attempts)
 		}
 		if target == "" {
-			return c.localFallback(ctx, buf, spec)
+			return c.localFallback(ctx, prov, spec)
 		}
 		out, terr := c.sendCellHedged(ctx, target, spec)
 		if terr != nil {
@@ -359,6 +377,15 @@ func (c *Coordinator) executeBuffer(ctx context.Context, buf *trace.Buffer, spec
 		}
 		switch {
 		case out.TraceMissing:
+			if c.opt.DisableShipping {
+				// The worker could not regenerate from the spec and we will
+				// not send bytes: transient failure — another worker may be
+				// able to rebuild it, and local fallback always can.
+				lastErr = fmt.Errorf("cluster: worker %s cannot regenerate trace %s (shipping disabled)", target, spec.TraceHash)
+				attempts++
+				c.retriesCtr.Inc()
+				continue
+			}
 			if shipRounds >= 3 {
 				lastErr = fmt.Errorf("cluster: worker %s still missing trace %s after %d ships", target, spec.TraceHash, shipRounds)
 				attempts++
@@ -393,20 +420,23 @@ func (c *Coordinator) executeBuffer(ctx context.Context, buf *trace.Buffer, spec
 	// Retries exhausted on transient failures — the cluster degrades to
 	// exactly the single-process behavior it scaled up from.
 	_ = lastErr
-	return c.localFallback(ctx, buf, spec)
+	return c.localFallback(ctx, prov, spec)
 }
 
-// internTrace caches the buffer (for fallback and shipping) and returns
-// its content hash. Hashing is memoized via the buffer pointer identity —
-// workload trace caches hand back the same *Buffer every time.
-func (c *Coordinator) internTrace(buf *trace.Buffer) uint64 {
-	h := buf.Hash()
+// internTrace caches the provider (for fallback and shipping) and returns
+// its content hash. Spool and regeneration providers answer from their
+// memoized hash; a materialized Buffer pays one linear scan the first time.
+func (c *Coordinator) internTrace(prov trace.Provider) (uint64, error) {
+	h, _, err := prov.ContentHash()
+	if err != nil {
+		return 0, err
+	}
 	c.mu.Lock()
-	if _, ok := c.traceBuf[h]; !ok {
-		c.traceBuf[h] = buf
+	if _, ok := c.traceProv[h]; !ok {
+		c.traceProv[h] = prov
 	}
 	c.mu.Unlock()
-	return h
+	return h, nil
 }
 
 // pickWorker chooses the dispatch target for one cell: the rendezvous
@@ -463,17 +493,17 @@ func (c *Coordinator) shipTrace(ctx context.Context, worker string, h uint64) er
 	c.mu.Lock()
 	delete(c.shipped[worker], h) // the worker just told us it lacks it
 	enc, ok := c.traceEnc[h]
-	var buf *trace.Buffer
+	var prov trace.Provider
 	if !ok {
-		buf = c.traceBuf[h]
+		prov = c.traceProv[h]
 	}
 	c.mu.Unlock()
 	if !ok {
-		if buf == nil {
-			return fmt.Errorf("cluster: no trace buffer held for %s", hashString(h))
+		if prov == nil {
+			return fmt.Errorf("cluster: no trace provider held for %s", hashString(h))
 		}
 		var err error
-		enc, err = encodeTrace(buf)
+		enc, err = encodeTrace(prov)
 		if err != nil {
 			return err
 		}
@@ -497,9 +527,14 @@ func (c *Coordinator) shipTrace(ctx context.Context, worker string, h uint64) er
 
 // localFallback executes the cell in-process — the transparent degradation
 // path when the cluster cannot help.
-func (c *Coordinator) localFallback(ctx context.Context, buf *trace.Buffer, spec CellSpec) (*core.Result, error) {
+func (c *Coordinator) localFallback(ctx context.Context, prov trace.Provider, spec CellSpec) (*core.Result, error) {
 	c.fallbacks.Inc()
-	return core.RunChecked(ctx, buf.Reader(), spec.Config,
+	src, err := prov.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer trace.CloseSource(src)
+	return core.RunChecked(ctx, src, spec.Config,
 		core.Params{Width: spec.Width, WindowSize: spec.Window, SelfCheck: spec.SelfCheck})
 }
 

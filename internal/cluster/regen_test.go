@@ -1,0 +1,149 @@
+package cluster
+
+// Tests for spec-carried trace regeneration: workers rebuild traces locally
+// from (workload, scale) and verify the content hash, demoting whole-trace
+// shipping to a fallback — and with shipping disabled outright, a
+// multi-worker sweep still renders byte-identical results.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestWorkerRegeneratesFromSpec: a default worker never needs the trace
+// shipped — it regenerates from the cell spec, hash-verified, and the
+// result is byte-identical to local execution.
+func TestWorkerRegeneratesFromSpec(t *testing.T) {
+	wk := NewWorker(WorkerOptions{})
+	ts := httptest.NewServer(wk.Handler())
+	defer ts.Close()
+
+	coord, err := New([]string{ts.URL}, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	w := mustWorkload(t, "compress")
+	for _, cfgName := range []string{"A", "D"} {
+		cfg := mustConfig(t, cfgName)
+		got, err := coord.ExecuteCell(context.Background(), w, cfg, 4, testScale, false)
+		if err != nil {
+			t.Fatalf("ExecuteCell(%s): %v", cfgName, err)
+		}
+		want := localCell(t, w, cfg, 4)
+		if diff := want.Diff(got); len(diff) > 0 {
+			t.Fatalf("regenerated result diverges from local (%s): %v", cfgName, diff)
+		}
+	}
+
+	if n := coord.ships.With("w0").Value(); n != 0 {
+		t.Fatalf("trace shipped %d times despite regeneration, want 0", n)
+	}
+	if n := wk.shipsIn.Value(); n != 0 {
+		t.Fatalf("worker received %d trace ships, want 0", n)
+	}
+	// One workload, two cells: regenerated exactly once, cached thereafter.
+	if n := wk.regens.Value(); n != 1 {
+		t.Fatalf("worker regenerated %d times, want 1", n)
+	}
+	if n := wk.TracesCached(); n != 1 {
+		t.Fatalf("worker caches %d traces, want 1", n)
+	}
+	if n := coord.fallbacks.Value(); n != 0 {
+		t.Fatalf("local fallback used %d times on a healthy cluster", n)
+	}
+}
+
+// TestShippingDisabledThreeWorkerSweep: with whole-trace shipping switched
+// off entirely, a 3-worker sweep over two workloads and the config grid
+// still produces results byte-identical to local execution — every cell is
+// served by spec regeneration, zero trace bytes cross the wire.
+func TestShippingDisabledThreeWorkerSweep(t *testing.T) {
+	var wks [3]*Worker
+	urls := make([]string, 3)
+	for i := range wks {
+		wks[i] = NewWorker(WorkerOptions{})
+		ts := httptest.NewServer(wks[i].Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+
+	opts := testOpts()
+	opts.DisableShipping = true
+	coord, err := New(urls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	for _, wname := range []string{"espresso", "eqntott"} {
+		w := mustWorkload(t, wname)
+		for _, cfgName := range []string{"A", "C", "D"} {
+			cfg := mustConfig(t, cfgName)
+			got, err := coord.ExecuteCell(context.Background(), w, cfg, 8, testScale, false)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", wname, cfgName, err)
+			}
+			want := localCell(t, w, cfg, 8)
+			if diff := want.Diff(got); len(diff) > 0 {
+				t.Fatalf("%s/%s diverges from local: %v", wname, cfgName, diff)
+			}
+		}
+	}
+
+	var ships, regens int64
+	for i, wk := range wks {
+		ships += coord.ships.With(workerID(i)).Value()
+		ships += wk.shipsIn.Value()
+		regens += wk.regens.Value()
+	}
+	if ships != 0 {
+		t.Fatalf("%d trace ships with shipping disabled, want 0", ships)
+	}
+	if regens == 0 {
+		t.Fatal("no worker regenerated a trace; cells cannot have run remotely")
+	}
+	if n := coord.fallbacks.Value(); n != 0 {
+		t.Fatalf("local fallback used %d times, want 0", n)
+	}
+}
+
+// TestShippingDisabledRegenDisabledFallsBackLocally: the bottom rung of the
+// fallback ladder — a worker that can neither regenerate nor receive bytes
+// forces the coordinator's local fallback, which must still be correct.
+func TestShippingDisabledRegenDisabledFallsBackLocally(t *testing.T) {
+	wk := NewWorker(WorkerOptions{DisableRegen: true})
+	ts := httptest.NewServer(wk.Handler())
+	defer ts.Close()
+
+	opts := testOpts()
+	opts.DisableShipping = true
+	coord, err := New([]string{ts.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	w := mustWorkload(t, "espresso")
+	cfg := mustConfig(t, "A")
+	got, err := coord.ExecuteCell(context.Background(), w, cfg, 4, testScale, false)
+	if err != nil {
+		t.Fatalf("ExecuteCell: %v", err)
+	}
+	want := localCell(t, w, cfg, 4)
+	if diff := want.Diff(got); len(diff) > 0 {
+		t.Fatalf("fallback result diverges from local: %v", diff)
+	}
+	if n := coord.fallbacks.Value(); n == 0 {
+		t.Fatal("expected the local fallback to serve the cell")
+	}
+	if n := coord.ships.With("w0").Value(); n != 0 {
+		t.Fatalf("trace shipped %d times with shipping disabled, want 0", n)
+	}
+}
+
+// workerID mirrors the coordinator's worker naming ("w0", "w1", ...).
+func workerID(i int) string { return fmt.Sprintf("w%d", i) }

@@ -2,11 +2,15 @@ package cluster
 
 // Worker is the execution half of the compute plane: a minimal HTTP API
 // that accepts batches of cells (POST /cells), executes them on a bounded
-// local concurrency budget, and answers with per-cell outcomes. Traces
-// arrive separately (POST /traces), at most once per content hash, and are
-// cached in memory; results cache in the existing durable store when one
-// is attached, so a worker restarted mid-sweep resumes from disk exactly
-// like a single-process run would.
+// local concurrency budget, and answers with per-cell outcomes. Cells name
+// their trace by content hash plus a (workload, scale) spec; a worker that
+// does not hold the trace regenerates it locally — deterministically, then
+// verifies the regenerated content hash against the spec's before trusting
+// it — so whole-trace shipping (POST /traces) is only the fallback for
+// traces the worker cannot rebuild. Either way traces are cached by hash;
+// results cache in the existing durable store when one is attached, so a
+// worker restarted mid-sweep resumes from disk exactly like a
+// single-process run would.
 
 import (
 	"fmt"
@@ -20,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/trace"
+	"repro/internal/workloads"
 )
 
 // ResultStore is the durable-store surface the worker consumes — the same
@@ -41,8 +46,19 @@ type WorkerOptions struct {
 	// in-flight batches; <= 0 means GOMAXPROCS.
 	MaxConcurrent int
 	// MaxTraces bounds the in-memory trace cache; <= 0 means 64. Eviction
-	// is FIFO: an evicted trace simply gets re-shipped on next use.
+	// is FIFO: an evicted trace is regenerated (or re-shipped) on next use.
 	MaxTraces int
+	// SpoolDir, when non-empty, spools locally regenerated traces to disk
+	// (workloads.ProviderOptions.SpoolDir) instead of materializing them.
+	SpoolDir string
+	// MaxTraceMem bounds the in-memory footprint of locally regenerated
+	// traces (workloads.ProviderOptions.MaxMem); ignored when SpoolDir is
+	// set.
+	MaxTraceMem int64
+	// DisableRegen turns off local trace regeneration: every unknown trace
+	// answers trace_missing and must be shipped. Regeneration is on by
+	// default.
+	DisableRegen bool
 }
 
 // Worker executes cell batches. Create with NewWorker; mount its handlers
@@ -52,12 +68,13 @@ type Worker struct {
 	sem chan struct{}
 
 	mu     sync.Mutex
-	traces map[uint64]*trace.Buffer
+	traces map[uint64]trace.Provider
 	order  []uint64 // FIFO eviction order
 
 	cells       *metrics.CounterVec // cluster_worker_cells_total{outcome}
 	batches     *metrics.Counter
 	shipsIn     *metrics.Counter
+	regens      *metrics.Counter
 	evictions   *metrics.Counter
 	cellSeconds *metrics.Histogram
 }
@@ -73,7 +90,7 @@ func NewWorker(opt WorkerOptions) *Worker {
 	w := &Worker{
 		opt:    opt,
 		sem:    make(chan struct{}, opt.MaxConcurrent),
-		traces: make(map[uint64]*trace.Buffer),
+		traces: make(map[uint64]trace.Provider),
 	}
 	w.register(metrics.NewRegistry())
 	return w
@@ -86,6 +103,8 @@ func (w *Worker) register(reg *metrics.Registry) {
 		"cells answered by this worker, by outcome (computed, store_hit, trace_missing, failed)", "outcome")
 	w.batches = reg.Counter("cluster_worker_batches_total", "cell batches received")
 	w.shipsIn = reg.Counter("cluster_worker_trace_ships_total", "traces received and cached")
+	w.regens = reg.Counter("cluster_worker_trace_regens_total",
+		"traces regenerated locally from their (workload, scale) spec and hash-verified")
 	w.evictions = reg.Counter("cluster_worker_trace_evictions_total", "traces evicted from the cache")
 	w.cellSeconds = reg.Histogram("cluster_worker_cell_seconds",
 		"per-cell execution wall time (computed cells only)", nil)
@@ -112,14 +131,14 @@ func (w *Worker) Handler() http.Handler {
 	return mux
 }
 
-// cacheTrace inserts buf under its hash, evicting FIFO past the cap.
-func (w *Worker) cacheTrace(h uint64, buf *trace.Buffer) {
+// cacheTrace inserts a provider under its hash, evicting FIFO past the cap.
+func (w *Worker) cacheTrace(h uint64, prov trace.Provider) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, ok := w.traces[h]; ok {
 		return
 	}
-	w.traces[h] = buf
+	w.traces[h] = prov
 	w.order = append(w.order, h)
 	for len(w.order) > w.opt.MaxTraces {
 		evict := w.order[0]
@@ -129,11 +148,40 @@ func (w *Worker) cacheTrace(h uint64, buf *trace.Buffer) {
 	}
 }
 
-func (w *Worker) lookupTrace(h uint64) (*trace.Buffer, bool) {
+func (w *Worker) lookupTrace(h uint64) (trace.Provider, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	buf, ok := w.traces[h]
-	return buf, ok
+	prov, ok := w.traces[h]
+	return prov, ok
+}
+
+// regenerate rebuilds the cell's trace locally from its (workload, scale)
+// spec, under the worker's own trace-plane options (spool, memory budget).
+// The regenerated content hash must equal the hash the spec named — the
+// coordinator's hash is the ground truth, and a divergent local build
+// (version skew, wrong scale) must never silently answer for it. Any
+// failure returns (nil, false): the caller degrades to trace_missing and
+// the coordinator ships the bytes instead.
+func (w *Worker) regenerate(r *http.Request, spec CellSpec, want uint64) (trace.Provider, bool) {
+	if w.opt.DisableRegen || spec.Workload == "" {
+		return nil, false
+	}
+	wl, err := workloads.ByName(spec.Workload)
+	if err != nil {
+		return nil, false
+	}
+	prov, err := wl.Provider(r.Context(), spec.Scale, workloads.ProviderOptions{
+		SpoolDir: w.opt.SpoolDir, MaxMem: w.opt.MaxTraceMem})
+	if err != nil {
+		return nil, false
+	}
+	got, _, err := prov.ContentHash()
+	if err != nil || got != want {
+		return nil, false
+	}
+	w.cacheTrace(want, prov)
+	w.regens.Inc()
+	return prov, true
 }
 
 // TracesCached reports the current trace-cache population.
@@ -161,8 +209,8 @@ func (w *Worker) HandleTraces(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "cluster: bad trace stream: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	buf := trace.Drain(tr)
-	if err := trace.SourceErr(tr); err != nil {
+	buf, err := trace.DrainChecked(tr)
+	if err != nil {
 		http.Error(rw, "cluster: corrupt trace stream: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -240,10 +288,16 @@ func (w *Worker) executeCell(r *http.Request, spec CellSpec) (out CellOutcome) {
 			// programming error worth surviving, not serving.
 		}
 	}
-	buf, ok := w.lookupTrace(h)
+	prov, ok := w.lookupTrace(h)
 	if !ok {
-		w.cells.With("trace_missing").Inc()
-		return CellOutcome{TraceMissing: true}
+		// Preferred path: rebuild the trace from its spec right here —
+		// cheaper than a cross-wire ship and verified against the spec's
+		// hash. Only when regeneration is impossible (no workload name,
+		// unknown workload, hash mismatch) does the worker ask for bytes.
+		if prov, ok = w.regenerate(r, spec, h); !ok {
+			w.cells.With("trace_missing").Inc()
+			return CellOutcome{TraceMissing: true}
+		}
 	}
 
 	// The concurrency budget bounds simultaneous simulations across every
@@ -256,8 +310,13 @@ func (w *Worker) executeCell(r *http.Request, spec CellSpec) (out CellOutcome) {
 	case <-ctx.Done():
 		return fail(KindCanceled, ctx.Err().Error())
 	}
+	src, err := prov.Open()
+	if err != nil {
+		return fail(KindSim, "opening trace: "+err.Error())
+	}
+	defer trace.CloseSource(src)
 	start := time.Now()
-	res, err := core.RunChecked(ctx, buf.Reader(), spec.Config,
+	res, err := core.RunChecked(ctx, src, spec.Config,
 		core.Params{Width: spec.Width, WindowSize: spec.Window, SelfCheck: spec.SelfCheck})
 	if err != nil {
 		re := classifyRemote(err)
@@ -282,13 +341,14 @@ func (w *Worker) executeCell(r *http.Request, spec CellSpec) (out CellOutcome) {
 type WorkerStatus struct {
 	Worker       bool         `json:"worker"` // always true; presence is the health probe
 	TracesCached int          `json:"traces_cached"`
-	Cells        int64        `json:"cells"` // cells answered (all outcomes)
+	TraceRegens  int64        `json:"trace_regens"` // traces rebuilt locally from spec
+	Cells        int64        `json:"cells"`        // cells answered (all outcomes)
 	Store        *store.Stats `json:"store,omitempty"`
 }
 
 // HandleStatus serves GET /workerz — the coordinator's health probe.
 func (w *Worker) HandleStatus(rw http.ResponseWriter, r *http.Request) {
-	st := WorkerStatus{Worker: true, TracesCached: w.TracesCached()}
+	st := WorkerStatus{Worker: true, TracesCached: w.TracesCached(), TraceRegens: w.regens.Value()}
 	for _, o := range []string{"computed", "store_hit", "trace_missing", "failed"} {
 		st.Cells += w.cells.With(o).Value()
 	}

@@ -93,24 +93,27 @@ func Table1Data(r *Runner) ([]Table1Row, []error, error) {
 	var rows []Table1Row
 	var c collector
 	for _, w := range workloads.All() {
-		buf, _, err := r.traceOf(w)
-		if err != nil {
-			if canceled(err) {
-				return nil, nil, err
+		prov, err := r.provider(r.Context(), w)
+		if err == nil {
+			// The provider knows its record count without a replay (spools
+			// and regeneration providers carry it; buffers count in O(1)) —
+			// never pay a hash pass just to size a table row.
+			var n int64
+			n, err = trace.ProviderRecords(prov)
+			if err == nil {
+				rows = append(rows, Table1Row{
+					Name:           w.Name,
+					PointerChasing: w.PointerChasing,
+					Scale:          r.scaleFor(w),
+					Instructions:   n,
+				})
+				continue
 			}
-			c.add(fmt.Errorf("experiments: tracing %s: %w", w.Name, err))
-			continue
 		}
-		scale := r.Scale
-		if scale <= 0 {
-			scale = w.DefaultScale
+		if canceled(err) {
+			return nil, nil, err
 		}
-		rows = append(rows, Table1Row{
-			Name:           w.Name,
-			PointerChasing: w.PointerChasing,
-			Scale:          scale,
-			Instructions:   int64(buf.Len()),
-		})
+		c.add(fmt.Errorf("experiments: tracing %s: %w", w.Name, err))
 	}
 	return rows, c.errs, nil
 }
@@ -149,7 +152,7 @@ func Table2Data(r *Runner) ([]Table2Row, []error, error) {
 	var rows []Table2Row
 	var c collector
 	for _, w := range workloads.All() {
-		buf, _, err := r.traceOf(w)
+		row, err := table2Row(r, w)
 		if err != nil {
 			if canceled(err) {
 				return nil, nil, err
@@ -157,23 +160,43 @@ func Table2Data(r *Runner) ([]Table2Row, []error, error) {
 			c.add(fmt.Errorf("experiments: tracing %s: %w", w.Name, err))
 			continue
 		}
-		mix := trace.CollectMix(buf.Reader())
-		pred := bpred.NewPaper8KB()
-		var acc bpred.Accuracy
-		var rec trace.Record
-		src := buf.Reader()
-		for src.Next(&rec) {
-			if rec.Instr.IsCondBranch() {
-				acc.Observe(pred, rec.PC, rec.Taken)
-			}
-		}
-		rows = append(rows, Table2Row{
-			Name:            w.Name,
-			CondBranchesPct: mix.CondBranchPercent(),
-			PredictedPct:    acc.Rate(),
-		})
+		rows = append(rows, row)
 	}
 	return rows, c.errs, nil
+}
+
+// table2Row measures one workload's branch statistics in a single
+// streaming pass: the instruction mix and the predictor accuracy fold over
+// the same open, so the trace is never materialized (and a spooled or
+// regenerated trace is replayed once, not twice).
+func table2Row(r *Runner, w *workloads.Workload) (Table2Row, error) {
+	prov, err := r.provider(r.Context(), w)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	src, err := prov.Open()
+	if err != nil {
+		return Table2Row{}, err
+	}
+	defer trace.CloseSource(src)
+	var mix trace.Mix
+	pred := bpred.NewPaper8KB()
+	var acc bpred.Accuracy
+	var rec trace.Record
+	for src.Next(&rec) {
+		mix.Observe(&rec)
+		if rec.Instr.IsCondBranch() {
+			acc.Observe(pred, rec.PC, rec.Taken)
+		}
+	}
+	if err := trace.SourceErr(src); err != nil {
+		return Table2Row{}, err
+	}
+	return Table2Row{
+		Name:            w.Name,
+		CondBranchesPct: mix.CondBranchPercent(),
+		PredictedPct:    acc.Rate(),
+	}, nil
 }
 
 // Table2 renders Table 2.

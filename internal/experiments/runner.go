@@ -95,12 +95,26 @@ type Runner struct {
 	perf      *perf.Collector
 	metrics   *RunnerMetrics
 	workers   int
+	traceOpts workloads.ProviderOptions
 	cellsDone atomic.Int64
 	computes  atomic.Int64
 
 	mu     sync.Mutex
 	cache  map[runKey]*cacheEntry
 	hashes map[string]uint64 // workload name -> trace content hash
+
+	provMu    sync.Mutex
+	providers map[string]*provEntry // workload name -> trace provider
+}
+
+// provEntry memoizes one workload's trace provider. The entry-level once
+// means a provider is generated exactly once even when a sweep's workers
+// ask for it concurrently — without holding a Runner-wide lock across a
+// whole trace generation.
+type provEntry struct {
+	once sync.Once
+	prov trace.Provider
+	err  error
 }
 
 type runKey struct {
@@ -181,6 +195,26 @@ func (r *Runner) WithStore(dir string) (*Runner, error) {
 // wrapper, such as internal/server's circuit breaker).
 func (r *Runner) WithStoreHandle(st ResultStore) *Runner {
 	r.store = st
+	return r
+}
+
+// WithTraceSpool routes every workload trace through an on-disk spool
+// under dir (see workloads.ProviderOptions.SpoolDir): traces are generated
+// once, streamed to disk with their content hash folded inline, and each
+// simulation re-reads the file — memory stays O(buffer) no matter the
+// scale. It returns the Runner for chaining.
+func (r *Runner) WithTraceSpool(dir string) *Runner {
+	r.traceOpts.SpoolDir = dir
+	return r
+}
+
+// WithMaxTraceMem bounds the in-memory trace footprint to the given byte
+// budget (see workloads.ProviderOptions.MaxMem): a trace that fits stays
+// buffered, one that does not is served by deterministic regeneration.
+// Ignored when a spool directory is set. It returns the Runner for
+// chaining.
+func (r *Runner) WithMaxTraceMem(bytes int64) *Runner {
+	r.traceOpts.MaxMem = bytes
 	return r
 }
 
@@ -369,14 +403,18 @@ func (r *Runner) compute(ctx context.Context, w *workloads.Workload, cfg core.Co
 			}
 		}
 		_, tspan := metrics.StartSpan(actx, "trace-gen")
-		buf, _, terr := w.TraceCachedCtx(actx, r.Scale)
+		prov, terr := r.provider(actx, w)
 		tspan.End()
 		if terr != nil {
 			return terr
 		}
 		var key store.Key
 		if r.store != nil {
-			key = r.storeKey(w, cfg, width, buf)
+			kerr := error(nil)
+			key, kerr = r.storeKey(w, cfg, width, prov)
+			if kerr != nil {
+				return kerr
+			}
 			_, gspan := metrics.StartSpan(actx, "store.get")
 			got, gerr := r.store.Get(key)
 			gspan.End()
@@ -415,7 +453,17 @@ func (r *Runner) compute(ctx context.Context, w *workloads.Workload, cfg core.Co
 					p.Progress = func(core.Progress) { beat() }
 					p.ProgressEvery = stallHeartbeatEvery
 				}
-				return core.RunChecked(wctx, buf.Reader(), cfg, p)
+				// A fresh open per attempt: providers replay from the start
+				// (re-reading a spool, re-running the VM), so a retry never
+				// resumes a half-consumed stream. Closing releases whatever
+				// the open holds (a file, a generation goroutine) even when
+				// the simulation aborts mid-stream.
+				src, oerr := prov.Open()
+				if oerr != nil {
+					return nil, oerr
+				}
+				defer trace.CloseSource(src)
+				return core.RunChecked(wctx, src, cfg, p)
 			})
 			sspan.End()
 		}
@@ -465,37 +513,74 @@ func (r *Runner) scaleFor(w *workloads.Workload) int {
 // storeKey builds the durable identity of one cell: the trace *content*
 // hash (not its name), the injective config fingerprint, and the run
 // shape. Workload name and scale ride along for human-readable filenames.
-func (r *Runner) storeKey(w *workloads.Workload, cfg core.Config, width int, buf *trace.Buffer) store.Key {
-	scale := r.scaleFor(w)
+func (r *Runner) storeKey(w *workloads.Workload, cfg core.Config, width int, prov trace.Provider) (store.Key, error) {
+	h, err := r.traceHash(w, prov)
+	if err != nil {
+		return store.Key{}, err
+	}
 	return store.Key{
-		Trace:    r.traceHash(w, buf),
+		Trace:    h,
 		Config:   cfg.Fingerprint(),
 		Width:    width,
-		Scale:    scale,
+		Scale:    r.scaleFor(w),
 		Checked:  r.SelfCheck,
 		Workload: w.Name,
-	}
+	}, nil
 }
 
-// traceHash memoizes each workload's trace content hash (hashing a large
-// trace costs one linear scan; the sweep asks per cell). Hashing happens
-// outside the lock so parallel workers don't serialize on it; a rare
-// duplicate computation is benign because the hash is deterministic.
-func (r *Runner) traceHash(w *workloads.Workload, buf *trace.Buffer) uint64 {
+// traceHash memoizes each workload's trace content hash (spool and
+// regeneration providers know theirs for free, but hashing a materialized
+// Buffer costs one linear scan and the sweep asks per cell). Hashing
+// happens outside the lock so parallel workers don't serialize on it; a
+// rare duplicate computation is benign because the hash is deterministic.
+func (r *Runner) traceHash(w *workloads.Workload, prov trace.Provider) (uint64, error) {
 	r.mu.Lock()
 	if h, ok := r.hashes[w.Name]; ok {
 		r.mu.Unlock()
-		return h
+		return h, nil
 	}
 	r.mu.Unlock()
-	h := buf.Hash()
+	h, _, err := prov.ContentHash()
+	if err != nil {
+		return 0, err
+	}
 	r.mu.Lock()
 	if r.hashes == nil {
 		r.hashes = make(map[string]uint64)
 	}
 	r.hashes[w.Name] = h
 	r.mu.Unlock()
-	return h
+	return h, nil
+}
+
+// provider memoizes each workload's trace provider at the Runner's scale
+// and trace-plane options. The first caller generates (or opens) the
+// trace; concurrent callers for the same workload wait on that one
+// generation rather than racing heap-heavy VM runs against each other.
+func (r *Runner) provider(ctx context.Context, w *workloads.Workload) (trace.Provider, error) {
+	r.provMu.Lock()
+	if r.providers == nil {
+		r.providers = make(map[string]*provEntry)
+	}
+	e, ok := r.providers[w.Name]
+	if !ok {
+		e = &provEntry{}
+		r.providers[w.Name] = e
+	}
+	r.provMu.Unlock()
+	e.once.Do(func() {
+		e.prov, e.err = w.Provider(ctx, r.Scale, r.traceOpts)
+	})
+	if e.err != nil {
+		// A failed generation is not cached forever: a later caller (with a
+		// live context, or after a transient disk error) may retry it.
+		r.provMu.Lock()
+		if r.providers[w.Name] == e {
+			delete(r.providers, w.Name)
+		}
+		r.provMu.Unlock()
+	}
+	return e.prov, e.err
 }
 
 // Prefetch computes all (workload, config, width) results for the given
@@ -516,11 +601,11 @@ func (r *Runner) Prefetch(set []*workloads.Workload, cfgs []core.Config, widths 
 			errs = append(errs, err)
 			return errors.Join(errs...)
 		}
-		// Generate traces serially first: trace generation is also cached
+		// Resolve trace providers serially first: generation is memoized
 		// and must not race heap-heavy VM runs against each other. A
 		// workload whose trace fails contributes one error, not one per
 		// (config, width) cell.
-		if _, _, err := w.TraceCachedCtx(ctx, r.Scale); err != nil {
+		if _, err := r.provider(ctx, w); err != nil {
 			errs = append(errs, fmt.Errorf("experiments: tracing %s: %w", w.Name, err))
 			continue
 		}
@@ -575,11 +660,6 @@ func (r *Runner) Prefetch(set []*workloads.Workload, cfgs []core.Config, widths 
 		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
-}
-
-// traceOf is a small helper for the trace-level experiments (Tables 1-2).
-func (r *Runner) traceOf(w *workloads.Workload) (*trace.Buffer, []int32, error) {
-	return w.TraceCachedCtx(r.Context(), r.Scale)
 }
 
 // Report is one experiment's rendered output. CSV, when non-empty, holds

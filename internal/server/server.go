@@ -62,6 +62,13 @@ type Options struct {
 	Retries int
 	// Scale is the workload scale for all jobs; 0 means workload defaults.
 	Scale int
+	// TraceSpoolDir routes workload traces through an on-disk spool
+	// (experiments.Runner.WithTraceSpool) instead of materializing them.
+	TraceSpoolDir string
+	// MaxTraceMem bounds the in-memory trace footprint in bytes
+	// (experiments.Runner.WithMaxTraceMem); ignored when TraceSpoolDir is
+	// set.
+	MaxTraceMem int64
 	// QuarantineAfter is the number of crashes before a cell is
 	// quarantined; <= 0 means 2.
 	QuarantineAfter int
@@ -194,6 +201,12 @@ func New(opt Options) *Server {
 			r.WithStoreHandle(st)
 		}
 		r.WithMetrics(experiments.NewRunnerMetrics(s.reg, mode))
+		if opt.TraceSpoolDir != "" {
+			r.WithTraceSpool(opt.TraceSpoolDir)
+		}
+		if opt.MaxTraceMem > 0 {
+			r.WithMaxTraceMem(opt.MaxTraceMem)
+		}
 		if opt.Coordinator != nil {
 			r.WithExecutor(opt.Coordinator)
 		}

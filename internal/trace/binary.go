@@ -93,12 +93,13 @@ type Writer struct {
 	w     *bufio.Writer
 	seek  io.WriteSeeker
 	count uint64
+	hash  uint64
 	buf   [recSize]byte
 }
 
 // NewWriter creates a trace writer on w.
 func NewWriter(w io.Writer) (*Writer, error) {
-	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16), hash: fnvOffset64 ^ checkSeed}
 	if ws, ok := w.(io.WriteSeeker); ok {
 		tw.seek = ws
 	}
@@ -137,13 +138,24 @@ func encodeRecord(buf *[recSize]byte, rec *Record) {
 	b[25] = checksum(b)
 }
 
-// Write appends one record.
+// Write appends one record, folding it into the running content hash.
 func (tw *Writer) Write(rec *Record) error {
 	encodeRecord(&tw.buf, rec)
+	h := tw.hash
+	for _, b := range tw.buf {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	tw.hash = h
 	tw.count++
 	_, err := tw.w.Write(tw.buf[:])
 	return err
 }
+
+// Sum64 reports the content hash (trace.ContentHash) of everything written
+// so far, folded inline record by record — writing a trace never needs a
+// second hashing pass over it.
+func (tw *Writer) Sum64() uint64 { return tw.hash }
 
 // Close flushes buffered data and, when the underlying writer is seekable,
 // patches the record count into the header.

@@ -28,6 +28,39 @@ func Checksum64(data []byte) uint64 {
 	return h
 }
 
+// Hasher incrementally folds records into a trace content hash — the
+// building block behind ContentHash for callers that see records one at a
+// time (a generation pass deciding mid-stream to stop buffering, a tee).
+// The zero value is not ready; create with NewHasher.
+type Hasher struct {
+	h   uint64
+	n   int64
+	buf [recSize]byte
+}
+
+// NewHasher returns a Hasher in the initial state.
+func NewHasher() *Hasher {
+	return &Hasher{h: fnvOffset64 ^ checkSeed}
+}
+
+// WriteRecord folds one record's canonical binary encoding into the hash.
+func (hs *Hasher) WriteRecord(rec *Record) {
+	encodeRecord(&hs.buf, rec)
+	h := hs.h
+	for _, b := range hs.buf {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	hs.h = h
+	hs.n++
+}
+
+// Sum64 reports the hash of everything folded so far.
+func (hs *Hasher) Sum64() uint64 { return hs.h }
+
+// Records reports how many records have been folded.
+func (hs *Hasher) Records() int64 { return hs.n }
+
 // ContentHash drains src, folding each record's canonical binary encoding
 // (the v3 record framing, checksum byte included) into one 64-bit content
 // hash, and returns the hash and the number of records consumed. Two
@@ -39,22 +72,15 @@ func Checksum64(data []byte) uint64 {
 // mid-stream (truncation, corruption) fails the hash rather than silently
 // hashing a prefix.
 func ContentHash(src Source) (uint64, int64, error) {
-	h := uint64(fnvOffset64) ^ uint64(checkSeed)
+	hs := NewHasher()
 	var rec Record
-	var buf [recSize]byte
-	var n int64
 	for src.Next(&rec) {
-		encodeRecord(&buf, &rec)
-		for _, b := range buf {
-			h ^= uint64(b)
-			h *= fnvPrime64
-		}
-		n++
+		hs.WriteRecord(&rec)
 	}
 	if err := SourceErr(src); err != nil {
-		return 0, n, err
+		return 0, hs.n, err
 	}
-	return h, n, nil
+	return hs.h, hs.n, nil
 }
 
 // Hash returns the buffer's content hash (ContentHash over its records;

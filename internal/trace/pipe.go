@@ -1,0 +1,166 @@
+package trace
+
+// Pipe: a bounded, single-producer single-consumer ring of trace records
+// connecting a generator goroutine to a streaming consumer. This is what
+// lets the VM→scheduler first pass overlap generation with simulation —
+// the producer appends records while the consumer schedules them, and the
+// ring bounds how far ahead generation may run, so the whole pipeline
+// holds O(ring) records regardless of trace length.
+//
+// Records move in fixed-size chunks recycled through a free list, so a
+// steady-state pipe allocates nothing: the total chunk population is
+// bounded by the ring capacity plus the two chunks in the endpoints'
+// hands.
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPipeClosed is returned by PipeWriter.Append after the consumer closed
+// its end: the producer should stop generating. It is a flow-control
+// signal, not a failure of the trace itself.
+var ErrPipeClosed = errors.New("trace: pipe closed by consumer")
+
+// pipeChunkLen is the record batch size moving through the pipe. Small
+// enough that the consumer starts within microseconds of the first record,
+// big enough that channel operations amortize to nothing.
+const pipeChunkLen = 4096
+
+// Pipe is the shared state behind one PipeWriter/PipeReader pair.
+type Pipe struct {
+	full chan []Record // filled chunks, producer → consumer
+	free chan []Record // recycled chunks, consumer → producer
+
+	mu     sync.Mutex
+	err    error // producer's terminal error (nil = clean end)
+	closed bool  // consumer abandoned the stream
+
+	done chan struct{} // closed when the consumer abandons
+}
+
+// NewPipe creates a pipe holding at most capacity records in flight
+// (rounded up to whole chunks; <= 0 means a 64k-record default, about
+// 2 MiB).
+func NewPipe(capacity int) (*PipeWriter, *PipeReader) {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	chunks := (capacity + pipeChunkLen - 1) / pipeChunkLen
+	p := &Pipe{
+		full: make(chan []Record, chunks),
+		free: make(chan []Record, chunks),
+		done: make(chan struct{}),
+	}
+	return &PipeWriter{p: p}, &PipeReader{p: p}
+}
+
+// PipeWriter is the producer end. Append and Close must be called from a
+// single goroutine.
+type PipeWriter struct {
+	p   *Pipe
+	cur []Record
+}
+
+// Append adds one record, blocking while the ring is full. It returns
+// ErrPipeClosed once the consumer has abandoned the stream — the producer
+// should stop generating and Close.
+func (w *PipeWriter) Append(rec *Record) error {
+	if w.cur == nil {
+		select {
+		case w.cur = <-w.p.free:
+			w.cur = w.cur[:0]
+		default:
+			w.cur = make([]Record, 0, pipeChunkLen)
+		}
+	}
+	w.cur = append(w.cur, *rec)
+	if len(w.cur) == pipeChunkLen {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *PipeWriter) flush() error {
+	select {
+	case w.p.full <- w.cur:
+		w.cur = nil
+		return nil
+	case <-w.p.done:
+		w.cur = nil
+		return ErrPipeClosed
+	}
+}
+
+// Close ends the stream, delivering any buffered records first. A non-nil
+// err surfaces to the consumer through Err after its final Next — the
+// producer-side half of the error-handling contract.
+func (w *PipeWriter) Close(err error) {
+	if len(w.cur) > 0 {
+		_ = w.flush()
+	}
+	w.p.mu.Lock()
+	w.p.err = err
+	w.p.mu.Unlock()
+	close(w.p.full)
+}
+
+// PipeReader is the consumer end: an ErrSource. Next and Close must be
+// called from a single goroutine.
+type PipeReader struct {
+	p    *Pipe
+	cur  []Record
+	pos  int
+	done bool
+	err  error
+}
+
+// Next implements Source.
+func (r *PipeReader) Next(rec *Record) bool {
+	for {
+		if r.pos < len(r.cur) {
+			*rec = r.cur[r.pos]
+			r.pos++
+			return true
+		}
+		if r.done {
+			return false
+		}
+		if r.cur != nil {
+			// Recycle the spent chunk; drop it if the free list is full
+			// (only possible after a Close raced a chunk in).
+			select {
+			case r.p.free <- r.cur:
+			default:
+			}
+			r.cur = nil
+		}
+		chunk, ok := <-r.p.full
+		if !ok {
+			r.done = true
+			r.p.mu.Lock()
+			r.err = r.p.err
+			r.p.mu.Unlock()
+			return false
+		}
+		r.cur, r.pos = chunk, 0
+	}
+}
+
+// Err implements ErrSource: the producer's terminal error, if any.
+func (r *PipeReader) Err() error { return r.err }
+
+// Close abandons the stream: the producer's next Append (or flush) returns
+// ErrPipeClosed instead of blocking forever on a ring nobody drains.
+// Records already in flight are discarded.
+func (r *PipeReader) Close() error {
+	r.p.mu.Lock()
+	if !r.p.closed {
+		r.p.closed = true
+		close(r.p.done)
+	}
+	r.p.mu.Unlock()
+	r.done = true
+	r.cur = nil
+	return nil
+}

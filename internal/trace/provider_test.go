@@ -1,0 +1,276 @@
+package trace
+
+// Tests for the provider layer: DrainChecked's error propagation, the
+// Limit+ErrSource composition, BufferReader replay determinism, the
+// producer/consumer pipe, and the spool's commit/abort/validation
+// behavior. These pin the contracts every trace-plane consumer relies on.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDrainCheckedCleanAndFailing(t *testing.T) {
+	buf := hashTestBuffer(50)
+	got, err := DrainChecked(buf.Reader())
+	if err != nil {
+		t.Fatalf("DrainChecked on clean source: %v", err)
+	}
+	if got.Len() != 50 || got.Hash() != buf.Hash() {
+		t.Fatalf("DrainChecked = %d records hash %#x, want %d/%#x",
+			got.Len(), got.Hash(), buf.Len(), buf.Hash())
+	}
+
+	boom := errors.New("stream died")
+	if _, err := DrainChecked(&failingSource{n: 3, err: boom}); !errors.Is(err, boom) {
+		t.Fatalf("DrainChecked on failing source err = %v, want %v", err, boom)
+	}
+}
+
+// TestLimitPropagatesSourceError: Limit is an ErrSource whenever its inner
+// source is one — truncating a stream must not also swallow its failure.
+func TestLimitPropagatesSourceError(t *testing.T) {
+	boom := errors.New("inner failure")
+	l := Limit(&failingSource{n: 2, err: boom}, 10)
+	var rec Record
+	for l.Next(&rec) {
+	}
+	if err := SourceErr(l); !errors.Is(err, boom) {
+		t.Fatalf("SourceErr(Limit(failing)) = %v, want %v", err, boom)
+	}
+
+	// A limit that truncates before the failure point still surfaces the
+	// deferred error the wrapped source reports — Limit never consults the
+	// source again after cutting it off, but Err passes straight through.
+	clean := Limit(hashTestBuffer(100).Reader(), 10)
+	n := 0
+	for clean.Next(&rec) {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("Limit delivered %d records, want 10", n)
+	}
+	if err := SourceErr(clean); err != nil {
+		t.Fatalf("SourceErr(Limit(clean)) = %v, want nil", err)
+	}
+}
+
+// TestBufferReaderResetReplays: Reset rewinds to an identical replay — the
+// property that lets one reader serve repeated simulation passes.
+func TestBufferReaderResetReplays(t *testing.T) {
+	buf := hashTestBuffer(300)
+	r := buf.Reader()
+	h1, n1, err := ContentHash(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Reset()
+	h2, n2, err := ContentHash(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || n1 != n2 {
+		t.Fatalf("replay after Reset differs: (%#x, %d) vs (%#x, %d)", h1, n1, h2, n2)
+	}
+	// A partially consumed reader resets all the way back, not to where it
+	// stopped.
+	var rec Record
+	r.Reset()
+	for i := 0; i < 17; i++ {
+		r.Next(&rec)
+	}
+	r.Reset()
+	h3, _, _ := ContentHash(r)
+	if h3 != h1 {
+		t.Fatalf("Reset mid-stream replayed a suffix: hash %#x, want %#x", h3, h1)
+	}
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	buf := hashTestBuffer(10_000)
+	pw, pr := NewPipe(1 << 10)
+	go func() {
+		var rec Record
+		r := buf.Reader()
+		for r.Next(&rec) {
+			if err := pw.Append(&rec); err != nil {
+				pw.Close(err)
+				return
+			}
+		}
+		pw.Close(nil)
+	}()
+	h, n, err := ContentHash(pr)
+	if err != nil {
+		t.Fatalf("pipe stream failed: %v", err)
+	}
+	if n != 10_000 || h != buf.Hash() {
+		t.Fatalf("pipe delivered %d records hash %#x, want 10000/%#x", n, h, buf.Hash())
+	}
+}
+
+func TestPipeProducerErrorSurfaces(t *testing.T) {
+	boom := errors.New("generator exploded")
+	pw, pr := NewPipe(256)
+	go func() {
+		var rec Record
+		for i := 0; i < 100; i++ {
+			if err := pw.Append(&rec); err != nil {
+				pw.Close(err)
+				return
+			}
+		}
+		pw.Close(boom)
+	}()
+	var rec Record
+	for pr.Next(&rec) {
+	}
+	if err := pr.Err(); !errors.Is(err, boom) {
+		t.Fatalf("pipe Err = %v, want %v", err, boom)
+	}
+}
+
+// TestPipeConsumerAbandon: once the consumer closes its end, the producer's
+// Append unblocks with ErrPipeClosed instead of deadlocking on a full ring.
+func TestPipeConsumerAbandon(t *testing.T) {
+	pw, pr := NewPipe(pipeChunkLen) // one chunk in flight
+	got := make(chan error, 1)
+	go func() {
+		var rec Record
+		for {
+			if err := pw.Append(&rec); err != nil {
+				got <- err
+				pw.Close(nil)
+				return
+			}
+		}
+	}()
+	// Take a few records so the producer is certainly live, then walk away.
+	var rec Record
+	for i := 0; i < 10 && pr.Next(&rec); i++ {
+	}
+	pr.Close()
+	if err := <-got; !errors.Is(err, ErrPipeClosed) {
+		t.Fatalf("abandoned producer got %v, want ErrPipeClosed", err)
+	}
+}
+
+func TestSpoolRoundTrip(t *testing.T) {
+	buf := hashTestBuffer(5_000)
+	path := filepath.Join(t.TempDir(), "round.trace")
+	sp, err := SpoolFrom(path, buf.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, n, err := sp.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != buf.Hash() || n != int64(buf.Len()) {
+		t.Fatalf("spool hash/count = %#x/%d, want %#x/%d", h, n, buf.Hash(), buf.Len())
+	}
+	// Two independent opens each replay the full trace.
+	for i := 0; i < 2; i++ {
+		src, err := sp.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh, gn, err := ContentHash(src)
+		if err != nil || gh != h || gn != n {
+			t.Fatalf("open %d: hash/count/err = %#x/%d/%v", i, gh, gn, err)
+		}
+	}
+	// A cold re-open from a fresh process recovers the same identity.
+	re, err := OpenSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh, rn, _ := re.ContentHash(); rh != h || rn != n {
+		t.Fatalf("OpenSpool hash/count = %#x/%d, want %#x/%d", rh, rn, h, n)
+	}
+}
+
+// TestSpoolAbortsOnSourceError: a generation that fails mid-stream must not
+// commit a plausible-looking short spool, and must not leave temp litter.
+func TestSpoolAbortsOnSourceError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dead.trace")
+	boom := errors.New("generation failed")
+	if _, err := SpoolFrom(path, &failingSource{n: 40, err: boom}); !errors.Is(err, boom) {
+		t.Fatalf("SpoolFrom(failing) err = %v, want %v", err, boom)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed spool committed under its final name: stat err = %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("aborted spool left temp file %s", e.Name())
+		}
+	}
+}
+
+// TestOpenSpoolRejectsCorruption: the validation pass makes a reused spool
+// as trustworthy as a fresh one — any flipped bit fails the open.
+func TestOpenSpoolRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.trace")
+	if _, err := SpoolFrom(path, hashTestBuffer(200).Reader()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in a record body (past the 16-byte header).
+	img[len(img)/2] ^= 0x40
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSpool(path); err == nil {
+		t.Fatal("OpenSpool accepted a corrupted spool")
+	}
+	// Truncation is also rejected.
+	if err := os.WriteFile(path, img[:len(img)-13], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSpool(path); err == nil {
+		t.Fatal("OpenSpool accepted a truncated spool")
+	}
+}
+
+// TestRegenProviderHashMemoized: the first ContentHash pays one generation
+// run; later calls are free and opens are unaffected.
+func TestRegenProviderHashMemoized(t *testing.T) {
+	buf := hashTestBuffer(400)
+	runs := 0
+	p := NewRegenProvider(func() (ErrSource, error) {
+		runs++
+		return buf.Reader(), nil
+	})
+	h1, n1, err := p.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, n2, err := p.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("ContentHash paid %d generation runs, want 1", runs)
+	}
+	if h1 != h2 || n1 != n2 || h1 != buf.Hash() {
+		t.Fatalf("memoized hash drifted: (%#x,%d) vs (%#x,%d), buffer %#x", h1, n1, h2, n2, buf.Hash())
+	}
+	if _, err := p.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("Open should cost exactly one run (total 2, got %d)", runs)
+	}
+}

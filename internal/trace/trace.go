@@ -120,6 +120,9 @@ func (r *BufferReader) Next(rec *Record) bool {
 // Reset rewinds the reader to the start of the buffer.
 func (r *BufferReader) Reset() { r.pos = 0 }
 
+// Err implements ErrSource: an in-memory replay cannot fail.
+func (r *BufferReader) Err() error { return nil }
+
 // Limit wraps src, ending the stream after at most n records. It mirrors the
 // paper's truncation of long benchmarks ("only the first 250 million
 // instructions ... were simulated").

@@ -1,0 +1,97 @@
+package tracegen
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestStreamMatchesGen: Stream and Gen are the same deterministic mapping —
+// Gen is defined as Stream's drain, and this pins that the stream really
+// does yield the identical record sequence (not just the same count).
+func TestStreamMatchesGen(t *testing.T) {
+	for _, p := range Profiles() {
+		buf := Gen(7, p)
+		s := NewStream(7, p)
+		var rec trace.Record
+		i := 0
+		for s.Next(&rec) {
+			if i >= buf.Len() {
+				t.Fatalf("%s: stream ran past Gen's %d records", p.Name, buf.Len())
+			}
+			if *buf.At(i) != rec {
+				t.Fatalf("%s: record %d differs: stream %+v, gen %+v", p.Name, i, rec, *buf.At(i))
+			}
+			i++
+		}
+		if i != buf.Len() {
+			t.Fatalf("%s: stream yielded %d records, Gen %d", p.Name, i, buf.Len())
+		}
+		if s.Err() != nil {
+			t.Fatalf("%s: stream Err = %v", p.Name, s.Err())
+		}
+	}
+}
+
+// TestTracePlaneMemoryBounded: a trace ~60x larger than the in-memory
+// budget flows from a streaming generator through a regenerating provider
+// into the scheduler, and the heap high-water mark stays bounded by the
+// pipeline's fixed structures — independent of trace length. This is the
+// tentpole property of the trace plane: simulation memory is O(window),
+// not O(instructions).
+func TestTracePlaneMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20M-record stream in -short mode")
+	}
+	const records = 20_000_000
+	p := Default()
+	p.Records = records
+	p.StaticPCs = 512
+
+	prov := trace.NewRegenProvider(func() (trace.ErrSource, error) {
+		return NewStream(3, p), nil
+	})
+	h, n, err := prov.ContentHash() // first full pass: hash-only, nothing retained
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != records {
+		t.Fatalf("provider streamed %d records, want %d", n, records)
+	}
+	if h2, _, _ := prov.ContentHash(); h2 != h {
+		t.Fatalf("regeneration is not deterministic: %#x then %#x", h, h2)
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	src, err := prov.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Run(src, core.ConfigD, core.Params{Width: 8})
+	if err := trace.SourceErr(src); err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != records {
+		t.Fatalf("simulated %d instructions, want %d", res.Instructions, records)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	// Materializing 20M records would cost >= 520 MiB (26 bytes/record on
+	// disk, more in memory). The whole pipeline — scheduler window state,
+	// stream bookkeeping — must stay far below that. 64 MiB of headroom is
+	// ~8x what the run actually needs and ~1/10 of materialization.
+	const budget = 64 << 20
+	grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if grew > budget {
+		t.Fatalf("heap grew %d MiB across a %d-record simulation; budget %d MiB",
+			grew>>20, records, budget>>20)
+	}
+}

@@ -155,8 +155,33 @@ type gen struct {
 	links  int
 }
 
-// Gen generates a trace for profile p from the given seed.
+// Gen generates a trace for profile p from the given seed. It is exactly
+// Stream drained into a buffer — the two can never drift apart.
 func Gen(seed int64, p Profile) *trace.Buffer {
+	buf := &trace.Buffer{}
+	s := NewStream(seed, p)
+	var rec trace.Record
+	for s.Next(&rec) {
+		buf.Append(rec)
+	}
+	return buf
+}
+
+// Stream generates the trace record by record — the same deterministic
+// (seed, profile) → records mapping as Gen, without ever materializing the
+// trace. It implements trace.ErrSource (generation cannot fail), so a
+// Stream plugs directly into anything that consumes a trace source: the
+// scheduler, a spool writer, a content hash, the memory-bounded pipeline
+// tests.
+type Stream struct {
+	g    *gen
+	pc   int
+	n    int
+	want int
+}
+
+// NewStream starts a fresh generation stream for profile p from seed.
+func NewStream(seed int64, p Profile) *Stream {
 	if p.Records <= 0 {
 		p.Records = 256
 	}
@@ -165,38 +190,45 @@ func Gen(seed int64, p Profile) *trace.Buffer {
 	}
 	g := &gen{rng: rand.New(rand.NewSource(seed)), p: p}
 	g.buildStatic()
-
-	buf := &trace.Buffer{}
-	pc := 0
-	for n := 0; n < p.Records; n++ {
-		s := &g.prog[pc]
-		rec := trace.Record{PC: uint32(pc), Instr: s.in}
-		switch s.in.Op {
-		case isa.Ld, isa.St:
-			rec.Addr = g.nextAddr(s)
-			rec.Value = int32(g.rng.Intn(64)) - 8
-		case isa.Beq, isa.Bne, isa.Blt, isa.Ble, isa.Bgt, isa.Bge, isa.Bltu, isa.Bgeu:
-			rec.Taken = g.rng.Float64() < p.TakenBias
-		default:
-			rec.Value = int32(g.rng.Intn(1024))
-		}
-		buf.Append(rec)
-
-		// Walk the synthetic control flow.
-		switch {
-		case rec.Instr.IsCondBranch() && rec.Taken:
-			pc = int(s.in.Target)
-		case rec.Instr.Op == isa.Jmp:
-			pc = int(s.in.Target)
-		default:
-			pc++
-		}
-		if pc >= len(g.prog) || pc < 0 {
-			pc = 0
-		}
-	}
-	return buf
+	return &Stream{g: g, want: p.Records}
 }
+
+// Next implements trace.Source.
+func (s *Stream) Next(rec *trace.Record) bool {
+	if s.n >= s.want {
+		return false
+	}
+	g := s.g
+	st := &g.prog[s.pc]
+	*rec = trace.Record{PC: uint32(s.pc), Instr: st.in}
+	switch st.in.Op {
+	case isa.Ld, isa.St:
+		rec.Addr = g.nextAddr(st)
+		rec.Value = int32(g.rng.Intn(64)) - 8
+	case isa.Beq, isa.Bne, isa.Blt, isa.Ble, isa.Bgt, isa.Bge, isa.Bltu, isa.Bgeu:
+		rec.Taken = g.rng.Float64() < g.p.TakenBias
+	default:
+		rec.Value = int32(g.rng.Intn(1024))
+	}
+
+	// Walk the synthetic control flow.
+	switch {
+	case rec.Instr.IsCondBranch() && rec.Taken:
+		s.pc = int(st.in.Target)
+	case rec.Instr.Op == isa.Jmp:
+		s.pc = int(st.in.Target)
+	default:
+		s.pc++
+	}
+	if s.pc >= len(g.prog) || s.pc < 0 {
+		s.pc = 0
+	}
+	s.n++
+	return true
+}
+
+// Err implements trace.ErrSource: generation cannot fail.
+func (s *Stream) Err() error { return nil }
 
 // buildStatic rolls the synthetic static program once; the PC → instruction
 // mapping is then immutable for the whole trace.

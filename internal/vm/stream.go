@@ -1,0 +1,93 @@
+package vm
+
+// Streaming execution: run a program on its own goroutine and consume its
+// dynamic trace as it is produced, through a bounded trace.Pipe. This is
+// the pipelined VM→scheduler first pass — generation overlaps whatever
+// consumes the stream (a simulator, a spool writer, a hash fold) and the
+// whole pipeline holds O(ring) records regardless of trace length, where
+// vm.Trace would materialize all of them first.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// TraceStream is a live dynamic trace: an ErrSource fed by an executing
+// Machine. Close abandons the stream and stops the machine; a stream
+// consumed to its end delivers the program's Output.
+type TraceStream struct {
+	pr     *trace.PipeReader
+	cancel context.CancelFunc
+
+	mu  sync.Mutex
+	out []int32
+	ran bool
+}
+
+// StreamTrace starts prog executing on a new goroutine and returns the
+// live trace stream. capacity bounds the in-flight record ring (<= 0 means
+// the pipe default, ~64k records). The machine honors ctx: canceling it
+// fails the stream. Abandoning the stream early (Close) stops the machine
+// without error.
+func StreamTrace(ctx context.Context, prog *isa.Program, capacity int, opts ...Option) (*TraceStream, error) {
+	pw, pr := trace.NewPipe(capacity)
+	runCtx, cancel := context.WithCancel(ctx)
+	ts := &TraceStream{pr: pr, cancel: cancel}
+	opts = append(opts, WithContext(runCtx), WithSink(func(r *trace.Record) {
+		if err := pw.Append(r); err != nil {
+			// Consumer gone: stop the machine at its next context poll.
+			cancel()
+		}
+	}))
+	m, err := New(prog, opts...)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	go func() {
+		err := m.Run()
+		if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// Cancellation we induced because the consumer closed the
+			// stream — flow control, not a failure.
+			err = trace.ErrPipeClosed
+		}
+		ts.mu.Lock()
+		ts.out = m.Output
+		ts.ran = err == nil
+		ts.mu.Unlock()
+		pw.Close(err)
+	}()
+	return ts, nil
+}
+
+// Next implements trace.Source.
+func (ts *TraceStream) Next(rec *trace.Record) bool { return ts.pr.Next(rec) }
+
+// Err implements trace.ErrSource.
+func (ts *TraceStream) Err() error {
+	if err := ts.pr.Err(); err != nil && !errors.Is(err, trace.ErrPipeClosed) {
+		return err
+	}
+	return nil
+}
+
+// Close abandons the stream: the machine stops at its next context poll.
+func (ts *TraceStream) Close() error {
+	ts.cancel()
+	return ts.pr.Close()
+}
+
+// Output returns the program's Out-instruction stream. It is only
+// available after the stream was consumed to a clean end (ok reports
+// whether it is).
+func (ts *TraceStream) Output() (out []int32, ok bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.out, ts.ran
+}
+
+var _ trace.ErrSource = (*TraceStream)(nil)

@@ -1,0 +1,154 @@
+package workloads
+
+// Trace providers: the workload-side half of the streaming trace plane.
+// Run/TraceCached materialize a whole trace.Buffer — fine at the seed
+// scales, fatal at the paper's 88-250M-instruction regime. Provider picks
+// a bounded-memory strategy instead:
+//
+//	SpoolDir set    → generate once, streaming straight to a v3 spool file
+//	                  (hash folded inline); every open re-reads the disk.
+//	MaxMem set      → generate once, buffering in memory only while the
+//	                  trace fits the budget; past it, drop the buffer and
+//	                  finish the pass hash-only, then serve every open by
+//	                  deterministic regeneration through a bounded pipe.
+//	neither         → the classic materialized Buffer (process-wide cache),
+//	                  byte-identical to the pre-provider behavior.
+//
+// All three strategies yield Providers with equal ContentHash for the same
+// (workload, scale), so results — and the store keys deriving from the
+// hash — are interchangeable across them.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"unsafe"
+
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// recordMemBytes is the in-memory footprint of one buffered trace record,
+// the unit MaxMem budgets are measured in.
+const recordMemBytes = int64(unsafe.Sizeof(trace.Record{}))
+
+// ProviderOptions selects the trace-plane strategy (see the file comment).
+// The zero value reproduces the materialized-Buffer behavior exactly.
+type ProviderOptions struct {
+	// SpoolDir, when non-empty, spools the trace to
+	// <dir>/<name>-<scale>.trace during its first generation pass and
+	// serves every open from disk. An already-complete spool from a prior
+	// process is validated and reused without regeneration.
+	SpoolDir string
+	// MaxMem bounds the in-memory trace footprint in bytes (ignored when
+	// SpoolDir is set). A trace that fits is buffered; one that does not is
+	// served by deterministic regeneration.
+	MaxMem int64
+}
+
+// Stream builds the workload and starts a live generation stream: records
+// arrive as the VM executes them, through a bounded pipe. The stream must
+// be consumed (or Closed) to release the VM goroutine.
+func (w *Workload) Stream(ctx context.Context, scale int) (*vm.TraceStream, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Check(faultinject.PointTraceGen); err != nil {
+			return nil, fmt.Errorf("workloads: generating %s trace: %w", w.Name, err)
+		}
+	}
+	prog, err := w.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := vm.StreamTrace(ctx, prog, 0, vm.WithMaxSteps(1<<31))
+	if err != nil {
+		return nil, fmt.Errorf("workloads: running %s: %w", w.Name, err)
+	}
+	return ts, nil
+}
+
+// Provider returns a trace Provider for the workload at the given scale
+// (0 = DefaultScale) under the chosen strategy. ctx bounds generation —
+// both the eager first pass and, for the regeneration strategy, every
+// later re-run an Open triggers.
+func (w *Workload) Provider(ctx context.Context, scale int, opt ProviderOptions) (trace.Provider, error) {
+	if scale <= 0 {
+		scale = w.DefaultScale
+	}
+	switch {
+	case opt.SpoolDir != "":
+		return w.spoolProvider(ctx, scale, opt.SpoolDir)
+	case opt.MaxMem > 0:
+		return w.budgetedProvider(ctx, scale, opt.MaxMem)
+	default:
+		buf, _, err := w.TraceCachedCtx(ctx, scale)
+		if err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+}
+
+// SpoolPath reports where Provider spools this workload's trace at the
+// given scale (0 = DefaultScale) under dir.
+func (w *Workload) SpoolPath(dir string, scale int) string {
+	if scale <= 0 {
+		scale = w.DefaultScale
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s-%d.trace", w.Name, scale))
+}
+
+// spoolProvider reuses a complete spool if one exists (validated by its
+// record checksums) and otherwise generates one in a single streaming
+// pass, hash folded inline — the trace never exists in memory.
+func (w *Workload) spoolProvider(ctx context.Context, scale int, dir string) (trace.Provider, error) {
+	path := w.SpoolPath(dir, scale)
+	if sp, err := trace.OpenSpool(path); err == nil {
+		return sp, nil
+	}
+	// Missing, truncated, or corrupt: regenerate. The commit rename
+	// atomically replaces whatever was there.
+	ts, err := w.Stream(ctx, scale)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := trace.SpoolFrom(path, ts)
+	if err != nil {
+		trace.CloseSource(ts)
+		return nil, fmt.Errorf("workloads: spooling %s: %w", w.Name, err)
+	}
+	return sp, nil
+}
+
+// budgetedProvider generates once, keeping the buffer only while it fits
+// maxMem; an over-budget trace finishes the pass hash-only and is served
+// by regeneration from then on.
+func (w *Workload) budgetedProvider(ctx context.Context, scale int, maxMem int64) (trace.Provider, error) {
+	maxRecords := maxMem / recordMemBytes
+	ts, err := w.Stream(ctx, scale)
+	if err != nil {
+		return nil, err
+	}
+	hs := trace.NewHasher()
+	buf := &trace.Buffer{}
+	var rec trace.Record
+	for ts.Next(&rec) {
+		hs.WriteRecord(&rec)
+		if buf != nil {
+			if int64(buf.Len()) >= maxRecords {
+				buf = nil // over budget: from here on, hash-only
+			} else {
+				buf.Append(rec)
+			}
+		}
+	}
+	if err := ts.Err(); err != nil {
+		return nil, fmt.Errorf("workloads: generating %s trace: %w", w.Name, err)
+	}
+	if buf != nil {
+		return buf, nil
+	}
+	return trace.NewRegenProviderHashed(func() (trace.ErrSource, error) {
+		return w.Stream(ctx, scale)
+	}, hs.Sum64(), hs.Records()), nil
+}
